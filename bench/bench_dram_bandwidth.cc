@@ -1,0 +1,143 @@
+/**
+ * @file
+ * DRAM microbenchmark (google-benchmark): sustained bandwidth of
+ * the cycle-level model on every access path the paper relies on.
+ * Reported counters are simulated GB/s; wall time measures the
+ * simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "dram/bundle.hh"
+#include "dram/calibrate.hh"
+#include "dram/controller.hh"
+
+namespace duplex
+{
+namespace
+{
+
+std::vector<XpuStreamEngine::BankRef>
+allBanks(const HbmTiming &t)
+{
+    std::vector<XpuStreamEngine::BankRef> banks;
+    for (int r = 0; r < t.ranksPerPch; ++r)
+        for (int bg = 0; bg < t.bankGroups; ++bg)
+            for (int b = 0; b < t.banksPerGroup; ++b)
+                banks.push_back({r, bg, b});
+    return banks;
+}
+
+void
+BM_XpuStream(benchmark::State &state)
+{
+    const HbmTiming t = hbm3Timing();
+    const Bytes bytes = static_cast<Bytes>(state.range(0)) * kKiB;
+    double gbps = 0.0;
+    for (auto _ : state) {
+        PseudoChannel ch(t);
+        XpuStreamEngine eng(ch, allBanks(t), bytes);
+        runEngines({&eng});
+        gbps = static_cast<double>(bytes) /
+               psToSec(eng.finishTime()) / 1e9;
+    }
+    state.counters["sim_GBps"] = gbps;
+    state.counters["eff"] = gbps * 1e9 / t.pchPeakBytesPerSec();
+}
+BENCHMARK(BM_XpuStream)->Arg(64)->Arg(512)->Arg(2048);
+
+void
+BM_BundleStream(benchmark::State &state)
+{
+    const HbmTiming t = hbm3Timing();
+    const Bytes bytes = static_cast<Bytes>(state.range(0)) * kKiB;
+    const bool lockstep = state.range(1) != 0;
+    double gbps = 0.0;
+    for (auto _ : state) {
+        PseudoChannel ch(t);
+        BundleStreamEngine eng(ch, 0, 0, bytes, lockstep);
+        runEngines({&eng});
+        gbps = static_cast<double>(bytes) /
+               psToSec(eng.finishTime()) / 1e9;
+    }
+    state.counters["sim_GBps"] = gbps;
+    state.counters["gain_vs_xpu_peak"] =
+        gbps * 1e9 / t.pchPeakBytesPerSec();
+}
+BENCHMARK(BM_BundleStream)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({2048, 0});
+
+void
+BM_ConcurrentCoProcessing(benchmark::State &state)
+{
+    const HbmTiming t = hbm3Timing();
+    const Bytes bytes = 512 * kKiB;
+    double xpu_gbps = 0.0;
+    double pim_gbps = 0.0;
+    for (auto _ : state) {
+        PseudoChannel ch(t);
+        std::vector<XpuStreamEngine::BankRef> rank1;
+        for (int bg = 0; bg < t.bankGroups; ++bg)
+            for (int b = 0; b < t.banksPerGroup; ++b)
+                rank1.push_back({1, bg, b});
+        XpuStreamEngine xpu(ch, rank1, bytes);
+        BundleStreamEngine pim(ch, 0, 0, bytes, false);
+        runEngines({&xpu, &pim});
+        xpu_gbps = static_cast<double>(bytes) /
+                   psToSec(xpu.finishTime()) / 1e9;
+        pim_gbps = static_cast<double>(bytes) /
+                   psToSec(pim.finishTime()) / 1e9;
+    }
+    state.counters["xpu_GBps"] = xpu_gbps;
+    state.counters["pim_GBps"] = pim_gbps;
+}
+BENCHMARK(BM_ConcurrentCoProcessing);
+
+void
+BM_FrFcfsRandom(benchmark::State &state)
+{
+    const HbmTiming t = hbm3Timing();
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(5);
+    double gbps = 0.0;
+    for (auto _ : state) {
+        PseudoChannel ch(t);
+        FrFcfsController ctrl(ch);
+        for (int i = 0; i < n; ++i) {
+            Transaction txn;
+            txn.coord.rank = static_cast<int>(rng.uniformInt(0, 1));
+            txn.coord.bankGroup =
+                static_cast<int>(rng.uniformInt(0, 3));
+            txn.coord.bank =
+                static_cast<int>(rng.uniformInt(0, 3));
+            txn.coord.row = rng.uniformInt(0, 1023);
+            txn.coord.column =
+                static_cast<int>(rng.uniformInt(0, 31));
+            ctrl.enqueue(txn);
+        }
+        const PicoSec end = ctrl.drain();
+        gbps = static_cast<double>(n) * t.columnBytes /
+               psToSec(end) / 1e9;
+    }
+    state.counters["sim_GBps"] = gbps;
+}
+BENCHMARK(BM_FrFcfsRandom)->Arg(1024)->Arg(8192);
+
+void
+BM_Calibration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const DramCalibration cal =
+            calibrateDram(hbm3Timing(), 256 * kKiB);
+        benchmark::DoNotOptimize(cal);
+    }
+}
+BENCHMARK(BM_Calibration);
+
+} // namespace
+} // namespace duplex
+
+BENCHMARK_MAIN();

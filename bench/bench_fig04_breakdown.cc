@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 4(a) reproduction: execution-time breakdown of Mixtral and
+ * GLaM on the GPU system, for decoding-only and mixed stages,
+ * varying Lout and batch size with Lin = 2048.
+ *
+ * The paper's observation to reproduce: MoE and attention dominate
+ * both stage types, with FC/communication small.
+ */
+
+#include "bench_util.hh"
+
+#include "cluster/cluster.hh"
+
+using namespace duplex;
+
+namespace
+{
+
+StageShape
+makeStage(int batch, std::int64_t lin, std::int64_t lout,
+          bool mixed)
+{
+    StageShape s;
+    // Steady state: contexts sit mid-generation on average.
+    const std::int64_t ctx = lin + lout / 2;
+    const int decodes = mixed ? batch - 1 : batch;
+    for (int i = 0; i < decodes; ++i)
+        s.decodeContexts.push_back(ctx);
+    if (mixed)
+        s.prefillLengths.push_back(lin);
+    return s;
+}
+
+void
+printRow(Table &t, const std::string &model, int batch,
+         std::int64_t lout, const char *stage_kind,
+         const StageResult &r)
+{
+    const double total = psToMs(r.time);
+    auto frac = [&](LayerClass cls) {
+        return total > 0.0 ? psToMs(r.slice(cls).time) / total : 0.0;
+    };
+    t.startRow();
+    t.cell(model);
+    t.cell(static_cast<std::int64_t>(batch));
+    t.cell(lout);
+    t.cell(stage_kind);
+    t.cell(frac(LayerClass::Fc), 3);
+    t.cell(frac(LayerClass::AttentionPrefill), 3);
+    t.cell(frac(LayerClass::AttentionDecode), 3);
+    t.cell(frac(LayerClass::Moe), 3);
+    t.cell(frac(LayerClass::Communication), 3);
+    t.cell(total, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 4(a): GPU time breakdown, Lin = 2048");
+    Table t({"Model", "Batch", "Lout", "Stage", "FC",
+             "Attn(Pre)", "Attn(Dec)", "MoE", "Comm",
+             "Stage ms"});
+
+    for (const ModelConfig &model :
+         {mixtralConfig(), glamConfig()}) {
+        for (int batch : {32, 64, 128}) {
+            for (std::int64_t lout : {256, 1024, 4096}) {
+                Cluster cluster(
+                    makeClusterConfig(SystemKind::Gpu, model));
+                printRow(t, model.name, batch, lout, "decode-only",
+                         cluster.executeStage(
+                             makeStage(batch, 2048, lout, false)));
+                printRow(t, model.name, batch, lout, "mixed",
+                         cluster.executeStage(
+                             makeStage(batch, 2048, lout, true)));
+            }
+        }
+    }
+    t.print();
+    std::printf("\nPaper shape: MoE + attention dominate every "
+                "configuration; the attention share grows with "
+                "Lout and batch.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 5 reproduction: (a) decoding-only vs mixed stage ratio,
+ * (b) hetero-system latency vs the 4-GPU baseline, (c) hetero
+ * throughput with its capacity-limited batch.
+ */
+
+#include "bench_util.hh"
+
+using namespace duplex;
+
+int
+main()
+{
+    const ModelConfig model = mixtralConfig();
+
+    banner("Fig. 5(a): stage-type ratio (Mixtral, GPU system)");
+    {
+        Table t({"Batch", "Lin", "Lout", "decode-only", "mixed",
+                 "ratio"});
+        for (int batch : {32, 64, 128}) {
+            for (const auto &[lin, lout] :
+                 std::vector<std::pair<std::int64_t, std::int64_t>>{
+                     {256, 256}, {256, 2048}, {2048, 2048}}) {
+                const SimResult r = runThroughput(
+                    SystemKind::Gpu, model, batch, lin, lout, 1500);
+                t.startRow();
+                t.cell(static_cast<std::int64_t>(batch));
+                t.cell(lin);
+                t.cell(lout);
+                t.cell(r.metrics.decodingOnlyStages);
+                t.cell(r.metrics.mixedStages);
+                t.cell(r.metrics.decodingOnlyRatio(), 3);
+            }
+        }
+        t.print();
+        std::printf("Paper shape: decoding-only stages dominate "
+                    "everywhere.\n");
+    }
+
+    banner("Fig. 5(b): hetero (2 GPU + 2 Logic-PIM) vs 4-GPU "
+           "latency, batch 32");
+    {
+        Table t({"Lin", "Lout", "System", "TBT p50", "TBT p90",
+                 "TBT p99", "T2FT p50", "E2E p50"});
+        for (const auto &[lin, lout] :
+             std::vector<std::pair<std::int64_t, std::int64_t>>{
+                 {256, 256}, {2048, 256}, {2048, 2048}}) {
+            SimResult gpu = runLatency(SystemKind::Gpu, model, 32,
+                                       lin, lout, 96, 8000);
+            SimResult het = runLatency(SystemKind::Hetero, model,
+                                       32, lin, lout, 96, 8000);
+            for (const auto &[name, r] :
+                 std::vector<std::pair<std::string, SimResult *>>{
+                     {"GPU", &gpu}, {"Hetero", &het}}) {
+                t.startRow();
+                t.cell(lin);
+                t.cell(lout);
+                t.cell(name);
+                t.cell(r->metrics.tbtMs.percentile(50), 2);
+                t.cell(r->metrics.tbtMs.percentile(90), 2);
+                t.cell(r->metrics.tbtMs.percentile(99), 2);
+                t.cell(r->metrics.t2ftMs.percentile(50), 1);
+                t.cell(r->metrics.e2eMs.percentile(50), 1);
+            }
+        }
+        t.print();
+        std::printf("Paper shape: hetero improves median TBT but "
+                    "tail TBT / T2FT blow up as Lin grows (weak "
+                    "PIM compute in mixed stages).\n");
+    }
+
+    banner("Fig. 5(c): hetero throughput, batch 128 (capacity "
+           "limited)");
+    {
+        Table t({"Lin", "Lout", "GPU tok/s", "Hetero tok/s",
+                 "normalized", "GPU batch", "Hetero batch"});
+        for (const auto &[lin, lout] :
+             std::vector<std::pair<std::int64_t, std::int64_t>>{
+                 {2048, 2048}, {4096, 4096}, {8192, 4096}}) {
+            const SimResult gpu = runThroughput(
+                SystemKind::Gpu, model, 128, lin, lout, 400);
+            const SimResult het = runThroughput(
+                SystemKind::Hetero, model, 128, lin, lout, 400);
+            t.startRow();
+            t.cell(lin);
+            t.cell(lout);
+            t.cell(gpu.metrics.throughputTokensPerSec(), 0);
+            t.cell(het.metrics.throughputTokensPerSec(), 0);
+            t.cell(het.metrics.throughputTokensPerSec() /
+                       gpu.metrics.throughputTokensPerSec(),
+                   3);
+            t.cell(static_cast<std::int64_t>(gpu.peakBatch));
+            t.cell(static_cast<std::int64_t>(het.peakBatch));
+        }
+        t.print();
+        std::printf("Paper shape: the hetero system's KV capacity "
+                    "shrinks the admitted batch at long "
+                    "sequences, hurting throughput.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 12 reproduction: GLaM latency (TBT p50/p90/p99, T2FT p50,
+ * E2E p50) for (Lin, Lout) from (512, 512) to (2048, 2048) with a
+ * batch size of 64, normalized to the GPU system.
+ */
+
+#include "bench_util.hh"
+
+using namespace duplex;
+
+int
+main()
+{
+    banner("Fig. 12: GLaM latency, batch 64 (normalized to GPU)");
+    const ModelConfig model = glamConfig();
+    const std::vector<SystemKind> systems = {
+        SystemKind::Gpu, SystemKind::Gpu2x, SystemKind::Duplex,
+        SystemKind::DuplexPE, SystemKind::DuplexPEET};
+
+    Table t({"Lin=Lout", "System", "TBT p50", "TBT p90", "TBT p99",
+             "T2FT p50", "E2E p50"});
+    for (std::int64_t len : {512, 1024, 2048}) {
+        SimResult gpu;
+        for (SystemKind kind : systems) {
+            const SimResult r = runLatency(kind, model, 64, len,
+                                           len, 160, 8000);
+            if (kind == SystemKind::Gpu)
+                gpu = r;
+            auto norm = [&](double v, double base) {
+                return base > 0.0 ? v / base : 0.0;
+            };
+            t.startRow();
+            t.cell(len);
+            t.cell(systemName(kind));
+            t.cell(norm(r.metrics.tbtMs.percentile(50),
+                        gpu.metrics.tbtMs.percentile(50)),
+                   3);
+            t.cell(norm(r.metrics.tbtMs.percentile(90),
+                        gpu.metrics.tbtMs.percentile(90)),
+                   3);
+            t.cell(norm(r.metrics.tbtMs.percentile(99),
+                        gpu.metrics.tbtMs.percentile(99)),
+                   3);
+            t.cell(norm(r.metrics.t2ftMs.percentile(50),
+                        gpu.metrics.t2ftMs.percentile(50)),
+                   3);
+            t.cell(norm(r.metrics.e2eMs.percentile(50),
+                        gpu.metrics.e2eMs.percentile(50)),
+                   3);
+        }
+    }
+    t.print();
+    std::printf("\nPaper shape: Duplex cuts median TBT ~58%% vs "
+                "GPU and beats 2xGPU at p50; tails and T2FT need "
+                "+PE+ET to approach 2xGPU; E2E drops ~60%% vs "
+                "GPU.\n");
+    return 0;
+}

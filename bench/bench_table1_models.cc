@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table I reproduction: model configurations and the parameter
+ * counts they imply, next to the paper's published sizes.
+ */
+
+#include "bench_util.hh"
+
+using namespace duplex;
+
+int
+main()
+{
+    banner("Table I: model configurations");
+    Table t({"Model", "Param(paper)", "Param(model)", "#layer",
+             "Hidden", "Interm", "#head", "deggrp", "Nex", "top-k",
+             "KV/token"});
+    const std::vector<std::pair<ModelConfig, std::string>> rows = {
+        {mixtralConfig(), "47B"}, {glamConfig(), "143B"},
+        {grok1Config(), "314B"},  {optConfig(), "66B"},
+        {llama3Config(), "70B"},
+    };
+    for (const auto &[m, paper] : rows) {
+        t.startRow();
+        t.cell(m.name);
+        t.cell(paper);
+        t.cell(formatDouble(m.totalParams() / 1e9, 1) + "B");
+        t.cell(static_cast<std::int64_t>(m.numLayers));
+        t.cell(static_cast<std::int64_t>(m.hidden));
+        t.cell(static_cast<std::int64_t>(m.intermediate));
+        t.cell(static_cast<std::int64_t>(m.numHeads));
+        t.cell(m.numExperts > 0 || m.degGrp > 1
+                   ? std::to_string(m.degGrp) +
+                         (m.degGrp == 1 ? " (MHA)" : " (GQA)")
+                   : "1 (MHA)");
+        t.cell(m.numExperts > 0
+                   ? std::to_string(m.numExperts)
+                   : std::string("-"));
+        t.cell(m.topK > 0 ? std::to_string(m.topK)
+                          : std::string("-"));
+        t.cell(formatDouble(static_cast<double>(
+                                m.kvBytesPerToken()) /
+                                1024.0,
+                            0) +
+               " KiB");
+    }
+    t.print();
+    return 0;
+}

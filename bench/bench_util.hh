@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: standard
+ * sweep configurations and result formatting.
+ */
+
+#ifndef DUPLEX_BENCH_BENCH_UTIL_HH
+#define DUPLEX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+namespace duplex
+{
+
+/** Print a bench banner naming the paper artifact reproduced. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Throughput-sweep simulation: enough stages for a steady state. */
+inline SimResult
+runThroughput(SystemKind system, const ModelConfig &model, int batch,
+              std::int64_t lin, std::int64_t lout,
+              std::int64_t max_stages = 300)
+{
+    SimConfig c;
+    c.system = system;
+    c.model = model;
+    c.maxBatch = batch;
+    c.workload.meanInputLen = lin;
+    c.workload.meanOutputLen = lout;
+    c.numRequests = 4 * batch;
+    c.warmupRequests = batch / 2;
+    c.maxStages = max_stages;
+    return runSimulation(c);
+}
+
+/** Latency-sweep simulation: runs until the requests complete. */
+inline SimResult
+runLatency(SystemKind system, const ModelConfig &model, int batch,
+           std::int64_t lin, std::int64_t lout, int num_requests,
+           std::int64_t max_stages = 20000)
+{
+    SimConfig c;
+    c.system = system;
+    c.model = model;
+    c.maxBatch = batch;
+    c.workload.meanInputLen = lin;
+    c.workload.meanOutputLen = lout;
+    c.numRequests = num_requests;
+    c.warmupRequests = batch / 2;
+    c.maxStages = max_stages;
+    return runSimulation(c);
+}
+
+/** The (Lin, Lout) sweep each model uses in Figs. 11/15. */
+inline std::vector<std::pair<std::int64_t, std::int64_t>>
+lengthSweep(const ModelConfig &model)
+{
+    if (model.name == "GLaM")
+        return {{512, 512}, {1024, 1024}, {2048, 2048}};
+    return {{256, 256}, {1024, 1024}, {4096, 4096}};
+}
+
+} // namespace duplex
+
+#endif // DUPLEX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacity planner: given a model, a target arrival rate and a TBT
+ * SLO, sweep the candidate systems and report the cheapest one (by
+ * device count) that meets the objective.
+ *
+ *   ./capacity_planner --model=glam --qps=8 --tbt-slo=30
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace duplex;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("model", "mixtral | glam | grok1 | opt | llama3",
+                 "mixtral");
+    args.addFlag("qps", "target arrival rate", "8");
+    args.addFlag("lin", "mean prompt length", "2048");
+    args.addFlag("lout", "mean generation length", "512");
+    args.addFlag("tbt-slo", "TBT p99 SLO in ms", "50");
+    args.parse(argc, argv);
+
+    const ModelConfig model = modelByName(args.getString("model"));
+    const double qps = args.getDouble("qps");
+    const double slo = args.getDouble("tbt-slo");
+
+    std::printf("Planning for %s at %.0f req/s (Lin %lld, Lout "
+                "%lld), TBT p99 SLO %.0f ms\n\n",
+                model.name.c_str(), qps,
+                static_cast<long long>(args.getInt("lin")),
+                static_cast<long long>(args.getInt("lout")), slo);
+
+    struct Candidate
+    {
+        SystemKind kind;
+        int devices;
+    };
+    const SystemTopology base = defaultTopology(model);
+    const std::vector<Candidate> candidates = {
+        {SystemKind::Gpu, base.totalDevices()},
+        {SystemKind::Duplex, base.totalDevices()},
+        {SystemKind::DuplexPEET, base.totalDevices()},
+        {SystemKind::Gpu2x, base.totalDevices() * 2},
+    };
+
+    Table t({"System", "devices", "tok/s", "TBT p99 ms",
+             "T2FT p50 ms", "meets SLO"});
+    const Candidate *winner = nullptr;
+    for (const Candidate &cand : candidates) {
+        SimConfig c;
+        c.system = cand.kind;
+        c.model = model;
+        c.maxBatch = 128;
+        c.workload.meanInputLen = args.getInt("lin");
+        c.workload.meanOutputLen = args.getInt("lout");
+        c.workload.qps = qps;
+        c.numRequests = 96;
+        c.warmupRequests = 8;
+        c.maxStages = 40000;
+        const SimResult r = runSimulation(c);
+        const double tbt = r.metrics.tbtMs.percentile(99);
+        const bool ok = tbt <= slo;
+        if (ok && (winner == nullptr ||
+                   cand.devices < winner->devices))
+            winner = &cand;
+        t.startRow();
+        t.cell(systemName(cand.kind));
+        t.cell(static_cast<std::int64_t>(cand.devices));
+        t.cell(r.metrics.throughputTokensPerSec(), 0);
+        t.cell(tbt, 2);
+        t.cell(r.metrics.t2ftMs.percentile(50), 1);
+        t.cell(ok ? "yes" : "no");
+    }
+    t.print();
+    if (winner != nullptr) {
+        std::printf("\nRecommendation: %s with %d devices.\n",
+                    systemName(winner->kind), winner->devices);
+    } else {
+        std::printf("\nNo candidate meets the SLO; lower the load "
+                    "or relax the objective.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: simulate Mixtral serving on a GPU system and on
+ * Duplex, print throughput, latency and energy.
+ *
+ *   ./quickstart --model=mixtral --batch=64 --lin=1024 --lout=1024
+ */
+
+#include <cstdio>
+
+#include "common/argparse.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace duplex;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("model", "mixtral | glam | grok1 | opt | llama3",
+                 "mixtral");
+    args.addFlag("batch", "stage-level batch size", "64");
+    args.addFlag("lin", "mean prompt length", "1024");
+    args.addFlag("lout", "mean generation length", "256");
+    args.addFlag("stages", "stages to simulate", "1500");
+    args.parse(argc, argv);
+
+    const ModelConfig model = modelByName(args.getString("model"));
+    std::printf("Model %s: %.1fB parameters, %d layers, "
+                "%d experts, KV %0.f KiB/token\n",
+                model.name.c_str(), model.totalParams() / 1e9,
+                model.numLayers, model.numExperts,
+                static_cast<double>(model.kvBytesPerToken()) /
+                    1024.0);
+    const SystemTopology topo = defaultTopology(model);
+    std::printf("System: %d node(s) x %d devices\n\n",
+                topo.numNodes, topo.devicesPerNode);
+
+    Table t({"System", "tokens/s", "vs GPU", "TBT p50 ms",
+             "J/token"});
+    double gpu_thr = 0.0;
+    for (SystemKind kind :
+         {SystemKind::Gpu, SystemKind::Duplex, SystemKind::DuplexPE,
+          SystemKind::DuplexPEET}) {
+        SimConfig c;
+        c.system = kind;
+        c.model = model;
+        c.maxBatch = static_cast<int>(args.getInt("batch"));
+        c.workload.meanInputLen = args.getInt("lin");
+        c.workload.meanOutputLen = args.getInt("lout");
+        c.numRequests = 4 * c.maxBatch;
+        c.warmupRequests = c.maxBatch / 2;
+        c.maxStages = args.getInt("stages");
+        const SimResult r = runSimulation(c);
+        const double thr = r.metrics.throughputTokensPerSec();
+        if (kind == SystemKind::Gpu)
+            gpu_thr = thr;
+        t.startRow();
+        t.cell(systemName(kind));
+        t.cell(thr, 0);
+        t.cell(thr / gpu_thr, 2);
+        t.cell(r.metrics.tbtMs.percentile(50), 2);
+        t.cell(r.energyPerTokenJ(), 3);
+    }
+    t.print();
+    return 0;
+}

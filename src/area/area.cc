@@ -1,0 +1,74 @@
+#include "area/area.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+AreaModel::AreaModel(const AreaParams &params)
+    : params_(params)
+{
+}
+
+double
+AreaModel::logicPimPeakFlops() const
+{
+    return 2.0 * params_.gemmModules * params_.macsPerModule *
+           params_.moduleClockHz;
+}
+
+double
+AreaModel::mm2PerMacLogic() const
+{
+    const double macs =
+        static_cast<double>(params_.gemmModules) *
+        params_.macsPerModule;
+    return params_.gemmModulesMm2 / macs;
+}
+
+AreaReport
+AreaModel::logicPim() const
+{
+    AreaReport r;
+    r.computeMm2 = params_.gemmModulesMm2;
+    r.bufferMm2 = params_.buffersMm2;
+    r.softmaxMm2 = params_.softmaxMm2;
+    r.tsvMm2 = params_.tsvMm2;
+    return r;
+}
+
+AreaReport
+AreaModel::bankPim(double peak_flops) const
+{
+    panicIf(peak_flops <= 0.0, "bankPim: peak FLOPs must be positive");
+    const double macs =
+        peak_flops / (2.0 * params_.moduleClockHz);
+    AreaReport r;
+    r.computeMm2 = macs * mm2PerMacLogic() * params_.dramLogicFactor;
+    // Per-bank operand latches replace the big staging buffers;
+    // charge the same SRAM capacity at the DRAM-process factor.
+    r.bufferMm2 = params_.buffersMm2 * params_.dramSramFactor;
+    r.softmaxMm2 = params_.softmaxMm2; // stays on the logic die
+    r.tsvMm2 = 0.0;
+    return r;
+}
+
+AreaReport
+AreaModel::bankGroupPim() const
+{
+    AreaReport r;
+    r.computeMm2 =
+        params_.gemmModulesMm2 * params_.dramLogicFactor;
+    r.bufferMm2 = params_.buffersMm2 * params_.dramSramFactor;
+    r.softmaxMm2 = params_.softmaxMm2; // stays on the logic die
+    r.tsvMm2 = 0.0;
+    return r;
+}
+
+double
+AreaModel::logicPimDieFraction() const
+{
+    return logicPim().totalMm2() / params_.logicDieMm2;
+}
+
+} // namespace duplex

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Silicon area model for PIM variants (Section VII-E).
+ *
+ * Logic-PIM's published per-stack budget is reproduced exactly:
+ * 32 GEMM modules of 512 FP16 MACs at 650 MHz plus an 8 KB buffer
+ * each (3.02 mm^2), two 1 MB staging buffers (2.26 mm^2), a softmax
+ * unit (1.64 mm^2), and 10.89 mm^2 of added TSVs — 17.80 mm^2,
+ * 14.71% of a 121 mm^2 HBM3 logic die.
+ *
+ * Prior-work variants place their units in the DRAM dies, where the
+ * paper (citing UPMEM) assumes logic is 10 x larger for the same
+ * feature size; SRAM macros embedded in DRAM are charged a smaller
+ * factor since DRAM processes do provide dense storage.
+ */
+
+#ifndef DUPLEX_AREA_AREA_HH
+#define DUPLEX_AREA_AREA_HH
+
+namespace duplex
+{
+
+/** Area constants; defaults reproduce the paper's numbers. */
+struct AreaParams
+{
+    // Published Logic-PIM budget, mm^2 per stack.
+    double gemmModulesMm2 = 3.02; //!< 32 x 512 MACs + 8 KB buffers
+    double buffersMm2 = 2.26;     //!< two 1 MB staging buffers
+    double softmaxMm2 = 1.64;     //!< softmax unit incl. 128 KB SRAM
+    double tsvMm2 = 10.89;        //!< added TSVs (22 um pitch, 4x)
+    double logicDieMm2 = 121.0;   //!< HBM3 logic die
+
+    // Process scaling factors for DRAM-die implementations.
+    double dramLogicFactor = 10.0; //!< logic in DRAM process
+    double dramSramFactor = 2.0;   //!< SRAM macros in DRAM process
+
+    // GEMM-module composition (for scaling to other MAC counts).
+    int gemmModules = 32;
+    int macsPerModule = 512;
+    double moduleClockHz = 650e6;
+};
+
+/** Per-variant area summary, mm^2 of added silicon per stack. */
+struct AreaReport
+{
+    double computeMm2 = 0.0;
+    double bufferMm2 = 0.0;
+    double softmaxMm2 = 0.0;
+    double tsvMm2 = 0.0;
+
+    double totalMm2() const
+    {
+        return computeMm2 + bufferMm2 + softmaxMm2 + tsvMm2;
+    }
+};
+
+/** Area model answering Fig. 8 / Section VII-E questions. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const AreaParams &params = AreaParams{});
+
+    const AreaParams &params() const { return params_; }
+
+    /** Peak FP16 FLOPs of the published Logic-PIM configuration. */
+    double logicPimPeakFlops() const;
+
+    /** mm^2 per MAC (7 nm logic, buffer share included). */
+    double mm2PerMacLogic() const;
+
+    /** Logic-PIM: everything on the logic die plus added TSVs. */
+    AreaReport logicPim() const;
+
+    /**
+     * Bank-PIM: in-bank units sized for @p peak_flops in the DRAM
+     * dies; softmax/activation stay on the logic die (Section VI).
+     * No added TSVs.
+     */
+    AreaReport bankPim(double peak_flops) const;
+
+    /**
+     * BankGroup-PIM: Logic-PIM's compute and buffers, but placed in
+     * the DRAM dies at bank groups. No added TSVs.
+     */
+    AreaReport bankGroupPim() const;
+
+    /** Fraction of the logic die taken by Logic-PIM units. */
+    double logicPimDieFraction() const;
+
+  private:
+    AreaParams params_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_AREA_AREA_HH

@@ -1,0 +1,380 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+double
+StageResult::totalEnergyJ() const
+{
+    double total = 0.0;
+    for (const auto &s : byClass)
+        total += s.energy.totalJ();
+    return total;
+}
+
+StageResult &
+StageResult::operator+=(const StageResult &other)
+{
+    time += other.time;
+    for (int i = 0; i < kNumLayerClasses; ++i)
+        byClass[i] += other.byClass[i];
+    return *this;
+}
+
+Cluster::Cluster(const ClusterConfig &config)
+    : cfg_(config),
+      costs_(config.model),
+      plan_(makeShardingPlan(config.model, config.topo,
+                             config.expertPlacement)),
+      device_(makeDevice(config.deviceSpec)),
+      selector_(std::max(1, config.model.numExperts),
+                std::max(1, config.model.topK), config.gatePolicy,
+                config.zipfS),
+      rng_(config.seed)
+{
+    if (cfg_.deviceSpec.hasLowEngine && cfg_.model.numExperts > 0) {
+        const double shard = plan_.expertShardFraction();
+        lut_ = std::make_unique<ExpertTimeLut>(
+            cfg_.deviceSpec.xpu, cfg_.deviceSpec.low,
+            costs_.expertFfn(1).scaled(shard),
+            costs_.expertFfn(2).scaled(shard));
+        device_->setExpertLut(lut_.get());
+    }
+}
+
+int
+Cluster::lastExpertsOnLow() const
+{
+    if (auto *hybrid = dynamic_cast<HybridDevice *>(device_.get()))
+        return hybrid->lastExpertsOnLow();
+    return 0;
+}
+
+KvBudget
+Cluster::kvBudget() const
+{
+    KvBudget budget;
+    budget.deviceCapacity = cfg_.deviceSpec.memCapacity;
+    budget.numDevices = cfg_.topo.totalDevices();
+    budget.weightBytesTotal =
+        weightBytesPerDevice(cfg_.model, cfg_.topo, plan_) *
+        static_cast<Bytes>(budget.numDevices);
+    budget.reservedBytes = cfg_.reservedBytesPerDevice;
+    return budget;
+}
+
+StageShape
+Cluster::nodeShare(const StageShape &stage) const
+{
+    if (cfg_.topo.numNodes <= 1)
+        return stage;
+    StageShape share;
+    for (std::size_t i = 0; i < stage.decodeContexts.size(); ++i)
+        if (i % cfg_.topo.numNodes == 0)
+            share.decodeContexts.push_back(stage.decodeContexts[i]);
+    for (std::size_t i = 0; i < stage.prefillLengths.size(); ++i)
+        if (i % cfg_.topo.numNodes == 0)
+            share.prefillLengths.push_back(stage.prefillLengths[i]);
+    return share;
+}
+
+void
+Cluster::addFc(const OpCost &cost, double scale, StageResult &out)
+{
+    const DeviceTiming t = device_->runHighOpb(cost.scaled(scale));
+    out.time += t.time;
+    auto &slice = out.slice(LayerClass::Fc);
+    slice.time += t.time;
+    const double devices =
+        static_cast<double>(plan_.tpDegree) * plan_.dpDegree;
+    slice.energy.dramJ += t.energy.dramJ * devices;
+    slice.energy.computeJ += t.energy.computeJ * devices;
+}
+
+void
+Cluster::runMoeLayer(std::int64_t global_tokens, StageResult &out)
+{
+    const auto hist = selector_.sample(rng_, global_tokens);
+    const ModelConfig &m = cfg_.model;
+
+    // Group the experts the way the plan places them.
+    int num_groups = 0;
+    int experts_per_group = 0;
+    double shard = plan_.expertShardFraction();
+    int shards_per_group = plan_.expertTpDegree;
+    if (plan_.experts == ExpertPlacement::ExpertParallel) {
+        experts_per_group = std::max(1, plan_.expertsPerDevice);
+        num_groups = m.numExperts / experts_per_group;
+    } else {
+        num_groups = plan_.expertEpNodes;
+        experts_per_group = m.numExperts / num_groups;
+    }
+
+    PicoSec makespan = 0;
+    EnergyBreakdown moe_energy;
+    for (int g = 0; g < num_groups; ++g) {
+        std::vector<ExpertWork> work;
+        work.reserve(experts_per_group);
+        for (int e = g * experts_per_group;
+             e < (g + 1) * experts_per_group; ++e) {
+            ExpertWork w;
+            w.tokens = hist[e];
+            w.cost = costs_.expertFfn(hist[e]).scaled(shard);
+            work.push_back(w);
+        }
+        const DeviceTiming t = device_->runMoe(work);
+        makespan = std::max(makespan, t.time);
+        moe_energy.dramJ += t.energy.dramJ * shards_per_group;
+        moe_energy.computeJ += t.energy.computeJ * shards_per_group;
+    }
+
+    // Gate runs on every device over the node's tokens.
+    const std::int64_t node_tokens =
+        (global_tokens + plan_.dpDegree - 1) / plan_.dpDegree;
+    const DeviceTiming gate_t = device_->runHighOpb(
+        costs_.gate(node_tokens).scaled(plan_.tpShardFraction()));
+
+    out.time += gate_t.time + makespan;
+    auto &slice = out.slice(LayerClass::Moe);
+    slice.time += gate_t.time + makespan;
+    const double devices =
+        static_cast<double>(plan_.tpDegree) * plan_.dpDegree;
+    slice.energy.dramJ +=
+        moe_energy.dramJ + gate_t.energy.dramJ * devices;
+    slice.energy.computeJ +=
+        moe_energy.computeJ + gate_t.energy.computeJ * devices;
+
+    // Collectives: token dispatch + combine (all-to-all) for expert
+    // parallelism; a single all-reduce for expert tensor parallelism
+    // (Section V-B).
+    PicoSec comm = 0;
+    const Bytes token_payload =
+        static_cast<Bytes>(global_tokens) * m.topK * m.hidden *
+        kFp16Bytes;
+    if (plan_.experts == ExpertPlacement::ExpertParallel) {
+        const Bytes per_device =
+            token_payload / cfg_.topo.totalDevices();
+        const LinkSpec &link = plan_.expertEpNodes > 1
+                                   ? cfg_.topo.interNode
+                                   : cfg_.topo.intraNode;
+        const int peers = plan_.expertEpNodes > 1
+                              ? cfg_.topo.numNodes
+                              : cfg_.topo.devicesPerNode;
+        comm += 2 * allToAllTime(per_device, peers, link);
+    } else {
+        const Bytes reduce_bytes = static_cast<Bytes>(node_tokens) *
+                                   m.hidden * kFp16Bytes;
+        comm += allReduceTime(reduce_bytes, plan_.tpDegree,
+                              cfg_.topo.intraNode);
+        if (plan_.expertEpNodes > 1) {
+            const Bytes per_node = token_payload / cfg_.topo.numNodes;
+            comm += 2 * allToAllTime(per_node, cfg_.topo.numNodes,
+                                     cfg_.topo.interNode);
+        }
+    }
+    out.time += comm;
+    out.slice(LayerClass::Communication).time += comm;
+}
+
+StageResult
+Cluster::executeStage(const StageShape &stage)
+{
+    StageResult out;
+    const StageShape node = nodeShare(stage);
+    const std::int64_t node_tokens = node.totalTokens();
+    if (stage.totalTokens() == 0)
+        return out;
+
+    const ModelConfig &m = cfg_.model;
+    const double tp_shard = plan_.tpShardFraction();
+    const double devices =
+        static_cast<double>(plan_.tpDegree) * plan_.dpDegree;
+
+    // Token embedding.
+    addFc(costs_.embedding(node_tokens), tp_shard, out);
+
+    const Bytes reduce_bytes =
+        static_cast<Bytes>(node_tokens) * m.hidden * kFp16Bytes;
+
+    for (int layer = 0; layer < m.numLayers; ++layer) {
+        // QKV generation.
+        addFc(costs_.qkv(node_tokens), tp_shard, out);
+
+        // Attention (decode + prefill groups, possibly co-processed).
+        const AttentionTiming at = device_->runAttention(
+            costs_.attentionDecode(node).scaled(tp_shard),
+            costs_.attentionPrefill(node).scaled(tp_shard));
+        out.time += at.composed;
+        auto &dec = out.slice(LayerClass::AttentionDecode);
+        dec.time += at.decode.time;
+        dec.energy.dramJ += at.decode.energy.dramJ * devices;
+        dec.energy.computeJ += at.decode.energy.computeJ * devices;
+        auto &pre = out.slice(LayerClass::AttentionPrefill);
+        pre.time += at.prefill.time;
+        pre.energy.dramJ += at.prefill.energy.dramJ * devices;
+        pre.energy.computeJ += at.prefill.energy.computeJ * devices;
+
+        // Output projection + residual/layer norms.
+        addFc(costs_.projection(node_tokens), tp_shard, out);
+        addFc(costs_.elementwise(node_tokens), tp_shard, out);
+
+        // All-reduce after the attention block.
+        PicoSec comm = allReduceTime(reduce_bytes, plan_.tpDegree,
+                                     cfg_.topo.intraNode);
+
+        // FFN or MoE.
+        if (m.isMoeLayer(layer)) {
+            runMoeLayer(stage.totalTokens(), out);
+        } else {
+            addFc(costs_.denseFfn(node_tokens), tp_shard, out);
+        }
+
+        // All-reduce after the FFN/MoE block output.
+        comm += allReduceTime(reduce_bytes, plan_.tpDegree,
+                              cfg_.topo.intraNode);
+        out.time += comm;
+        out.slice(LayerClass::Communication).time += comm;
+    }
+
+    // LM head: one next-token logit per decode sequence and per
+    // prefill sequence.
+    const std::int64_t head_tokens =
+        node.decodeTokens() +
+        static_cast<std::int64_t>(node.prefillLengths.size());
+    addFc(costs_.lmHead(head_tokens), tp_shard, out);
+
+    return out;
+}
+
+HeteroCluster::HeteroCluster(const HeteroConfig &config)
+    : cfg_(config),
+      costs_(config.model),
+      energy_(config.gpuSpec.energyParams),
+      selector_(std::max(1, config.model.numExperts),
+                std::max(1, config.model.topK), config.gatePolicy,
+                config.zipfS),
+      rng_(config.seed)
+{
+    fatalIf(!cfg_.pimSpec.hasLowEngine,
+            "HeteroCluster: PIM devices need a low engine");
+}
+
+KvBudget
+HeteroCluster::kvBudget() const
+{
+    // Expert weights and KV cache live on the PIM devices.
+    KvBudget budget;
+    budget.deviceCapacity = cfg_.pimSpec.memCapacity;
+    budget.numDevices = cfg_.numPimDevices;
+    const ModelConfig &m = cfg_.model;
+    double expert_params = 0.0;
+    if (m.numExperts > 0) {
+        expert_params = static_cast<double>(m.numMoeLayers()) *
+                        m.numExperts * m.ffnParams();
+    }
+    budget.weightBytesTotal =
+        static_cast<Bytes>(expert_params) * kFp16Bytes;
+    budget.reservedBytes = cfg_.reservedBytesPerDevice;
+    return budget;
+}
+
+StageResult
+HeteroCluster::executeStage(const StageShape &stage)
+{
+    StageResult out;
+    if (stage.totalTokens() == 0)
+        return out;
+
+    const ModelConfig &m = cfg_.model;
+    const std::int64_t tokens = stage.totalTokens();
+    const double gpu_shard = 1.0 / cfg_.numGpus;
+    const double pim_shard = 1.0 / cfg_.numPimDevices;
+
+    auto run_gpu = [&](const OpCost &cost, LayerClass cls) {
+        const OpCost shard = cost.scaled(gpu_shard);
+        DeviceTiming t =
+            engineRun(cfg_.gpuSpec.xpu, cfg_.gpuSpec.xpuPath,
+                      cfg_.gpuSpec.xpuCls, energy_, shard);
+        out.time += t.time;
+        auto &slice = out.slice(cls);
+        slice.time += t.time;
+        slice.energy.dramJ += t.energy.dramJ * cfg_.numGpus;
+        slice.energy.computeJ += t.energy.computeJ * cfg_.numGpus;
+    };
+    auto run_pim = [&](const OpCost &cost, LayerClass cls) {
+        const OpCost shard = cost.scaled(pim_shard);
+        DeviceTiming t =
+            engineRun(cfg_.pimSpec.low, cfg_.pimSpec.lowPath,
+                      cfg_.pimSpec.lowCls, energy_, shard);
+        out.time += t.time;
+        auto &slice = out.slice(cls);
+        slice.time += t.time;
+        slice.energy.dramJ += t.energy.dramJ * cfg_.numPimDevices;
+        slice.energy.computeJ +=
+            t.energy.computeJ * cfg_.numPimDevices;
+    };
+
+    const Bytes activation_bytes =
+        static_cast<Bytes>(tokens) * m.hidden * kFp16Bytes;
+
+    run_gpu(costs_.embedding(tokens), LayerClass::Fc);
+    for (int layer = 0; layer < m.numLayers; ++layer) {
+        run_gpu(costs_.qkv(tokens), LayerClass::Fc);
+
+        // Activations cross to the PIM devices for attention and
+        // return for the projection.
+        PicoSec comm = 2 * p2pTime(activation_bytes, cfg_.link);
+        run_pim(costs_.attentionDecode(stage),
+                LayerClass::AttentionDecode);
+        // Prefill attention stays on the GPUs (KV is streamed over).
+        run_gpu(costs_.attentionPrefill(stage),
+                LayerClass::AttentionPrefill);
+        run_gpu(costs_.projection(tokens), LayerClass::Fc);
+        run_gpu(costs_.elementwise(tokens), LayerClass::Fc);
+
+        if (m.isMoeLayer(layer)) {
+            // The PIM devices own every expert, in all stages.
+            run_gpu(costs_.gate(tokens), LayerClass::Moe);
+            comm += 2 * p2pTime(activation_bytes, cfg_.link);
+            const auto hist = selector_.sample(rng_, tokens);
+            PicoSec worst = 0;
+            EnergyBreakdown moe_energy;
+            const int per_dev = m.numExperts / cfg_.numPimDevices;
+            for (int d = 0; d < cfg_.numPimDevices; ++d) {
+                PicoSec dev_time = cfg_.pimSpec.low.dispatchOverhead;
+                for (int e = d * per_dev; e < (d + 1) * per_dev;
+                     ++e) {
+                    if (hist[e] == 0)
+                        continue;
+                    const OpCost c = costs_.expertFfn(hist[e]);
+                    dev_time += operatorTimeNoOverhead(
+                        cfg_.pimSpec.low, c.flops, c.bytes);
+                    moe_energy.dramJ += energy_.dramEnergyJ(
+                        cfg_.pimSpec.lowPath, c.bytes);
+                    moe_energy.computeJ += energy_.computeEnergyJ(
+                        cfg_.pimSpec.lowCls, c.flops);
+                }
+                worst = std::max(worst, dev_time);
+            }
+            out.time += worst;
+            auto &slice = out.slice(LayerClass::Moe);
+            slice.time += worst;
+            slice.energy += moe_energy;
+        } else {
+            run_gpu(costs_.denseFfn(tokens), LayerClass::Fc);
+        }
+        out.time += comm;
+        out.slice(LayerClass::Communication).time += comm;
+    }
+    const std::int64_t head_tokens =
+        stage.decodeTokens() +
+        static_cast<std::int64_t>(stage.prefillLengths.size());
+    run_gpu(costs_.lmHead(head_tokens), LayerClass::Fc);
+    return out;
+}
+
+} // namespace duplex

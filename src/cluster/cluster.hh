@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Multi-device stage execution.
+ *
+ * The cluster walks the model's decoder blocks for one batched
+ * stage, applying the sharding plan: tensor parallelism inside a
+ * node (all devices do identical shards, so one representative
+ * device is evaluated), data parallelism across nodes, and expert /
+ * expert-tensor parallelism for MoE layers with the matching
+ * collectives. It returns wall-clock time plus a per-layer-class
+ * time and energy breakdown (Figs. 4(a), 15).
+ *
+ * A separate HeteroCluster models the Section III-B strawman: two
+ * GPUs for high-Op/B work plus two Logic-PIM-only devices owning all
+ * expert weights and the KV cache.
+ */
+
+#ifndef DUPLEX_CLUSTER_CLUSTER_HH
+#define DUPLEX_CLUSTER_CLUSTER_HH
+
+#include <array>
+#include <memory>
+
+#include "core/duplex_device.hh"
+#include "model/kv.hh"
+#include "parallel/collectives.hh"
+#include "parallel/sharding.hh"
+#include "workload/experts.hh"
+
+namespace duplex
+{
+
+/** Number of LayerClass values. */
+constexpr int kNumLayerClasses = 5;
+
+/** Per-class slice of a stage. */
+struct ClassSlice
+{
+    PicoSec time = 0;
+    EnergyBreakdown energy;
+
+    ClassSlice &operator+=(const ClassSlice &other)
+    {
+        time += other.time;
+        energy += other.energy;
+        return *this;
+    }
+};
+
+/** Result of one stage (or an aggregation of stages). */
+struct StageResult
+{
+    PicoSec time = 0;
+    std::array<ClassSlice, kNumLayerClasses> byClass{};
+
+    ClassSlice &slice(LayerClass cls)
+    {
+        return byClass[static_cast<int>(cls)];
+    }
+
+    const ClassSlice &slice(LayerClass cls) const
+    {
+        return byClass[static_cast<int>(cls)];
+    }
+
+    /** Total energy over all classes (joules). */
+    double totalEnergyJ() const;
+
+    StageResult &operator+=(const StageResult &other);
+};
+
+/** Configuration of a homogeneous serving system. */
+struct ClusterConfig
+{
+    ModelConfig model;
+    SystemTopology topo;
+    HybridDeviceSpec deviceSpec;
+    ExpertPlacement expertPlacement = ExpertPlacement::ExpertParallel;
+    GatePolicy gatePolicy = GatePolicy::Uniform;
+    double zipfS = 1.0;
+    std::uint64_t seed = 7;
+
+    /** Activation / scratch reservation per device. */
+    Bytes reservedBytesPerDevice = 1 * kGiB;
+};
+
+/** Homogeneous cluster: every device runs the same spec. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+
+    const ClusterConfig &config() const { return cfg_; }
+    const ShardingPlan &plan() const { return plan_; }
+
+    /** Execute one batched stage; deterministic given the seed. */
+    StageResult executeStage(const StageShape &stage);
+
+    /** KV capacity of the whole system. */
+    KvBudget kvBudget() const;
+
+    /** Largest context-token count the KV cache can hold. */
+    std::int64_t maxKvTokens() const { return kvBudget().maxKvTokens(cfg_.model); }
+
+    /** Experts routed to the low engine in the last MoE layer. */
+    int lastExpertsOnLow() const;
+
+  private:
+    ClusterConfig cfg_;
+    LayerCosts costs_;
+    ShardingPlan plan_;
+    std::unique_ptr<Device> device_;
+    std::unique_ptr<ExpertTimeLut> lut_;
+    ExpertSelector selector_;
+    Rng rng_;
+
+    /** Sequences this node serves under data parallelism. */
+    StageShape nodeShare(const StageShape &stage) const;
+
+    void runMoeLayer(std::int64_t global_tokens, StageResult &out);
+    void addFc(const OpCost &cost, double scale, StageResult &out);
+};
+
+/** Section III-B heterogeneous system: GPUs + PIM-only devices. */
+struct HeteroConfig
+{
+    ModelConfig model;
+    int numGpus = 2;
+    int numPimDevices = 2;
+    HybridDeviceSpec gpuSpec;  //!< xPU side
+    HybridDeviceSpec pimSpec;  //!< provides the low engine
+    LinkSpec link;             //!< GPU <-> PIM interconnect
+    GatePolicy gatePolicy = GatePolicy::Uniform;
+    double zipfS = 1.0;
+    std::uint64_t seed = 7;
+    Bytes reservedBytesPerDevice = 1 * kGiB;
+};
+
+class HeteroCluster
+{
+  public:
+    explicit HeteroCluster(const HeteroConfig &config);
+
+    StageResult executeStage(const StageShape &stage);
+
+    /** KV lives on the PIM devices only. */
+    KvBudget kvBudget() const;
+    std::int64_t maxKvTokens() const
+    {
+        return kvBudget().maxKvTokens(cfg_.model);
+    }
+
+  private:
+    HeteroConfig cfg_;
+    LayerCosts costs_;
+    EnergyModel energy_;
+    ExpertSelector selector_;
+    Rng rng_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_CLUSTER_CLUSTER_HH

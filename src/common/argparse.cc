@@ -1,0 +1,93 @@
+#include "common/argparse.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help,
+                   const std::string &default_value)
+{
+    flags_[name] = Flag{help, default_value};
+}
+
+void
+ArgParser::usage() const
+{
+    std::fprintf(stderr, "usage: %s [flags]\n", program_.c_str());
+    for (const auto &[name, flag] : flags_) {
+        std::fprintf(stderr, "  --%s=%s\n      %s\n", name.c_str(),
+                     flag.value.c_str(), flag.help.c_str());
+    }
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    program_ = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            usage();
+            fatal("positional arguments are not supported: " + arg);
+        }
+        arg = arg.substr(2);
+        std::string name;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            if (i + 1 >= argc) {
+                usage();
+                fatal("flag --" + name + " needs a value");
+            }
+            value = argv[++i];
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            usage();
+            fatal("unknown flag --" + name);
+        }
+        it->second.value = value;
+    }
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    panicIf(it == flags_.end(), "undeclared flag read: " + name);
+    return it->second.value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return std::strtoll(getString(name).c_str(), nullptr, 10);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return std::strtod(getString(name).c_str(), nullptr);
+}
+
+bool
+ArgParser::getBool(const std::string &name) const
+{
+    const std::string v = getString(name);
+    return v == "1" || v == "true" || v == "yes";
+}
+
+} // namespace duplex

@@ -1,0 +1,39 @@
+#include "common/log.hh"
+
+namespace duplex
+{
+
+void
+logMessage(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace duplex

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a core dump / debugger can be attached.
+ * warn()   — something is modeled approximately; execution continues.
+ * inform() — plain status output.
+ */
+
+#ifndef DUPLEX_COMMON_LOG_HH
+#define DUPLEX_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace duplex
+{
+
+/** Internal: emit a tagged message to stderr. */
+void logMessage(const char *tag, const std::string &msg);
+
+/** Exit the process after reporting a user-caused error. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Abort the process after reporting a simulator bug. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a modeling approximation or suspicious condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status. */
+void inform(const std::string &msg);
+
+/**
+ * Check a simulator invariant.
+ *
+ * @param cond Condition that must hold.
+ * @param msg  Explanation printed when it does not.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Check a user-facing precondition. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace duplex
+
+#endif // DUPLEX_COMMON_LOG_HH

@@ -1,0 +1,139 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 mantissa bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "uniformInt: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::int64_t
+Rng::truncatedGaussianInt(double mean, double stddev,
+                          std::int64_t min_value)
+{
+    for (int attempt = 0; attempt < 1024; ++attempt) {
+        const double v = gaussian(mean, stddev);
+        const auto len = static_cast<std::int64_t>(std::llround(v));
+        if (len >= min_value)
+            return len;
+    }
+    // Pathological (mean far below min); clamp rather than spin.
+    return min_value;
+}
+
+double
+Rng::exponential(double rate_per_sec)
+{
+    panicIf(rate_per_sec <= 0.0, "exponential: rate must be positive");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate_per_sec;
+}
+
+std::vector<int>
+Rng::chooseDistinct(int n, int k)
+{
+    panicIf(k > n || k < 0, "chooseDistinct: need 0 <= k <= n");
+    // Floyd's algorithm: O(k) draws, no allocation of [0, n).
+    std::vector<int> chosen;
+    chosen.reserve(k);
+    for (int j = n - k; j < n; ++j) {
+        const int t = static_cast<int>(uniformInt(0, j));
+        bool seen = false;
+        for (int c : chosen) {
+            if (c == t) {
+                seen = true;
+                break;
+            }
+        }
+        chosen.push_back(seen ? j : t);
+    }
+    return chosen;
+}
+
+} // namespace duplex

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * The paper's evaluation (Section VI) samples request lengths from
+ * Gaussian distributions, expert choices uniformly, and request
+ * arrivals from a Poisson process. Everything here is seeded
+ * explicitly so a simulation is reproducible bit-for-bit.
+ */
+
+#ifndef DUPLEX_COMMON_RNG_HH
+#define DUPLEX_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace duplex
+{
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**) with the
+ * distribution helpers the workload layer needs. Not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Positive integer from a truncated Gaussian: resampled until the
+     * value is at least @p min_value. Used for sequence lengths.
+     */
+    std::int64_t truncatedGaussianInt(double mean, double stddev,
+                                      std::int64_t min_value);
+
+    /** Exponential inter-arrival gap for a Poisson process (seconds). */
+    double exponential(double rate_per_sec);
+
+    /**
+     * Choose @p k distinct values uniformly from [0, n). Order is not
+     * significant. Used for top-k expert selection (uniform gate).
+     */
+    std::vector<int> chooseDistinct(int n, int k);
+
+  private:
+    std::uint64_t state_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_COMMON_RNG_HH

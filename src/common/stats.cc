@@ -1,0 +1,88 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+void
+SampleStats::add(double v)
+{
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = false;
+}
+
+void
+SampleStats::merge(const SampleStats &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
+}
+
+double
+SampleStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+void
+SampleStats::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+SampleStats::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+SampleStats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    panicIf(p < 0.0 || p > 100.0, "percentile: p out of [0, 100]");
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+void
+SampleStats::clear()
+{
+    samples_.clear();
+    sum_ = 0.0;
+    sorted_ = true;
+}
+
+} // namespace duplex

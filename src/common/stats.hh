@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sample accumulators and percentile statistics.
+ *
+ * The paper reports p50/p90/p99 token-between-token (TBT) latency,
+ * median time-to-first-token (T2FT), and median end-to-end (E2E)
+ * latency. SampleStats collects raw samples and answers those
+ * queries with linear-interpolated percentiles.
+ */
+
+#ifndef DUPLEX_COMMON_STATS_HH
+#define DUPLEX_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace duplex
+{
+
+/** Accumulates scalar samples; answers mean/min/max/percentile. */
+class SampleStats
+{
+  public:
+    /** Add one observation. */
+    void add(double v);
+
+    /** Append all samples from another accumulator. */
+    void merge(const SampleStats &other);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const;
+
+    /** Largest observation; 0 when empty. */
+    double max() const;
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /**
+     * Percentile in [0, 100] with linear interpolation between order
+     * statistics; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Shorthand for percentile(50). */
+    double median() const { return percentile(50.0); }
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+
+    void ensureSorted() const;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_COMMON_STATS_HH

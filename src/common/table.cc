@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+std::string
+formatDouble(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::startRow()
+{
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+}
+
+void
+Table::cell(const std::string &value)
+{
+    panicIf(rows_.empty(), "Table: cell before startRow");
+    panicIf(rows_.back().size() >= headers_.size(),
+            "Table: too many cells in row");
+    rows_.back().push_back(value);
+}
+
+void
+Table::cell(std::int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(double value, int digits)
+{
+    cell(formatDouble(value, digits));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        out << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            out << " " << v << std::string(widths[c] - v.size(), ' ')
+                << " |";
+        }
+        out << "\n";
+    };
+
+    emit_row(headers_);
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out << std::string(widths[c] + 2, '-') << "|";
+    out << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace duplex

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table writer used by the benchmark harness to print the same
+ * rows/series the paper's figures report.
+ */
+
+#ifndef DUPLEX_COMMON_TABLE_HH
+#define DUPLEX_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace duplex
+{
+
+/**
+ * A column-aligned text table. Columns are declared up front; rows are
+ * added as strings or formatted numbers; print() writes a
+ * markdown-style table to stdout.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append an integer cell. */
+    void cell(std::int64_t value);
+
+    /** Append a floating-point cell with @p digits decimals. */
+    void cell(double value, int digits = 3);
+
+    /** Write the table to stdout. */
+    void print() const;
+
+    /** Render the table as a string (used in tests). */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper: fixed-point with the given decimals. */
+std::string formatDouble(double value, int digits);
+
+} // namespace duplex
+
+#endif // DUPLEX_COMMON_TABLE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Core unit types and conversion helpers.
+ *
+ * All simulated time is kept as integer picoseconds (PicoSec) so DRAM
+ * command timing can be checked exactly; floating-point seconds appear
+ * only at reporting boundaries. Data sizes are bytes in uint64_t,
+ * operation counts (FLOPs) are double (they reach 1e15 per stage).
+ */
+
+#ifndef DUPLEX_COMMON_UNITS_HH
+#define DUPLEX_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace duplex
+{
+
+/** Simulated time in integer picoseconds. */
+using PicoSec = std::int64_t;
+
+/** Data size in bytes. */
+using Bytes = std::uint64_t;
+
+/** Floating-point operation count. */
+using Flops = double;
+
+/** Scale constants for time conversion. */
+constexpr PicoSec kPsPerNs = 1000;
+constexpr PicoSec kPsPerUs = 1000ll * 1000;
+constexpr PicoSec kPsPerMs = 1000ll * 1000 * 1000;
+constexpr PicoSec kPsPerSec = 1000ll * 1000 * 1000 * 1000;
+
+/** Convert nanoseconds (possibly fractional) to picoseconds. */
+constexpr PicoSec
+nsToPs(double ns)
+{
+    return static_cast<PicoSec>(ns * static_cast<double>(kPsPerNs) + 0.5);
+}
+
+/** Convert picoseconds to seconds for reporting. */
+constexpr double
+psToSec(PicoSec ps)
+{
+    return static_cast<double>(ps) / static_cast<double>(kPsPerSec);
+}
+
+/** Convert picoseconds to milliseconds for reporting. */
+constexpr double
+psToMs(PicoSec ps)
+{
+    return static_cast<double>(ps) / static_cast<double>(kPsPerMs);
+}
+
+/** Convert seconds to picoseconds. */
+constexpr PicoSec
+secToPs(double sec)
+{
+    return static_cast<PicoSec>(sec * static_cast<double>(kPsPerSec) + 0.5);
+}
+
+/** Size literals. */
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Decimal rate helpers (bandwidth vendors use powers of ten). */
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+/** FLOP scale helpers. */
+constexpr double kGFLOP = 1e9;
+constexpr double kTFLOP = 1e12;
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, as integer picoseconds,
+ * rounded up so zero-cost transfers cannot be fabricated by rounding.
+ */
+constexpr PicoSec
+transferTimePs(Bytes bytes, double bytes_per_sec)
+{
+    if (bytes == 0)
+        return 0;
+    double sec = static_cast<double>(bytes) / bytes_per_sec;
+    PicoSec ps = static_cast<PicoSec>(sec * static_cast<double>(kPsPerSec));
+    return ps > 0 ? ps : 1;
+}
+
+} // namespace duplex
+
+#endif // DUPLEX_COMMON_UNITS_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Compute-engine specifications and the calibrated-roofline operator
+ * timer.
+ *
+ * An EngineSpec describes one processing-unit class of a device: the
+ * xPU (H100-class), the Logic-PIM GEMM modules on the HBM logic die,
+ * or a prior-work PIM variant (Bank-PIM, BankGroup-PIM). Timing is
+ * computed as max(compute time, memory time) plus a fixed dispatch
+ * overhead; the paper models compute the same way ("timing data is
+ * calculated considering the number and the frequency of the
+ * computing units") while memory time rests on the bandwidth the
+ * cycle-level DRAM model sustains (dram/calibrate).
+ */
+
+#ifndef DUPLEX_COMPUTE_ENGINE_HH
+#define DUPLEX_COMPUTE_ENGINE_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "compute/gemm.hh"
+
+namespace duplex
+{
+
+/** One class of processing units and the bandwidth feeding it. */
+struct EngineSpec
+{
+    std::string name = "engine";
+
+    /** Peak FP16 FLOPs per second. */
+    double peakFlops = 0.0;
+
+    /** Achievable fraction of peak on dense GEMM. */
+    double computeEff = 1.0;
+
+    /** Sustained DRAM bytes per second available to this engine. */
+    double memBps = 0.0;
+
+    /** Fixed per-operator dispatch cost (kernel launch / PIM cmd). */
+    PicoSec dispatchOverhead = 0;
+
+    /** Effective FLOPs per second after efficiency. */
+    double effectiveFlops() const { return peakFlops * computeEff; }
+
+    /** Engine's balance point in Op/B. */
+    double ridgeOpPerByte() const
+    {
+        return memBps > 0.0 ? effectiveFlops() / memBps : 0.0;
+    }
+};
+
+/**
+ * Calibrated-roofline time for an operator with the given FLOPs and
+ * DRAM traffic on @p spec, including dispatch overhead.
+ */
+PicoSec operatorTime(const EngineSpec &spec, Flops flops, Bytes bytes);
+
+/** Convenience wrapper for a GEMM shape. */
+PicoSec gemmTime(const EngineSpec &spec, const GemmShape &shape);
+
+/**
+ * Time without the dispatch overhead; used when several operators
+ * are fused into one dispatch (e.g. a fused expert FFN).
+ */
+PicoSec operatorTimeNoOverhead(const EngineSpec &spec, Flops flops,
+                               Bytes bytes);
+
+} // namespace duplex
+
+#endif // DUPLEX_COMPUTE_ENGINE_HH

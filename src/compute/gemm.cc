@@ -1,0 +1,2 @@
+// GemmShape is header-only; this translation unit anchors the target.
+#include "compute/gemm.hh"

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GEMM shape arithmetic: FLOPs, DRAM traffic, and arithmetic
+ * intensity (Op/B), the quantity the whole paper pivots on.
+ *
+ * Conventions: C[m x n] = A[m x k] * B[k x n] with FP16 operands
+ * (2 bytes). For LLM FC layers, B is the weight matrix; for
+ * attention, B is the KV cache. Op/B here counts all three operand
+ * tensors, so a weight-dominated GEMV (m = 1) lands just under 1 and
+ * grouped-query attention with group degree g lands just under g,
+ * matching Section III-A.
+ */
+
+#ifndef DUPLEX_COMPUTE_GEMM_HH
+#define DUPLEX_COMPUTE_GEMM_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace duplex
+{
+
+/** Bytes per FP16 element. */
+constexpr Bytes kFp16Bytes = 2;
+
+/** Dimensions of one GEMM. */
+struct GemmShape
+{
+    std::int64_t m = 0; //!< rows of A / C (tokens)
+    std::int64_t k = 0; //!< inner dimension
+    std::int64_t n = 0; //!< columns of B / C
+
+    /** Multiply-accumulate FLOPs (2 per MAC). */
+    Flops flops() const
+    {
+        return 2.0 * static_cast<double>(m) *
+               static_cast<double>(k) * static_cast<double>(n);
+    }
+
+    /** Bytes of the stationary operand (weights / KV). */
+    Bytes weightBytes() const
+    {
+        return static_cast<Bytes>(k) * static_cast<Bytes>(n) *
+               kFp16Bytes;
+    }
+
+    /** Bytes of the streaming input operand. */
+    Bytes inputBytes() const
+    {
+        return static_cast<Bytes>(m) * static_cast<Bytes>(k) *
+               kFp16Bytes;
+    }
+
+    /** Bytes of the output operand. */
+    Bytes outputBytes() const
+    {
+        return static_cast<Bytes>(m) * static_cast<Bytes>(n) *
+               kFp16Bytes;
+    }
+
+    /** Total DRAM traffic assuming no on-chip reuse of operands. */
+    Bytes trafficBytes() const
+    {
+        return weightBytes() + inputBytes() + outputBytes();
+    }
+
+    /** Arithmetic intensity in FLOPs per DRAM byte. */
+    double opPerByte() const
+    {
+        const Bytes traffic = trafficBytes();
+        if (traffic == 0)
+            return 0.0;
+        return flops() / static_cast<double>(traffic);
+    }
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_COMPUTE_GEMM_HH

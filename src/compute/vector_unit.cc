@@ -1,0 +1,40 @@
+#include "compute/vector_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+PicoSec
+vectorOpTime(const VectorUnitSpec &unit, const EngineSpec &mem,
+             double elems)
+{
+    if (elems <= 0.0)
+        return 0;
+    panicIf(unit.elemsPerSec <= 0.0,
+            "vectorOpTime: unit '" + unit.name + "' has no pipe");
+    const double pipe_sec = elems / unit.elemsPerSec;
+    const double mem_sec =
+        elems * unit.bytesPerElem / mem.memBps;
+    const double sec = std::max(pipe_sec, mem_sec);
+    const auto ps = static_cast<PicoSec>(
+        sec * static_cast<double>(kPsPerSec) + 0.5);
+    return std::max<PicoSec>(ps, 1);
+}
+
+Bytes
+vectorOpBytes(const VectorUnitSpec &unit, double elems)
+{
+    return static_cast<Bytes>(elems * unit.bytesPerElem + 0.5);
+}
+
+Flops
+vectorOpFlops(const VectorUnitSpec &unit, double elems)
+{
+    return elems * unit.flopsPerElem;
+}
+
+} // namespace duplex

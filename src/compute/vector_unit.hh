@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Softmax and activation vector units (Fig. 7(c)).
+ *
+ * Logic-PIM carries dedicated softmax and activation modules on the
+ * logic die; the xPU has its own SFUs. Element-wise work is almost
+ * always bandwidth bound, so the timer is a roofline over an
+ * elements-per-second pipe with the memory system as the other leg.
+ */
+
+#ifndef DUPLEX_COMPUTE_VECTOR_UNIT_HH
+#define DUPLEX_COMPUTE_VECTOR_UNIT_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "compute/engine.hh"
+
+namespace duplex
+{
+
+/** Throughput description of a softmax/activation pipeline. */
+struct VectorUnitSpec
+{
+    std::string name = "vector";
+
+    /** Elements processed per second at peak. */
+    double elemsPerSec = 0.0;
+
+    /** FLOPs charged per element (exp/div/mul chains). */
+    double flopsPerElem = 5.0;
+
+    /** Bytes moved per element (read + write, FP16). */
+    double bytesPerElem = 2.0 * kFp16Bytes;
+};
+
+/**
+ * Time for an element-wise pass over @p elems elements, bounded by
+ * both the unit pipe and the engine's memory bandwidth.
+ */
+PicoSec vectorOpTime(const VectorUnitSpec &unit, const EngineSpec &mem,
+                     double elems);
+
+/** DRAM traffic of one element-wise pass (for energy accounting). */
+Bytes vectorOpBytes(const VectorUnitSpec &unit, double elems);
+
+/** FLOPs of one element-wise pass. */
+Flops vectorOpFlops(const VectorUnitSpec &unit, double elems);
+
+} // namespace duplex
+
+#endif // DUPLEX_COMPUTE_VECTOR_UNIT_HH

@@ -1,0 +1,188 @@
+#include "core/duplex_device.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+HybridDeviceSpec
+duplexDeviceSpec(const HbmTiming &timing, const DramCalibration &cal,
+                 bool co_processing)
+{
+    return pimVariantDeviceSpec(PimVariant::LogicPim, timing, cal,
+                                co_processing);
+}
+
+HybridDeviceSpec
+pimVariantDeviceSpec(PimVariant variant, const HbmTiming &timing,
+                     const DramCalibration &cal, bool co_processing)
+{
+    HybridDeviceSpec spec = h100DeviceSpec(timing, cal);
+    spec.name = std::string("Duplex(") + pimVariantName(variant) + ")";
+    spec.hasLowEngine = true;
+    switch (variant) {
+      case PimVariant::LogicPim:
+        spec.low = logicPimEngine(timing, cal, spec.numStacks);
+        break;
+      case PimVariant::BankPim:
+        spec.low = bankPimEngine(timing, cal, spec.numStacks);
+        break;
+      case PimVariant::BankGroupPim:
+        spec.low = bankGroupPimEngine(timing, cal, spec.numStacks);
+        break;
+      default:
+        panic("unknown PIM variant");
+    }
+    spec.lowPath = pimVariantPath(variant);
+    spec.lowCls = pimVariantClass(variant);
+    spec.coProcessing = co_processing;
+    return spec;
+}
+
+std::unique_ptr<Device>
+makeDevice(const HybridDeviceSpec &spec)
+{
+    if (spec.hasLowEngine)
+        return std::make_unique<HybridDevice>(spec);
+    return std::make_unique<GpuDevice>(spec);
+}
+
+HybridDevice::HybridDevice(const HybridDeviceSpec &spec)
+    : spec_(spec), energy_(spec.energyParams)
+{
+    panicIf(!spec_.hasLowEngine,
+            "HybridDevice requires a low-Op/B engine");
+}
+
+DeviceTiming
+HybridDevice::onXpu(const OpCost &cost)
+{
+    return engineRun(spec_.xpu, spec_.xpuPath, spec_.xpuCls, energy_,
+                     cost);
+}
+
+DeviceTiming
+HybridDevice::onLow(const OpCost &cost)
+{
+    return engineRun(spec_.low, spec_.lowPath, spec_.lowCls, energy_,
+                     cost);
+}
+
+DeviceTiming
+HybridDevice::onBest(const OpCost &cost)
+{
+    if (cost.flops <= 0.0 && cost.bytes == 0)
+        return {};
+    const PicoSec t_xpu =
+        operatorTime(spec_.xpu, cost.flops, cost.bytes);
+    const PicoSec t_low =
+        operatorTime(spec_.low, cost.flops, cost.bytes);
+    return t_low < t_xpu ? onLow(cost) : onXpu(cost);
+}
+
+DeviceTiming
+HybridDevice::runHighOpb(const OpCost &cost)
+{
+    return onXpu(cost);
+}
+
+AttentionTiming
+HybridDevice::runAttention(const OpCost &decode, const OpCost &prefill)
+{
+    const bool have_decode = decode.bytes > 0 || decode.flops > 0.0;
+    const bool have_prefill =
+        prefill.bytes > 0 || prefill.flops > 0.0;
+
+    AttentionTiming t;
+    if (spec_.coProcessing && have_decode && have_prefill) {
+        // Decode attention on the low engine concurrent with
+        // prefill attention on the xPU (Section V-B).
+        t.decode = onLow(decode);
+        t.prefill = onXpu(prefill);
+        t.composed =
+            coProcessedAttentionTime(t.decode.time, t.prefill.time);
+        return t;
+    }
+
+    if (have_decode)
+        t.decode = onBest(decode);
+    if (have_prefill)
+        t.prefill = onBest(prefill);
+    t.composed = t.decode.time + t.prefill.time;
+    return t;
+}
+
+DeviceTiming
+HybridDevice::runMoe(const std::vector<ExpertWork> &experts)
+{
+    lastExpertsOnLow_ = 0;
+    // Aggregate the active experts once for the non-co-processing
+    // paths.
+    std::vector<const ExpertWork *> active;
+    active.reserve(experts.size());
+    for (const auto &e : experts)
+        if (e.tokens > 0)
+            active.push_back(&e);
+    if (active.empty())
+        return {};
+
+    if (!spec_.coProcessing || lut_ == nullptr) {
+        // Engine selection for the whole layer by total time.
+        PicoSec t_xpu = spec_.xpu.dispatchOverhead;
+        PicoSec t_low = spec_.low.dispatchOverhead;
+        for (const auto *e : active) {
+            t_xpu += operatorTimeNoOverhead(spec_.xpu, e->cost.flops,
+                                            e->cost.bytes);
+            t_low += operatorTimeNoOverhead(spec_.low, e->cost.flops,
+                                            e->cost.bytes);
+        }
+        const bool use_low = t_low < t_xpu;
+        DeviceTiming total;
+        total.time = use_low ? t_low : t_xpu;
+        if (use_low)
+            lastExpertsOnLow_ = static_cast<int>(active.size());
+        for (const auto *e : active) {
+            if (use_low) {
+                total.energy.dramJ += energy_.dramEnergyJ(
+                    spec_.lowPath, e->cost.bytes);
+                total.energy.computeJ += energy_.computeEnergyJ(
+                    spec_.lowCls, e->cost.flops);
+            } else {
+                total.energy.dramJ += energy_.dramEnergyJ(
+                    spec_.xpuPath, e->cost.bytes);
+                total.energy.computeJ += energy_.computeEnergyJ(
+                    spec_.xpuCls, e->cost.flops);
+            }
+        }
+        return total;
+    }
+
+    // Expert co-processing: lookup-table prefix search.
+    std::vector<ExpertWork> work;
+    work.reserve(active.size());
+    for (const auto *e : active)
+        work.push_back(*e);
+    const ExpertPartition part =
+        partitionExperts(work, *lut_, spec_.xpu, spec_.low);
+    lastExpertsOnLow_ = part.numOnLow;
+
+    DeviceTiming total;
+    total.time = part.makespan();
+    for (int i = 0; i < static_cast<int>(part.sorted.size()); ++i) {
+        const auto &e = part.sorted[i];
+        if (i < part.numOnLow) {
+            total.energy.dramJ +=
+                energy_.dramEnergyJ(spec_.lowPath, e.cost.bytes);
+            total.energy.computeJ +=
+                energy_.computeEnergyJ(spec_.lowCls, e.cost.flops);
+        } else {
+            total.energy.dramJ +=
+                energy_.dramEnergyJ(spec_.xpuPath, e.cost.bytes);
+            total.energy.computeJ +=
+                energy_.computeEnergyJ(spec_.xpuCls, e.cost.flops);
+        }
+    }
+    return total;
+}
+
+} // namespace duplex

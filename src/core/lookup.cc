@@ -1,0 +1,70 @@
+#include "core/lookup.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+ExpertTimeLut::ExpertTimeLut(const EngineSpec &xpu,
+                             const EngineSpec &low,
+                             const OpCost &cost_one,
+                             const OpCost &cost_two,
+                             std::int64_t max_tokens)
+    : xpu_(xpu), low_(low)
+{
+    panicIf(max_tokens < 1, "ExpertTimeLut: need max_tokens >= 1");
+    perToken_.flops = cost_two.flops - cost_one.flops;
+    perToken_.bytes = cost_two.bytes - cost_one.bytes;
+    base_.flops = cost_one.flops - perToken_.flops;
+    base_.bytes = cost_one.bytes - perToken_.bytes;
+
+    xpuTable_.resize(max_tokens + 1);
+    lowTable_.resize(max_tokens + 1);
+    xpuTable_[0] = 0;
+    lowTable_[0] = 0;
+    for (std::int64_t t = 1; t <= max_tokens; ++t) {
+        const OpCost c = expertCost(t);
+        xpuTable_[t] =
+            operatorTimeNoOverhead(xpu_, c.flops, c.bytes);
+        lowTable_[t] =
+            operatorTimeNoOverhead(low_, c.flops, c.bytes);
+    }
+}
+
+OpCost
+ExpertTimeLut::expertCost(std::int64_t tokens) const
+{
+    if (tokens <= 0)
+        return {};
+    OpCost c;
+    c.flops = base_.flops +
+              perToken_.flops * static_cast<double>(tokens);
+    c.bytes = base_.bytes +
+              static_cast<Bytes>(perToken_.bytes) *
+                  static_cast<Bytes>(tokens);
+    return c;
+}
+
+PicoSec
+ExpertTimeLut::xpuTime(std::int64_t tokens) const
+{
+    if (tokens <= 0)
+        return 0;
+    if (tokens <= maxTokens())
+        return xpuTable_[tokens];
+    const OpCost c = expertCost(tokens);
+    return operatorTimeNoOverhead(xpu_, c.flops, c.bytes);
+}
+
+PicoSec
+ExpertTimeLut::lowTime(std::int64_t tokens) const
+{
+    if (tokens <= 0)
+        return 0;
+    if (tokens <= maxTokens())
+        return lowTable_[tokens];
+    const OpCost c = expertCost(tokens);
+    return operatorTimeNoOverhead(low_, c.flops, c.bytes);
+}
+
+} // namespace duplex

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Expert-time lookup table (Section V-B).
+ *
+ * "Duplex preliminarily estimates and stores the processing times
+ * for experts in both xPU and Logic-PIM, depending on the number of
+ * processed tokens. At runtime, Duplex uses this lookup table to
+ * determine which experts to process in Logic-PIM."
+ *
+ * Expert FFN cost is affine in the token count (constant weight
+ * traffic plus per-token activations), so the table is built from
+ * two probe costs and answers in O(1); token counts beyond the table
+ * fall back to the exact roofline.
+ */
+
+#ifndef DUPLEX_CORE_LOOKUP_HH
+#define DUPLEX_CORE_LOOKUP_HH
+
+#include <vector>
+
+#include "compute/engine.hh"
+#include "model/layers.hh"
+
+namespace duplex
+{
+
+/** Precomputed expert-FFN times on both engines of a device. */
+class ExpertTimeLut
+{
+  public:
+    /**
+     * @param xpu        High-Op/B engine.
+     * @param low        Low-Op/B engine.
+     * @param cost_one   Expert cost at one token (per-device shard).
+     * @param cost_two   Expert cost at two tokens.
+     * @param max_tokens Largest tabulated token count.
+     */
+    ExpertTimeLut(const EngineSpec &xpu, const EngineSpec &low,
+                  const OpCost &cost_one, const OpCost &cost_two,
+                  std::int64_t max_tokens = 8192);
+
+    /** Expert cost model: affine reconstruction. */
+    OpCost expertCost(std::int64_t tokens) const;
+
+    /** Time on the high-Op/B engine, no dispatch overhead. */
+    PicoSec xpuTime(std::int64_t tokens) const;
+
+    /** Time on the low-Op/B engine, no dispatch overhead. */
+    PicoSec lowTime(std::int64_t tokens) const;
+
+    std::int64_t maxTokens() const
+    {
+        return static_cast<std::int64_t>(xpuTable_.size()) - 1;
+    }
+
+  private:
+    EngineSpec xpu_;
+    EngineSpec low_;
+    OpCost base_;     //!< cost at zero tokens (weight traffic)
+    OpCost perToken_; //!< marginal cost per token
+    std::vector<PicoSec> xpuTable_;
+    std::vector<PicoSec> lowTable_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_CORE_LOOKUP_HH

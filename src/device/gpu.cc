@@ -1,0 +1,80 @@
+#include "device/gpu.hh"
+
+namespace duplex
+{
+
+EngineSpec
+h100Engine(const HbmTiming &timing, const DramCalibration &cal,
+           int num_stacks)
+{
+    EngineSpec e;
+    e.name = "xPU";
+    e.peakFlops = 990e12;
+    e.computeEff = 0.75;
+    e.memBps = cal.xpuStackBps(timing) * num_stacks;
+    e.dispatchOverhead = 2 * kPsPerUs;
+    return e;
+}
+
+HybridDeviceSpec
+h100DeviceSpec(const HbmTiming &timing, const DramCalibration &cal)
+{
+    HybridDeviceSpec spec;
+    spec.name = "GPU";
+    spec.xpu = h100Engine(timing, cal);
+    spec.hasLowEngine = false;
+    spec.numStacks = 5;
+    spec.memCapacity = static_cast<Bytes>(spec.numStacks) * 16 * kGiB;
+    return spec;
+}
+
+GpuDevice::GpuDevice(const HybridDeviceSpec &spec)
+    : spec_(spec), energy_(spec.energyParams)
+{
+}
+
+DeviceTiming
+GpuDevice::runHighOpb(const OpCost &cost)
+{
+    return engineRun(spec_.xpu, spec_.xpuPath, spec_.xpuCls, energy_,
+                     cost);
+}
+
+AttentionTiming
+GpuDevice::runAttention(const OpCost &decode, const OpCost &prefill)
+{
+    AttentionTiming t;
+    t.decode = engineRun(spec_.xpu, spec_.xpuPath, spec_.xpuCls,
+                         energy_, decode);
+    t.prefill = engineRun(spec_.xpu, spec_.xpuPath, spec_.xpuCls,
+                          energy_, prefill);
+    t.composed = t.decode.time + t.prefill.time;
+    return t;
+}
+
+DeviceTiming
+GpuDevice::runMoe(const std::vector<ExpertWork> &experts)
+{
+    // Grouped-GEMM execution: one dispatch for the group, experts
+    // processed back to back.
+    DeviceTiming total;
+    bool any = false;
+    for (const auto &e : experts) {
+        if (e.tokens == 0)
+            continue;
+        any = true;
+        DeviceTiming t;
+        t.time = operatorTimeNoOverhead(spec_.xpu, e.cost.flops,
+                                        e.cost.bytes);
+        t.energy.dramJ =
+            energy_.dramEnergyJ(spec_.xpuPath, e.cost.bytes);
+        t.energy.computeJ =
+            energy_.computeEnergyJ(spec_.xpuCls, e.cost.flops);
+        total += t;
+    }
+    if (any)
+        total.time += spec_.xpu.dispatchOverhead;
+    return total;
+}
+
+} // namespace duplex

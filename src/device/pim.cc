@@ -1,0 +1,122 @@
+#include "device/pim.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+const char *
+pimVariantName(PimVariant v)
+{
+    switch (v) {
+      case PimVariant::LogicPim:
+        return "Logic-PIM";
+      case PimVariant::BankPim:
+        return "Bank-PIM";
+      case PimVariant::BankGroupPim:
+        return "BankGroup-PIM";
+      default:
+        return "?";
+    }
+}
+
+EngineSpec
+logicPimEngine(const HbmTiming &timing, const DramCalibration &cal,
+               int num_stacks)
+{
+    EngineSpec e;
+    e.name = "Logic-PIM";
+    // 32 GEMM modules x 512 FP16 MACs x 650 MHz per stack
+    // (Section VII-E) = 21.3 TFLOPS per stack, 8 Op/B against the
+    // provisioned 4x bandwidth.
+    e.peakFlops = 2.0 * 32 * 512 * 650e6 * num_stacks;
+    e.computeEff = 1.0;
+    e.memBps = cal.pimStackBps(timing) * num_stacks;
+    e.dispatchOverhead = 1 * kPsPerUs;
+    return e;
+}
+
+EngineSpec
+bankPimEngine(const HbmTiming &timing, const DramCalibration &cal,
+              int num_stacks)
+{
+    EngineSpec e;
+    e.name = "Bank-PIM";
+    const double provisioned =
+        16.0 * timing.stackPeakBytesPerSec() * num_stacks;
+    e.peakFlops = provisioned * 1.0; // peak Op/B of 1
+    e.computeEff = 1.0;
+    e.memBps = provisioned * cal.pimStaggeredEff;
+    e.dispatchOverhead = 1 * kPsPerUs;
+    return e;
+}
+
+EngineSpec
+bankGroupPimEngine(const HbmTiming &timing, const DramCalibration &cal,
+                   int num_stacks)
+{
+    EngineSpec e = logicPimEngine(timing, cal, num_stacks);
+    e.name = "BankGroup-PIM";
+    return e;
+}
+
+DramPath
+pimVariantPath(PimVariant v)
+{
+    switch (v) {
+      case PimVariant::LogicPim:
+        return DramPath::LogicDie;
+      case PimVariant::BankPim:
+        return DramPath::BankLocal;
+      case PimVariant::BankGroupPim:
+        return DramPath::BankGroup;
+      default:
+        panic("unknown PIM variant");
+    }
+}
+
+ComputeClass
+pimVariantClass(PimVariant v)
+{
+    switch (v) {
+      case PimVariant::LogicPim:
+        return ComputeClass::LogicPim;
+      case PimVariant::BankPim:
+        return ComputeClass::BankPim;
+      case PimVariant::BankGroupPim:
+        return ComputeClass::BankGroupPim;
+      default:
+        panic("unknown PIM variant");
+    }
+}
+
+PimEngineDesc
+pimVariantDesc(PimVariant v, const HbmTiming &timing,
+               const DramCalibration &cal, const AreaModel &area)
+{
+    PimEngineDesc d;
+    d.name = pimVariantName(v);
+    d.path = pimVariantPath(v);
+    d.cls = pimVariantClass(v);
+    switch (v) {
+      case PimVariant::LogicPim:
+        d.engine = logicPimEngine(timing, cal, 1);
+        d.areaMm2 = area.logicPim().totalMm2();
+        break;
+      case PimVariant::BankPim:
+        d.engine = bankPimEngine(timing, cal, 1);
+        d.areaMm2 = area.bankPim(d.engine.peakFlops).totalMm2();
+        break;
+      case PimVariant::BankGroupPim:
+        d.engine = bankGroupPimEngine(timing, cal, 1);
+        d.areaMm2 = area.bankGroupPim().totalMm2();
+        break;
+      default:
+        panic("unknown PIM variant");
+    }
+    // Per-stack engines keep the per-operator dispatch out of EDAP.
+    d.engine.dispatchOverhead = 0;
+    return d;
+}
+
+} // namespace duplex

@@ -1,0 +1,57 @@
+#include "dram/address.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+AddressMap::AddressMap(const HbmTiming &timing)
+    : timing_(timing)
+{
+}
+
+DramCoord
+AddressMap::decode(std::uint64_t addr) const
+{
+    panicIf(addr % timing_.columnBytes != 0,
+            "AddressMap::decode: address not column aligned");
+    std::uint64_t unit = addr / timing_.columnBytes;
+
+    DramCoord c;
+    // Low to high: column, pch, bank group, bank, rank, row.
+    c.column = static_cast<int>(unit % timing_.columnsPerRow());
+    unit /= timing_.columnsPerRow();
+    c.pch = static_cast<int>(unit % timing_.pchPerStack);
+    unit /= timing_.pchPerStack;
+    c.bankGroup = static_cast<int>(unit % timing_.bankGroups);
+    unit /= timing_.bankGroups;
+    c.bank = static_cast<int>(unit % timing_.banksPerGroup);
+    unit /= timing_.banksPerGroup;
+    c.rank = static_cast<int>(unit % timing_.ranksPerPch);
+    unit /= timing_.ranksPerPch;
+    c.row = static_cast<std::int64_t>(unit);
+    return c;
+}
+
+std::uint64_t
+AddressMap::encode(const DramCoord &coord) const
+{
+    std::uint64_t unit = static_cast<std::uint64_t>(coord.row);
+    unit = unit * timing_.ranksPerPch + coord.rank;
+    unit = unit * timing_.banksPerGroup + coord.bank;
+    unit = unit * timing_.bankGroups + coord.bankGroup;
+    unit = unit * timing_.pchPerStack + coord.pch;
+    unit = unit * timing_.columnsPerRow() + coord.column;
+    return unit * timing_.columnBytes;
+}
+
+std::uint64_t
+AddressMap::capacityBytes(std::int64_t rows_per_bank) const
+{
+    const std::uint64_t banks =
+        static_cast<std::uint64_t>(timing_.pchPerStack) *
+        timing_.ranksPerPch * timing_.banksPerRank();
+    return banks * rows_per_bank * timing_.rowBytes;
+}
+
+} // namespace duplex

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Physical address decomposition for one HBM stack.
+ *
+ * Two concerns live here:
+ *  - a bijective linear-address <-> coordinate mapping used by the
+ *    controller for arbitrary access patterns (column bits lowest,
+ *    then pseudo channel, bank group, bank, rank, row — maximizing
+ *    channel/bank parallelism for streams), and
+ *  - the bundle index (Section V-C): the four bundle-indexed memory
+ *    spaces that let xPU and Logic-PIM operate without bank
+ *    conflicts.
+ */
+
+#ifndef DUPLEX_DRAM_ADDRESS_HH
+#define DUPLEX_DRAM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace duplex
+{
+
+/** Coordinates of one column burst inside a stack. */
+struct DramCoord
+{
+    int pch = 0;
+    int rank = 0;
+    int bankGroup = 0;
+    int bank = 0;       //!< bank index inside its group, 0..3
+    std::int64_t row = 0;
+    int column = 0;
+
+    bool operator==(const DramCoord &other) const = default;
+
+    /**
+     * Bundle this coordinate belongs to: banks {0,1} of each group
+     * form the rank's bundle 0, banks {2,3} bundle 1; globally
+     * rank * 2 + half, in 0..3.
+     */
+    int bundleIndex() const { return rank * 2 + (bank >= 2 ? 1 : 0); }
+};
+
+/** Linear <-> coordinate mapping for a stack. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const HbmTiming &timing);
+
+    /** Decode a stack-local byte address (must be column-aligned). */
+    DramCoord decode(std::uint64_t addr) const;
+
+    /** Encode coordinates back to a stack-local byte address. */
+    std::uint64_t encode(const DramCoord &coord) const;
+
+    /** Capacity of the stack implied by @p rows_per_bank rows. */
+    std::uint64_t capacityBytes(std::int64_t rows_per_bank) const;
+
+  private:
+    HbmTiming timing_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_ADDRESS_HH

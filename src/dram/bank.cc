@@ -1,0 +1,100 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+Bank::Bank(const HbmTiming *timing)
+    : timing_(timing)
+{
+}
+
+PicoSec
+Bank::earliestAct(PicoSec now) const
+{
+    panicIf(state_ != State::Precharged, "ACT to an active bank");
+    return std::max(now, prechargedAt_ + timing_->tRP);
+}
+
+PicoSec
+Bank::earliestRead(PicoSec now) const
+{
+    panicIf(state_ != State::Active, "RD to a precharged bank");
+    PicoSec t = std::max(now, lastActAt_ + timing_->tRCD);
+    // A single bank cycles columns at tCCD_L regardless of the path
+    // (the bank-group constraint originates in shared column logic).
+    t = std::max(t, lastReadAt_ + timing_->tCCDL);
+    t = std::max(t, lastWriteAt_ + timing_->tWTRL);
+    return t;
+}
+
+PicoSec
+Bank::earliestWrite(PicoSec now) const
+{
+    panicIf(state_ != State::Active, "WR to a precharged bank");
+    PicoSec t = std::max(now, lastActAt_ + timing_->tRCD);
+    t = std::max(t, lastWriteAt_ + timing_->tCCDL);
+    t = std::max(t, lastReadAt_ + timing_->tRTW);
+    return t;
+}
+
+PicoSec
+Bank::earliestPrecharge(PicoSec now) const
+{
+    panicIf(state_ != State::Active, "PRE to a precharged bank");
+    PicoSec t = std::max(now, lastActAt_ + timing_->tRAS);
+    t = std::max(t, lastReadAt_ + timing_->tRTP);
+    t = std::max(t,
+                 lastWriteAt_ + timing_->tBURST + timing_->tWR);
+    return t;
+}
+
+void
+Bank::act(PicoSec when, std::int64_t row)
+{
+    panicIf(when < earliestAct(when), "ACT issued too early");
+    state_ = State::Active;
+    openRow_ = row;
+    lastActAt_ = when;
+}
+
+void
+Bank::read(PicoSec when)
+{
+    panicIf(when < earliestRead(when), "RD issued too early");
+    lastReadAt_ = when;
+}
+
+void
+Bank::write(PicoSec when)
+{
+    panicIf(when < earliestWrite(when), "WR issued too early");
+    lastWriteAt_ = when;
+}
+
+void
+Bank::precharge(PicoSec when)
+{
+    panicIf(when < earliestPrecharge(when), "PRE issued too early");
+    state_ = State::Precharged;
+    openRow_ = -1;
+    prechargedAt_ = when;
+}
+
+void
+Bank::completeRefresh(PicoSec ready_at)
+{
+    state_ = State::Precharged;
+    openRow_ = -1;
+    // Model REF as ending in a precharged state whose tRP is already
+    // paid: the next ACT may go at ready_at.
+    prechargedAt_ = ready_at - timing_->tRP;
+    lastActAt_ = -1'000'000'000;
+    lastReadAt_ = -1'000'000'000;
+    lastWriteAt_ = -1'000'000'000;
+}
+
+} // namespace duplex

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-bank DRAM state machine.
+ *
+ * A bank tracks its open row and the timestamps needed to enforce
+ * intra-bank constraints (tRCD, tRAS, tRTP, tWR, tRP, per-bank column
+ * cadence). Cross-bank constraints (tCCD, tRRD, tFAW, bus occupancy)
+ * are enforced by the owning PseudoChannel.
+ */
+
+#ifndef DUPLEX_DRAM_BANK_HH
+#define DUPLEX_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "dram/timing.hh"
+
+namespace duplex
+{
+
+/** State and timing history of one DRAM bank. */
+class Bank
+{
+  public:
+    /** Bank state. */
+    enum class State { Precharged, Active };
+
+    explicit Bank(const HbmTiming *timing);
+
+    /** Current state. */
+    State state() const { return state_; }
+
+    /** Row currently open; meaningful only when Active. */
+    std::int64_t openRow() const { return openRow_; }
+
+    /** Earliest time an ACT may issue (intra-bank constraints only). */
+    PicoSec earliestAct(PicoSec now) const;
+
+    /** Earliest time a RD to the open row may issue. */
+    PicoSec earliestRead(PicoSec now) const;
+
+    /** Earliest time a WR to the open row may issue. */
+    PicoSec earliestWrite(PicoSec now) const;
+
+    /** Earliest time a PRE may issue. */
+    PicoSec earliestPrecharge(PicoSec now) const;
+
+    /**
+     * Issue ACT at @p when for @p row. @p when must satisfy
+     * earliestAct; the caller (channel) must have checked rank-level
+     * constraints.
+     */
+    void act(PicoSec when, std::int64_t row);
+
+    /**
+     * Issue RD at @p when. @p column_cadence is the per-bank column
+     * cycle (tCCD_L for a single bank regardless of path).
+     */
+    void read(PicoSec when);
+
+    /** Issue WR at @p when. */
+    void write(PicoSec when);
+
+    /** Issue PRE at @p when. */
+    void precharge(PicoSec when);
+
+    /** Force the precharged state (used by all-bank refresh). */
+    void completeRefresh(PicoSec ready_at);
+
+  private:
+    const HbmTiming *timing_;
+    State state_ = State::Precharged;
+    std::int64_t openRow_ = -1;
+
+    PicoSec lastActAt_ = -1'000'000'000;
+    PicoSec lastReadAt_ = -1'000'000'000;
+    PicoSec lastWriteAt_ = -1'000'000'000;
+    //! Time the last PRE completed (ACT legal at +tRP). A fresh
+    //! bank is long precharged, so the first ACT may go at once.
+    PicoSec prechargedAt_ = -1'000'000'000;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_BANK_HH

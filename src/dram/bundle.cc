@@ -1,0 +1,232 @@
+#include "dram/bundle.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+BundleStreamEngine::BundleStreamEngine(PseudoChannel &channel, int rank,
+                                       int half, Bytes bytes,
+                                       bool lockstep,
+                                       std::int64_t start_row)
+    : channel_(channel), rank_(rank), lockstep_(lockstep)
+{
+    const auto &t = channel_.timing();
+    panicIf(half != 0 && half != 1, "bundle half must be 0 or 1");
+    const std::uint64_t bursts =
+        (bytes + t.columnBytes - 1) / t.columnBytes;
+
+    const int banks = t.banksPerBundle();
+    cursors_.reserve(banks);
+    int i = 0;
+    for (int bg = 0; bg < t.bankGroups; ++bg) {
+        for (int b = half * 2; b < half * 2 + 2; ++b, ++i) {
+            Cursor c;
+            c.bg = bg;
+            c.bank = b;
+            c.burstsLeft =
+                bursts / banks +
+                (static_cast<std::uint64_t>(i) < bursts % banks ? 1
+                                                                : 0);
+            c.row = start_row;
+            cursors_.push_back(c);
+        }
+    }
+    if (lockstep_) {
+        // Shared C/A: every bank does identical work.
+        const std::uint64_t per_bank = bursts / banks +
+                                       (bursts % banks != 0 ? 1 : 0);
+        for (auto &c : cursors_)
+            c.burstsLeft = per_bank;
+    }
+}
+
+bool
+BundleStreamEngine::done() const
+{
+    for (const auto &c : cursors_)
+        if (c.burstsLeft > 0)
+            return false;
+    return true;
+}
+
+PicoSec
+BundleStreamEngine::cursorReady(const Cursor &c) const
+{
+    const Bank &b = channel_.bank(rank_, c.bg, c.bank);
+    if (b.state() == Bank::State::Active && b.openRow() == c.row) {
+        const PicoSec rd = b.earliestRead(0);
+        return channel_.earliestPimSlot(rd);
+    }
+    if (b.state() == Bank::State::Active)
+        return b.earliestPrecharge(0);
+    const PicoSec act = b.earliestAct(0);
+    return channel_.earliestAct(rank_, c.bg, act);
+}
+
+int
+BundleStreamEngine::pickCursor()
+{
+    int best = -1;
+    PicoSec best_t = std::numeric_limits<PicoSec>::max();
+    for (std::size_t i = 0; i < cursors_.size(); ++i) {
+        if (cursors_[i].burstsLeft == 0)
+            continue;
+        const PicoSec t = cursorReady(cursors_[i]);
+        if (t < best_t) {
+            best_t = t;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+PicoSec
+BundleStreamEngine::nextReadyTime()
+{
+    if (lockstep_) {
+        // The group advances at the pace of its slowest member.
+        PicoSec worst = 0;
+        for (auto &c : cursors_) {
+            if (c.burstsLeft == 0)
+                continue;
+            worst = std::max(worst, cursorReady(c));
+        }
+        return worst;
+    }
+    const int i = pickCursor();
+    panicIf(i < 0, "nextReadyTime on a finished engine");
+    return cursorReady(cursors_[i]);
+}
+
+void
+BundleStreamEngine::step()
+{
+    if (lockstep_)
+        stepLockstep();
+    else
+        stepStaggered();
+}
+
+void
+BundleStreamEngine::stepStaggered()
+{
+    const int i = pickCursor();
+    panicIf(i < 0, "step on a finished engine");
+    Cursor &c = cursors_[i];
+    const auto &tp = channel_.timing();
+
+    for (;;) {
+        Bank &b = channel_.bank(rank_, c.bg, c.bank);
+        if (b.state() == Bank::State::Active && b.openRow() == c.row) {
+            PicoSec t = b.earliestRead(0);
+            t = channel_.earliestPimSlot(t);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            b.read(t);
+            channel_.recordPimRead(t);
+            finishTime_ = std::max(finishTime_, t + tp.tCCDL);
+            --c.burstsLeft;
+            if (++c.col >= tp.columnsPerRow()) {
+                c.col = 0;
+                ++c.row;
+            }
+            return;
+        }
+        if (b.state() == Bank::State::Active) {
+            PicoSec t = b.earliestPrecharge(0);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            b.precharge(t);
+            return;
+        }
+        PicoSec t = b.earliestAct(0);
+        t = channel_.earliestAct(rank_, c.bg, t);
+        const PicoSec gated = channel_.gateRefresh(t);
+        if (gated != t)
+            continue;
+        b.act(t, c.row);
+        channel_.recordAct(rank_, c.bg, t);
+        return;
+    }
+}
+
+void
+BundleStreamEngine::stepLockstep()
+{
+    const auto &tp = channel_.timing();
+    // Bring every lagging bank up to the group's row first; one
+    // command per step keeps interleaving with other engines fair.
+    for (auto &c : cursors_) {
+        if (c.burstsLeft == 0)
+            continue;
+        Bank &b = channel_.bank(rank_, c.bg, c.bank);
+        if (b.state() == Bank::State::Active && b.openRow() == c.row)
+            continue;
+        for (;;) {
+            Bank &bb = channel_.bank(rank_, c.bg, c.bank);
+            if (bb.state() == Bank::State::Active &&
+                bb.openRow() == c.row)
+                break;
+            if (bb.state() == Bank::State::Active) {
+                PicoSec t = bb.earliestPrecharge(0);
+                const PicoSec gated = channel_.gateRefresh(t);
+                if (gated != t)
+                    continue;
+                bb.precharge(t);
+                return;
+            }
+            PicoSec t = bb.earliestAct(0);
+            t = channel_.earliestAct(rank_, c.bg, t);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            bb.act(t, c.row);
+            channel_.recordAct(rank_, c.bg, t);
+            return;
+        }
+    }
+
+    // All banks aligned: issue one synchronized group read.
+    for (;;) {
+        PicoSec t = channel_.earliestPimSlot(0);
+        bool aligned = true;
+        for (auto &c : cursors_) {
+            if (c.burstsLeft == 0)
+                continue;
+            Bank &b = channel_.bank(rank_, c.bg, c.bank);
+            if (b.state() != Bank::State::Active ||
+                b.openRow() != c.row) {
+                aligned = false;
+                break;
+            }
+            t = std::max(t, b.earliestRead(0));
+        }
+        if (!aligned)
+            return; // refresh disturbed alignment; realign next step
+        const PicoSec gated = channel_.gateRefresh(t);
+        if (gated != t)
+            continue;
+        for (auto &c : cursors_) {
+            if (c.burstsLeft == 0)
+                continue;
+            Bank &b = channel_.bank(rank_, c.bg, c.bank);
+            b.read(t);
+            --c.burstsLeft;
+            if (++c.col >= tp.columnsPerRow()) {
+                c.col = 0;
+                ++c.row;
+            }
+        }
+        channel_.recordPimSlot(t);
+        finishTime_ = std::max(finishTime_, t + tp.tCCDL);
+        return;
+    }
+}
+
+} // namespace duplex

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logic-PIM bank-bundle read engine (Section IV-C).
+ *
+ * A bundle is eight banks of one rank (two per bank group). The
+ * engine streams a contiguous region striped across the bundle's
+ * banks over the dedicated PIM TSV group, which carries eight 32 B
+ * reads per tCCD_L — 4 x the xPU-path peak.
+ *
+ * Two command disciplines are modeled:
+ *  - lockstep: one shared C/A drives all eight banks (the paper's
+ *    minimal-overhead description); row switches synchronize.
+ *  - staggered: per-bank C/A sequencing; row switches of different
+ *    banks overlap, sustaining more of the provisioned bandwidth.
+ */
+
+#ifndef DUPLEX_DRAM_BUNDLE_HH
+#define DUPLEX_DRAM_BUNDLE_HH
+
+#include "dram/controller.hh"
+
+namespace duplex
+{
+
+/** Streams one bundle of a pseudo channel over the PIM TSV path. */
+class BundleStreamEngine : public StreamEngine
+{
+  public:
+    /**
+     * @param channel  Channel to drive.
+     * @param rank     Rank holding the bundle.
+     * @param half     0 = banks {0,1} per group, 1 = banks {2,3}.
+     * @param bytes    Total bytes to read.
+     * @param lockstep Shared-C/A mode when true.
+     * @param start_row First row used in every bank.
+     */
+    BundleStreamEngine(PseudoChannel &channel, int rank, int half,
+                       Bytes bytes, bool lockstep = false,
+                       std::int64_t start_row = 0);
+
+    bool done() const override;
+    PicoSec nextReadyTime() override;
+    void step() override;
+    PicoSec finishTime() const override { return finishTime_; }
+
+  private:
+    struct Cursor
+    {
+        int bg = 0;
+        int bank = 0;
+        std::uint64_t burstsLeft = 0;
+        std::int64_t row = 0;
+        int col = 0;
+    };
+
+    PseudoChannel &channel_;
+    int rank_;
+    bool lockstep_;
+    std::vector<Cursor> cursors_;
+    PicoSec finishTime_ = 0;
+
+    PicoSec cursorReady(const Cursor &c) const;
+    int pickCursor();
+    void stepStaggered();
+    void stepLockstep();
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_BUNDLE_HH

@@ -1,0 +1,134 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+PseudoChannel::PseudoChannel(const HbmTiming &timing)
+    : timing_(timing), refreshDueAt_(timing.tREFI)
+{
+    const int total =
+        timing_.ranksPerPch * timing_.bankGroups * timing_.banksPerGroup;
+    banks_.reserve(total);
+    for (int i = 0; i < total; ++i)
+        banks_.emplace_back(&timing_);
+
+    lastActPerRank_.assign(timing_.ranksPerPch, -1'000'000'000);
+    lastActPerBg_.assign(
+        timing_.ranksPerPch,
+        std::vector<PicoSec>(timing_.bankGroups, -1'000'000'000));
+    actWindow_.resize(timing_.ranksPerPch);
+    lastXpuBurstPerBg_.assign(
+        timing_.ranksPerPch,
+        std::vector<PicoSec>(timing_.bankGroups, -1'000'000'000));
+}
+
+int
+PseudoChannel::bankIndex(int rank, int bg, int bank_in_group) const
+{
+    panicIf(rank < 0 || rank >= timing_.ranksPerPch, "bad rank");
+    panicIf(bg < 0 || bg >= timing_.bankGroups, "bad bank group");
+    panicIf(bank_in_group < 0 || bank_in_group >= timing_.banksPerGroup,
+            "bad bank index");
+    return (rank * timing_.bankGroups + bg) * timing_.banksPerGroup +
+           bank_in_group;
+}
+
+Bank &
+PseudoChannel::bank(int rank, int bg, int bank_in_group)
+{
+    return banks_[bankIndex(rank, bg, bank_in_group)];
+}
+
+const Bank &
+PseudoChannel::bank(int rank, int bg, int bank_in_group) const
+{
+    return banks_[bankIndex(rank, bg, bank_in_group)];
+}
+
+PicoSec
+PseudoChannel::earliestAct(int rank, int bg, PicoSec t) const
+{
+    t = std::max(t, lastActPerRank_[rank] + timing_.tRRDS);
+    t = std::max(t, lastActPerBg_[rank][bg] + timing_.tRRDL);
+    const auto &window = actWindow_[rank];
+    if (window.size() >= 4) {
+        // Fifth-newest ACT bounds the next one via tFAW.
+        const PicoSec fourth = window[window.size() - 4];
+        t = std::max(t, fourth + timing_.tFAW);
+    }
+    return t;
+}
+
+void
+PseudoChannel::recordAct(int rank, int bg, PicoSec t)
+{
+    panicIf(t < earliestAct(rank, bg, t), "ACT violates rank timing");
+    lastActPerRank_[rank] = std::max(lastActPerRank_[rank], t);
+    lastActPerBg_[rank][bg] = std::max(lastActPerBg_[rank][bg], t);
+    auto &window = actWindow_[rank];
+    // Two concurrent engines (xPU + Logic-PIM) may interleave ACTs
+    // slightly out of order; keep the tFAW window sorted.
+    auto pos = std::upper_bound(window.begin(), window.end(), t);
+    window.insert(pos, t);
+    while (window.size() > 8)
+        window.pop_front();
+}
+
+PicoSec
+PseudoChannel::earliestXpuBurst(int rank, int bg, PicoSec t) const
+{
+    t = std::max(t, xpuBusFreeAt_);
+    t = std::max(t, lastXpuBurstPerBg_[rank][bg] + timing_.tCCDL);
+    return t;
+}
+
+void
+PseudoChannel::recordXpuBurst(int rank, int bg, PicoSec t)
+{
+    panicIf(t < earliestXpuBurst(rank, bg, t),
+            "xPU burst violates bus timing");
+    xpuBusFreeAt_ = t + timing_.tBURST;
+    lastXpuBurstPerBg_[rank][bg] = t;
+    ++xpuBursts_;
+}
+
+PicoSec
+PseudoChannel::earliestPimSlot(PicoSec t) const
+{
+    return std::max(t, pimSlotFreeAt_);
+}
+
+void
+PseudoChannel::recordPimSlot(PicoSec t)
+{
+    panicIf(t < earliestPimSlot(t), "PIM slot violates TSV timing");
+    pimSlotFreeAt_ = t + timing_.tCCDL;
+    ++pimSlots_;
+}
+
+void
+PseudoChannel::recordPimRead(PicoSec t)
+{
+    panicIf(t < earliestPimSlot(t), "PIM read violates TSV timing");
+    pimSlotFreeAt_ = t + timing_.tCCDL / timing_.banksPerBundle();
+    ++pimSlots_;
+}
+
+PicoSec
+PseudoChannel::gateRefresh(PicoSec t)
+{
+    while (t >= refreshDueAt_) {
+        const PicoSec ready = refreshDueAt_ + timing_.tRFC;
+        for (auto &b : banks_)
+            b.completeRefresh(ready);
+        refreshDueAt_ += timing_.tREFI;
+        t = std::max(t, ready);
+    }
+    return t;
+}
+
+} // namespace duplex

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * One HBM3 pseudo channel: banks plus all cross-bank constraints.
+ *
+ * The channel enforces what individual banks cannot see:
+ *  - the shared xPU data bus (one burst per tBURST, and tCCD_L
+ *    between bursts that hit the same bank group),
+ *  - rank-level activation limits (tRRD_S/tRRD_L spacing, at most
+ *    four ACTs per rank in any tFAW window) — shared between the
+ *    xPU and Logic-PIM paths since they use the same DRAM arrays,
+ *  - all-bank refresh every tREFI for tRFC.
+ *
+ * The Logic-PIM path has its own data TSVs (Section IV-C), so bundle
+ * reads never contend for the xPU bus; they only share ACT windows
+ * and refresh with the xPU path.
+ */
+
+#ifndef DUPLEX_DRAM_CHANNEL_HH
+#define DUPLEX_DRAM_CHANNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "dram/timing.hh"
+
+namespace duplex
+{
+
+/** A pseudo channel: 2 ranks x 16 banks with shared-resource timing. */
+class PseudoChannel
+{
+  public:
+    explicit PseudoChannel(const HbmTiming &timing);
+
+    /** The timing parameters this channel runs with. */
+    const HbmTiming &timing() const { return timing_; }
+
+    /** Access a bank by rank / bank-group / in-group index. */
+    Bank &bank(int rank, int bg, int bank_in_group);
+    const Bank &bank(int rank, int bg, int bank_in_group) const;
+
+    /**
+     * Earliest time an ACT to (rank, bg) may issue given rank-level
+     * constraints (tRRD_S, tRRD_L, tFAW) and refresh. Does not check
+     * the bank itself.
+     */
+    PicoSec earliestAct(int rank, int bg, PicoSec t) const;
+
+    /** Record an issued ACT for rank-level bookkeeping. */
+    void recordAct(int rank, int bg, PicoSec t);
+
+    /**
+     * Earliest time an xPU-path read burst may use the shared data
+     * bus: tBURST occupancy between any two bursts, tCCD_L between
+     * bursts to the same bank group of the same rank.
+     */
+    PicoSec earliestXpuBurst(int rank, int bg, PicoSec t) const;
+
+    /** Record an issued xPU-path burst. */
+    void recordXpuBurst(int rank, int bg, PicoSec t);
+
+    /**
+     * Earliest time a Logic-PIM bundle slot may start. The dedicated
+     * TSV group moves one 8-bank x 32 B slot per tCCD_L.
+     */
+    PicoSec earliestPimSlot(PicoSec t) const;
+
+    /** Record a lockstep Logic-PIM bundle slot (8 banks at once). */
+    void recordPimSlot(PicoSec t);
+
+    /**
+     * Record one staggered Logic-PIM read: the TSV group is modeled
+     * as a rate resource carrying eight 32 B reads per tCCD_L.
+     */
+    void recordPimRead(PicoSec t);
+
+    /**
+     * Refresh gate: if @p t falls into (or past) a pending all-bank
+     * refresh window, performs the refresh (closing every bank) and
+     * returns the first usable time; otherwise returns @p t.
+     * Commands must never be recorded at a time before the value
+     * returned here.
+     */
+    PicoSec gateRefresh(PicoSec t);
+
+    /** Time of the next scheduled refresh. */
+    PicoSec nextRefreshAt() const { return refreshDueAt_; }
+
+    /** Total bursts recorded on each path (for probe statistics). */
+    std::uint64_t xpuBursts() const { return xpuBursts_; }
+    std::uint64_t pimSlots() const { return pimSlots_; }
+
+  private:
+    HbmTiming timing_;
+    std::vector<Bank> banks_;
+
+    // Rank-level ACT bookkeeping.
+    std::vector<PicoSec> lastActPerRank_;
+    std::vector<std::vector<PicoSec>> lastActPerBg_;
+    std::vector<std::deque<PicoSec>> actWindow_;
+
+    // xPU shared data bus.
+    PicoSec xpuBusFreeAt_ = 0;
+    std::vector<std::vector<PicoSec>> lastXpuBurstPerBg_;
+
+    // Logic-PIM TSV group.
+    PicoSec pimSlotFreeAt_ = 0;
+
+    PicoSec refreshDueAt_;
+
+    std::uint64_t xpuBursts_ = 0;
+    std::uint64_t pimSlots_ = 0;
+
+    int bankIndex(int rank, int bg, int bank_in_group) const;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_CHANNEL_HH

@@ -1,0 +1,237 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+PicoSec
+runEngines(const std::vector<StreamEngine *> &engines)
+{
+    PicoSec finish = 0;
+    for (;;) {
+        StreamEngine *best = nullptr;
+        PicoSec best_t = std::numeric_limits<PicoSec>::max();
+        for (auto *e : engines) {
+            if (e->done())
+                continue;
+            const PicoSec t = e->nextReadyTime();
+            if (t < best_t) {
+                best_t = t;
+                best = e;
+            }
+        }
+        if (best == nullptr)
+            break;
+        best->step();
+    }
+    for (auto *e : engines)
+        finish = std::max(finish, e->finishTime());
+    return finish;
+}
+
+XpuStreamEngine::XpuStreamEngine(PseudoChannel &channel,
+                                 std::vector<BankRef> banks, Bytes bytes,
+                                 std::int64_t start_row)
+    : channel_(channel)
+{
+    panicIf(banks.empty(), "XpuStreamEngine: no banks");
+    const auto &t = channel_.timing();
+    const std::uint64_t bursts = (bytes + t.columnBytes - 1) /
+                                 t.columnBytes;
+    cursors_.reserve(banks.size());
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        Cursor c;
+        c.ref = banks[i];
+        c.burstsLeft = bursts / banks.size() +
+                       (i < bursts % banks.size() ? 1 : 0);
+        c.row = start_row;
+        c.col = 0;
+        cursors_.push_back(c);
+    }
+}
+
+bool
+XpuStreamEngine::done() const
+{
+    for (const auto &c : cursors_)
+        if (c.burstsLeft > 0)
+            return false;
+    return true;
+}
+
+PicoSec
+XpuStreamEngine::cursorReady(const Cursor &c) const
+{
+    const Bank &b =
+        channel_.bank(c.ref.rank, c.ref.bg, c.ref.bank);
+    if (b.state() == Bank::State::Active && b.openRow() == c.row) {
+        const PicoSec rd = b.earliestRead(0);
+        return channel_.earliestXpuBurst(c.ref.rank, c.ref.bg, rd);
+    }
+    if (b.state() == Bank::State::Active)
+        return b.earliestPrecharge(0);
+    const PicoSec act = b.earliestAct(0);
+    return channel_.earliestAct(c.ref.rank, c.ref.bg, act);
+}
+
+int
+XpuStreamEngine::pickCursor()
+{
+    int best = -1;
+    PicoSec best_t = std::numeric_limits<PicoSec>::max();
+    for (std::size_t i = 0; i < cursors_.size(); ++i) {
+        if (cursors_[i].burstsLeft == 0)
+            continue;
+        const PicoSec t = cursorReady(cursors_[i]);
+        if (t < best_t) {
+            best_t = t;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+PicoSec
+XpuStreamEngine::nextReadyTime()
+{
+    const int i = pickCursor();
+    panicIf(i < 0, "nextReadyTime on a finished engine");
+    return cursorReady(cursors_[i]);
+}
+
+void
+XpuStreamEngine::step()
+{
+    const int i = pickCursor();
+    panicIf(i < 0, "step on a finished engine");
+    Cursor &c = cursors_[i];
+    const auto &tp = channel_.timing();
+
+    for (;;) {
+        Bank &b = channel_.bank(c.ref.rank, c.ref.bg, c.ref.bank);
+        if (b.state() == Bank::State::Active && b.openRow() == c.row) {
+            PicoSec t = b.earliestRead(0);
+            t = channel_.earliestXpuBurst(c.ref.rank, c.ref.bg, t);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue; // refresh closed rows; re-derive command
+            b.read(t);
+            channel_.recordXpuBurst(c.ref.rank, c.ref.bg, t);
+            finishTime_ = std::max(finishTime_, t + tp.tBURST);
+            --c.burstsLeft;
+            if (++c.col >= tp.columnsPerRow()) {
+                c.col = 0;
+                ++c.row;
+            }
+            return;
+        }
+        if (b.state() == Bank::State::Active) {
+            PicoSec t = b.earliestPrecharge(0);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            b.precharge(t);
+            return;
+        }
+        PicoSec t = b.earliestAct(0);
+        t = channel_.earliestAct(c.ref.rank, c.ref.bg, t);
+        const PicoSec gated = channel_.gateRefresh(t);
+        if (gated != t)
+            continue;
+        b.act(t, c.row);
+        channel_.recordAct(c.ref.rank, c.ref.bg, t);
+        return;
+    }
+}
+
+FrFcfsController::FrFcfsController(PseudoChannel &channel,
+                                   std::size_t window)
+    : channel_(channel), window_(window)
+{
+    panicIf(window_ == 0, "FrFcfsController: window must be positive");
+}
+
+void
+FrFcfsController::enqueue(const Transaction &txn)
+{
+    queue_.push_back(txn);
+}
+
+PicoSec
+FrFcfsController::serve(const Transaction &txn)
+{
+    const auto &tp = channel_.timing();
+    const DramCoord &co = txn.coord;
+    for (;;) {
+        Bank &b = channel_.bank(co.rank, co.bankGroup, co.bank);
+        if (b.state() == Bank::State::Active &&
+            b.openRow() == co.row) {
+            PicoSec t = txn.isWrite ? b.earliestWrite(txn.arrival)
+                                    : b.earliestRead(txn.arrival);
+            t = channel_.earliestXpuBurst(co.rank, co.bankGroup, t);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            if (txn.isWrite)
+                b.write(t);
+            else
+                b.read(t);
+            channel_.recordXpuBurst(co.rank, co.bankGroup, t);
+            return t + tp.tBURST;
+        }
+        if (b.state() == Bank::State::Active) {
+            PicoSec t = b.earliestPrecharge(txn.arrival);
+            const PicoSec gated = channel_.gateRefresh(t);
+            if (gated != t)
+                continue;
+            b.precharge(t);
+            continue;
+        }
+        PicoSec t = b.earliestAct(txn.arrival);
+        t = channel_.earliestAct(co.rank, co.bankGroup, t);
+        const PicoSec gated = channel_.gateRefresh(t);
+        if (gated != t)
+            continue;
+        b.act(t, co.row);
+        channel_.recordAct(co.rank, co.bankGroup, t);
+    }
+}
+
+PicoSec
+FrFcfsController::drain()
+{
+    while (!queue_.empty()) {
+        // First-ready: pick the oldest row hit in the window, else
+        // the oldest transaction overall.
+        const std::size_t limit = std::min(window_, queue_.size());
+        std::size_t chosen = 0;
+        bool found_hit = false;
+        for (std::size_t i = 0; i < limit; ++i) {
+            const DramCoord &co = queue_[i].coord;
+            const Bank &b =
+                channel_.bank(co.rank, co.bankGroup, co.bank);
+            if (b.state() == Bank::State::Active &&
+                b.openRow() == co.row) {
+                chosen = i;
+                found_hit = true;
+                break;
+            }
+        }
+        if (!found_hit)
+            chosen = 0;
+        Transaction txn = queue_[chosen];
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(chosen));
+        const PicoSec end = serve(txn);
+        txn.completed = end;
+        finishTime_ = std::max(finishTime_, end);
+        completed_.push_back(txn);
+    }
+    return finishTime_;
+}
+
+} // namespace duplex

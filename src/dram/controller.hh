@@ -1,0 +1,144 @@
+/**
+ * @file
+ * xPU-path memory machinery: a streaming read engine used by the
+ * bandwidth probes and a transaction-level FR-FCFS controller for
+ * irregular patterns.
+ *
+ * Both drive a PseudoChannel at command granularity. Engines expose a
+ * stepper interface so an xPU stream and a Logic-PIM bundle stream
+ * can be interleaved on the same channel (shared ACT windows and
+ * refresh), which is how the co-processing interference probe works.
+ */
+
+#ifndef DUPLEX_DRAM_CONTROLLER_HH
+#define DUPLEX_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/address.hh"
+#include "dram/channel.hh"
+
+namespace duplex
+{
+
+/** Stepper interface shared by command-issuing engines. */
+class StreamEngine
+{
+  public:
+    virtual ~StreamEngine() = default;
+
+    /** True when all work has been issued. */
+    virtual bool done() const = 0;
+
+    /** Earliest time of this engine's next command. */
+    virtual PicoSec nextReadyTime() = 0;
+
+    /** Issue exactly one command. */
+    virtual void step() = 0;
+
+    /** End of the last data burst issued so far. */
+    virtual PicoSec finishTime() const = 0;
+};
+
+/** Run engines to completion, always advancing the earliest one. */
+PicoSec runEngines(const std::vector<StreamEngine *> &engines);
+
+/**
+ * Streams a large contiguous read over the xPU path, striping bursts
+ * round robin across a set of banks so the shared bus stays busy
+ * while row switches hide behind other banks.
+ */
+class XpuStreamEngine : public StreamEngine
+{
+  public:
+    /** A bank the stream may use. */
+    struct BankRef
+    {
+        int rank;
+        int bg;
+        int bank;
+    };
+
+    /**
+     * @param channel Channel to drive.
+     * @param banks   Banks the stream is striped across (ownership of
+     *                bundles is the caller's concern).
+     * @param bytes   Total bytes to read.
+     * @param start_row First row used in every bank.
+     */
+    XpuStreamEngine(PseudoChannel &channel, std::vector<BankRef> banks,
+                    Bytes bytes, std::int64_t start_row = 0);
+
+    bool done() const override;
+    PicoSec nextReadyTime() override;
+    void step() override;
+    PicoSec finishTime() const override { return finishTime_; }
+
+  private:
+    struct Cursor
+    {
+        BankRef ref;
+        std::uint64_t burstsLeft = 0;
+        std::int64_t row = 0;
+        int col = 0;
+    };
+
+    PseudoChannel &channel_;
+    std::vector<Cursor> cursors_;
+    PicoSec finishTime_ = 0;
+
+    /** Earliest feasible time of the next command for one cursor. */
+    PicoSec cursorReady(const Cursor &c) const;
+
+    int pickCursor();
+};
+
+/** One outstanding transaction for the FR-FCFS controller. */
+struct Transaction
+{
+    DramCoord coord;
+    bool isWrite = false;
+    PicoSec arrival = 0;
+    PicoSec completed = -1;
+};
+
+/**
+ * Transaction-level FR-FCFS controller: among pending transactions it
+ * first serves row hits (oldest first), then the oldest miss. Used
+ * for irregular access patterns and as the reference scheduler in
+ * tests.
+ */
+class FrFcfsController
+{
+  public:
+    explicit FrFcfsController(PseudoChannel &channel,
+                              std::size_t window = 32);
+
+    /** Queue a transaction. */
+    void enqueue(const Transaction &txn);
+
+    /** Run everything to completion; returns last data-end time. */
+    PicoSec drain();
+
+    /** Completed transactions in completion order. */
+    const std::vector<Transaction> &completed() const
+    {
+        return completed_;
+    }
+
+  private:
+    PseudoChannel &channel_;
+    std::size_t window_;
+    std::deque<Transaction> queue_;
+    std::vector<Transaction> completed_;
+    PicoSec finishTime_ = 0;
+
+    /** Issue all commands for one transaction; returns data end. */
+    PicoSec serve(const Transaction &txn);
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_CONTROLLER_HH

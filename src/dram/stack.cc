@@ -1,0 +1,68 @@
+#include "dram/stack.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+BundleSpaceAllocator::BundleSpaceAllocator(Bytes total_bytes)
+    : spaceCapacity_(total_bytes / kNumSpaces)
+{
+    panicIf(total_bytes % kNumSpaces != 0,
+            "capacity must divide evenly into bundle spaces");
+}
+
+Bytes
+BundleSpaceAllocator::freeBytes(int space) const
+{
+    panicIf(space < 0 || space >= kNumSpaces, "bad bundle space");
+    return spaceCapacity_ - used_[space];
+}
+
+Bytes
+BundleSpaceAllocator::totalFreeBytes() const
+{
+    Bytes total = 0;
+    for (int s = 0; s < kNumSpaces; ++s)
+        total += freeBytes(s);
+    return total;
+}
+
+bool
+BundleSpaceAllocator::allocate(int space, Bytes bytes)
+{
+    panicIf(space < 0 || space >= kNumSpaces, "bad bundle space");
+    if (used_[space] + bytes > spaceCapacity_)
+        return false;
+    used_[space] += bytes;
+    return true;
+}
+
+void
+BundleSpaceAllocator::release(int space, Bytes bytes)
+{
+    panicIf(space < 0 || space >= kNumSpaces, "bad bundle space");
+    panicIf(used_[space] < bytes, "releasing more than allocated");
+    used_[space] -= bytes;
+}
+
+bool
+BundleSpaceAllocator::allocateSpread(
+    const std::array<bool, kNumSpaces> &spaces, Bytes bytes)
+{
+    int n = 0;
+    for (bool b : spaces)
+        n += b ? 1 : 0;
+    if (n == 0)
+        return false;
+    const Bytes share = (bytes + n - 1) / n;
+    for (int s = 0; s < kNumSpaces; ++s)
+        if (spaces[s] && freeBytes(s) < share)
+            return false;
+    for (int s = 0; s < kNumSpaces; ++s)
+        if (spaces[s])
+            used_[s] += share;
+    return true;
+}
+
+} // namespace duplex

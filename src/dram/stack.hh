@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One HBM stack and its bundle-indexed memory spaces.
+ *
+ * Section V-C divides device memory into four sections by bank-bundle
+ * index so expert co-processing never creates bank conflicts between
+ * xPU and Logic-PIM. BundleSpaceAllocator does the capacity
+ * bookkeeping for those sections; the timing behaviour itself lives
+ * in PseudoChannel / BundleStreamEngine.
+ */
+
+#ifndef DUPLEX_DRAM_STACK_HH
+#define DUPLEX_DRAM_STACK_HH
+
+#include <array>
+#include <string>
+
+#include "dram/timing.hh"
+
+namespace duplex
+{
+
+/** Capacity bookkeeping for the four bundle-indexed spaces. */
+class BundleSpaceAllocator
+{
+  public:
+    static constexpr int kNumSpaces = 4;
+
+    /** @param total_bytes Total capacity across the four spaces. */
+    explicit BundleSpaceAllocator(Bytes total_bytes);
+
+    /** Capacity of one space. */
+    Bytes spaceCapacity() const { return spaceCapacity_; }
+
+    /** Bytes still free in @p space. */
+    Bytes freeBytes(int space) const;
+
+    /** Total free bytes across all spaces. */
+    Bytes totalFreeBytes() const;
+
+    /**
+     * Reserve @p bytes in @p space.
+     * @return true on success; false leaves the allocator unchanged.
+     */
+    bool allocate(int space, Bytes bytes);
+
+    /** Release @p bytes from @p space. */
+    void release(int space, Bytes bytes);
+
+    /**
+     * Reserve @p bytes spread evenly over a subset of spaces
+     * (e.g. KV cache over three spaces, Section V-C).
+     */
+    bool allocateSpread(const std::array<bool, kNumSpaces> &spaces,
+                        Bytes bytes);
+
+  private:
+    Bytes spaceCapacity_;
+    std::array<Bytes, kNumSpaces> used_{};
+};
+
+/** Static description of one HBM stack in a device. */
+struct HbmStack
+{
+    HbmTiming timing = hbm3Timing();
+    Bytes capacity = 16ull * kGiB;
+
+    /** Capacity of one bundle-indexed space. */
+    Bytes bundleSpaceBytes() const
+    {
+        return capacity / BundleSpaceAllocator::kNumSpaces;
+    }
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_STACK_HH

@@ -1,0 +1,35 @@
+#include "dram/timing.hh"
+
+namespace duplex
+{
+
+double
+HbmTiming::pchPeakBytesPerSec() const
+{
+    return static_cast<double>(columnBytes) /
+           (static_cast<double>(tCCDS) / static_cast<double>(kPsPerSec));
+}
+
+double
+HbmTiming::stackPeakBytesPerSec() const
+{
+    return pchPeakBytesPerSec() * pchPerStack;
+}
+
+double
+HbmTiming::pchBundlePeakBytesPerSec() const
+{
+    const double per_bank =
+        static_cast<double>(columnBytes) /
+        (static_cast<double>(tCCDL) / static_cast<double>(kPsPerSec));
+    return per_bank * banksPerBundle();
+}
+
+HbmTiming
+hbm3Timing()
+{
+    // Defaults in the struct are the HBM3 preset; one place to tweak.
+    return HbmTiming{};
+}
+
+} // namespace duplex

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * HBM3 timing and geometry parameters.
+ *
+ * All times are integer picoseconds. The defaults follow JEDEC
+ * HBM3-class parts as used by the paper (Section VI): tCCD_S = 1.5 ns
+ * (which also sets the 650 MHz Logic-PIM clock), tCCD_L = 2 x tCCD_S,
+ * and a 32 B column access per pseudo channel.
+ *
+ * Geometry per stack: 32 pseudo channels; per pseudo channel two
+ * ranks of 16 banks in four bank groups. A "bank bundle" is the
+ * Logic-PIM read unit: banks {0,1} of every bank group of a rank form
+ * bundle 0 of that rank, banks {2,3} form bundle 1, so each pseudo
+ * channel exposes four bundle-indexed memory spaces (Section V-C).
+ */
+
+#ifndef DUPLEX_DRAM_TIMING_HH
+#define DUPLEX_DRAM_TIMING_HH
+
+#include "common/units.hh"
+
+namespace duplex
+{
+
+/** Timing and geometry of one HBM stack. */
+struct HbmTiming
+{
+    // --- Geometry -------------------------------------------------
+    int pchPerStack = 32;     //!< pseudo channels per stack
+    int ranksPerPch = 2;      //!< ranks sharing a pseudo channel
+    int bankGroups = 4;       //!< bank groups per rank
+    int banksPerGroup = 4;    //!< banks per bank group
+    Bytes rowBytes = 1024;    //!< open page per bank per pseudo channel
+    Bytes columnBytes = 32;   //!< data moved by one RD/WR burst
+
+    // --- Column timing (ps) ----------------------------------------
+    PicoSec tCCDS = 1500;     //!< RD->RD, different bank group
+    PicoSec tCCDL = 3000;     //!< RD->RD, same bank group (or same bank)
+    PicoSec tBURST = 1500;    //!< data bus occupancy of one burst
+
+    // --- Row timing (ps) -------------------------------------------
+    PicoSec tRCD = 14000;     //!< ACT -> RD
+    PicoSec tRP = 14000;      //!< PRE -> ACT
+    PicoSec tRAS = 28000;     //!< ACT -> PRE
+    PicoSec tRTP = 5000;      //!< RD -> PRE
+    PicoSec tRRDS = 4000;     //!< ACT -> ACT, different bank group
+    PicoSec tRRDL = 6000;     //!< ACT -> ACT, same bank group
+    PicoSec tFAW = 16000;     //!< window for at most four ACTs per rank
+
+    // --- Write timing (ps) ------------------------------------------
+    PicoSec tWR = 15000;      //!< end of write data -> PRE
+    PicoSec tWTRS = 3000;     //!< write -> read, different bank group
+    PicoSec tWTRL = 7500;     //!< write -> read, same bank group
+    PicoSec tRTW = 3000;      //!< read -> write turnaround
+
+    // --- Refresh (ps) -----------------------------------------------
+    PicoSec tREFI = 3900000;  //!< all-bank refresh interval
+    PicoSec tRFC = 260000;    //!< all-bank refresh duration
+
+    /** Banks per rank. */
+    int banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Banks per bundle (two per bank group). */
+    int banksPerBundle() const { return bankGroups * 2; }
+
+    /** Bundles per pseudo channel (two per rank). */
+    int bundlesPerPch() const { return ranksPerPch * 2; }
+
+    /** Columns per row. */
+    int columnsPerRow() const
+    {
+        return static_cast<int>(rowBytes / columnBytes);
+    }
+
+    /**
+     * Peak (zero-stall) xPU-path bandwidth of one pseudo channel:
+     * one 32 B burst per tCCD_S.
+     */
+    double pchPeakBytesPerSec() const;
+
+    /** Peak xPU-path bandwidth of the whole stack. */
+    double stackPeakBytesPerSec() const;
+
+    /**
+     * Peak Logic-PIM bundle-path bandwidth of one pseudo channel:
+     * eight banks, each delivering 32 B per tCCD_L (Section IV-C),
+     * i.e. 4 x the xPU path.
+     */
+    double pchBundlePeakBytesPerSec() const;
+};
+
+/** JEDEC HBM3-class preset used throughout the paper reproduction. */
+HbmTiming hbm3Timing();
+
+} // namespace duplex
+
+#endif // DUPLEX_DRAM_TIMING_HH

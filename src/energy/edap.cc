@@ -1,0 +1,39 @@
+#include "energy/edap.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+EdapResult
+evaluateEdap(const PimEngineDesc &desc, const GemmShape &shape,
+             const EnergyModel &energy)
+{
+    EdapResult r;
+    const PicoSec t =
+        operatorTimeNoOverhead(desc.engine, shape.flops(),
+                               shape.trafficBytes());
+    r.delaySec = psToSec(t);
+    r.energyJ = energy.dramEnergyJ(desc.path, shape.trafficBytes()) +
+                energy.computeEnergyJ(desc.cls, shape.flops());
+    r.areaMm2 = desc.areaMm2;
+    return r;
+}
+
+std::vector<double>
+normalizeEdap(const std::vector<EdapResult> &results)
+{
+    panicIf(results.empty(), "normalizeEdap: empty set");
+    double worst = 0.0;
+    for (const auto &r : results)
+        worst = std::max(worst, r.edap());
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto &r : results)
+        out.push_back(worst > 0.0 ? r.edap() / worst : 0.0);
+    return out;
+}
+
+} // namespace duplex

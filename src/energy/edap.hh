@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Energy-delay-area product (EDAP) evaluation for Fig. 8.
+ *
+ * The paper compares Bank-PIM, BankGroup-PIM and Logic-PIM on an
+ * FP16 GEMM with a (16384 x 4096) weight matrix while sweeping Op/B
+ * (the token count m) from 1 to 32, and normalizes EDAP within each
+ * Op/B column. This header is deliberately independent of the DRAM
+ * and area modules: callers describe each engine with plain numbers
+ * (see device/pim.hh for the assembled variants).
+ */
+
+#ifndef DUPLEX_ENERGY_EDAP_HH
+#define DUPLEX_ENERGY_EDAP_HH
+
+#include <string>
+#include <vector>
+
+#include "compute/engine.hh"
+#include "energy/energy.hh"
+
+namespace duplex
+{
+
+/** Everything EDAP needs to know about one PIM engine. */
+struct PimEngineDesc
+{
+    std::string name;
+    EngineSpec engine;       //!< sustained bandwidth + peak compute
+    DramPath path = DramPath::LogicDie;
+    ComputeClass cls = ComputeClass::LogicPim;
+    double areaMm2 = 0.0;    //!< added silicon per stack
+};
+
+/** EDAP evaluation of one GEMM on one engine. */
+struct EdapResult
+{
+    double delaySec = 0.0;
+    double energyJ = 0.0;
+    double areaMm2 = 0.0;
+
+    double edap() const { return delaySec * energyJ * areaMm2; }
+};
+
+/** Evaluate delay, energy and area for @p shape on @p desc. */
+EdapResult evaluateEdap(const PimEngineDesc &desc,
+                        const GemmShape &shape,
+                        const EnergyModel &energy);
+
+/**
+ * Normalize EDAP values so the worst engine in the set maps to 1.0,
+ * matching the presentation of Fig. 8.
+ */
+std::vector<double> normalizeEdap(const std::vector<EdapResult> &results);
+
+} // namespace duplex
+
+#endif // DUPLEX_ENERGY_EDAP_HH

@@ -1,0 +1,66 @@
+#include "energy/energy.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+EnergyModel::EnergyModel(const EnergyParams &params)
+    : params_(params)
+{
+}
+
+double
+EnergyModel::dramPjPerByte(DramPath path) const
+{
+    const EnergyParams &p = params_;
+    double per_bit = p.arrayPj + p.actPj;
+    switch (path) {
+      case DramPath::XpuInterposer:
+        per_bit += p.onDiePj + p.tsvPj + p.phyPj;
+        break;
+      case DramPath::LogicDie:
+        per_bit += p.onDieShortPj + p.tsvPj;
+        break;
+      case DramPath::BankLocal:
+        per_bit += p.bankLocalPj;
+        break;
+      case DramPath::BankGroup:
+        per_bit += p.bgLocalPj;
+        break;
+      default:
+        panic("unknown DRAM path");
+    }
+    return per_bit * 8.0;
+}
+
+double
+EnergyModel::computePjPerFlop(ComputeClass cls) const
+{
+    switch (cls) {
+      case ComputeClass::Xpu:
+        return params_.xpuFlopPj;
+      case ComputeClass::LogicPim:
+        return params_.logicPimFlopPj;
+      case ComputeClass::BankPim:
+        return params_.bankPimFlopPj;
+      case ComputeClass::BankGroupPim:
+        return params_.bankGroupPimFlopPj;
+      default:
+        panic("unknown compute class");
+    }
+}
+
+double
+EnergyModel::dramEnergyJ(DramPath path, Bytes bytes) const
+{
+    return dramPjPerByte(path) * static_cast<double>(bytes) * 1e-12;
+}
+
+double
+EnergyModel::computeEnergyJ(ComputeClass cls, Flops flops) const
+{
+    return computePjPerFlop(cls) * flops * 1e-12;
+}
+
+} // namespace duplex

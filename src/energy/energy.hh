@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Energy model for Duplex devices and prior PIM architectures.
+ *
+ * DRAM access energy is composed per data path from per-bit
+ * constants in the style of O'Connor et al. (Fine-Grained DRAM,
+ * MICRO'17), the reference the paper uses for activation / read /
+ * write / TSV energy. The xPU path pays the full route (array,
+ * on-die datapath, TSV, PHY + interposer); Logic-PIM stops at the
+ * logic die, and Bank-PIM stops at the bank, which is exactly the
+ * mechanism behind Fig. 15's energy savings.
+ *
+ * Compute energy is a per-FLOP constant per engine class, standing
+ * in for the paper's 7 nm synthesis results; SRAM buffering is
+ * folded into the constant. Values are documented in DESIGN.md and
+ * deliberately easy to retune.
+ */
+
+#ifndef DUPLEX_ENERGY_ENERGY_HH
+#define DUPLEX_ENERGY_ENERGY_HH
+
+#include "common/units.hh"
+
+namespace duplex
+{
+
+/** Where data stops on its way out of the DRAM arrays. */
+enum class DramPath
+{
+    XpuInterposer, //!< array -> TSV -> logic die -> PHY -> interposer
+    LogicDie,      //!< array -> TSV -> logic die (Logic-PIM)
+    BankLocal,     //!< array -> in-bank unit (Bank-PIM)
+    BankGroup,     //!< array -> bank-group unit (BankGroup-PIM)
+};
+
+/** Which units perform the arithmetic. */
+enum class ComputeClass
+{
+    Xpu,          //!< H100-class SIMT/tensor units
+    LogicPim,     //!< GEMM modules on the HBM logic die
+    BankPim,      //!< in-bank units in DRAM process
+    BankGroupPim, //!< bank-group units in DRAM process
+};
+
+/** Per-bit and per-FLOP energy constants (picojoules). */
+struct EnergyParams
+{
+    // DRAM path components, pJ per bit.
+    double arrayPj = 1.51;      //!< bank array access
+    double actPj = 0.11;        //!< activation amortized over a row
+    double onDiePj = 0.65;      //!< global on-die datapath
+    double onDieShortPj = 0.25; //!< shortened path to PIM TSV area
+    double tsvPj = 0.30;        //!< through-silicon via transfer
+    double phyPj = 1.10;        //!< PHY + interposer I/O
+    double bankLocalPj = 0.10;  //!< bank-adjacent wire (Bank-PIM)
+    double bgLocalPj = 0.25;    //!< bank-group wire (BankGroup-PIM)
+
+    // Compute, pJ per FLOP (buffers folded in).
+    double xpuFlopPj = 0.40;
+    double logicPimFlopPj = 0.28;
+    double bankPimFlopPj = 0.95;
+    double bankGroupPimFlopPj = 0.80;
+};
+
+/** Energy accounting for one device family. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{});
+
+    const EnergyParams &params() const { return params_; }
+
+    /** Picojoules per byte moved along @p path. */
+    double dramPjPerByte(DramPath path) const;
+
+    /** Picojoules per FLOP on @p cls. */
+    double computePjPerFlop(ComputeClass cls) const;
+
+    /** Total DRAM energy (joules) for @p bytes on @p path. */
+    double dramEnergyJ(DramPath path, Bytes bytes) const;
+
+    /** Total compute energy (joules) for @p flops on @p cls. */
+    double computeEnergyJ(ComputeClass cls, Flops flops) const;
+
+  private:
+    EnergyParams params_;
+};
+
+/** Energy split of one operator or one layer class (joules). */
+struct EnergyBreakdown
+{
+    double dramJ = 0.0;
+    double computeJ = 0.0;
+
+    double totalJ() const { return dramJ + computeJ; }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other)
+    {
+        dramJ += other.dramJ;
+        computeJ += other.computeJ;
+        return *this;
+    }
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_ENERGY_ENERGY_HH

@@ -1,0 +1,37 @@
+#include "model/kv.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+Bytes
+KvBudget::kvCapacityBytes() const
+{
+    const Bytes total =
+        deviceCapacity * static_cast<Bytes>(numDevices);
+    const Bytes used = weightBytesTotal +
+                       reservedBytes * static_cast<Bytes>(numDevices);
+    if (used >= total)
+        return 0;
+    return total - used;
+}
+
+std::int64_t
+KvBudget::maxKvTokens(const ModelConfig &m) const
+{
+    const Bytes per_token = m.kvBytesPerToken();
+    panicIf(per_token == 0, "model has no KV cache");
+    return static_cast<std::int64_t>(kvCapacityBytes() / per_token);
+}
+
+std::int64_t
+KvBudget::maxBatch(const ModelConfig &m,
+                   std::int64_t tokens_per_request) const
+{
+    panicIf(tokens_per_request <= 0,
+            "maxBatch: tokens_per_request must be positive");
+    return maxKvTokens(m) / tokens_per_request;
+}
+
+} // namespace duplex

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * KV-cache capacity accounting.
+ *
+ * Hetero and split systems lose batch size to weight duplication
+ * (Figs. 5(c), 16); this helper answers "how many requests of a
+ * given context length fit" for any weights-per-device split.
+ */
+
+#ifndef DUPLEX_MODEL_KV_HH
+#define DUPLEX_MODEL_KV_HH
+
+#include "model/config.hh"
+
+namespace duplex
+{
+
+/** Capacity bookkeeping for one group of devices serving a model. */
+struct KvBudget
+{
+    Bytes deviceCapacity = 0;   //!< HBM bytes per device
+    int numDevices = 0;         //!< devices sharing the weights
+    Bytes weightBytesTotal = 0; //!< weights resident across them
+    Bytes reservedBytes = 0;    //!< activations / scratch per device
+
+    /** Bytes available for KV cache across the group. */
+    Bytes kvCapacityBytes() const;
+
+    /**
+     * Maximum tokens of KV cache that fit for @p m.
+     */
+    std::int64_t maxKvTokens(const ModelConfig &m) const;
+
+    /**
+     * Largest batch of requests with @p tokens_per_request context
+     * that fits.
+     */
+    std::int64_t maxBatch(const ModelConfig &m,
+                          std::int64_t tokens_per_request) const;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_MODEL_KV_HH

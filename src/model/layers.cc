@@ -1,0 +1,197 @@
+#include "model/layers.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+const char *
+layerClassName(LayerClass cls)
+{
+    switch (cls) {
+      case LayerClass::Fc:
+        return "FC";
+      case LayerClass::AttentionPrefill:
+        return "Attention(Prefill)";
+      case LayerClass::AttentionDecode:
+        return "Attention(Decoding)";
+      case LayerClass::Moe:
+        return "MoE";
+      case LayerClass::Communication:
+        return "Communication";
+      default:
+        return "?";
+    }
+}
+
+std::int64_t
+StageShape::prefillTokens() const
+{
+    std::int64_t total = 0;
+    for (auto len : prefillLengths)
+        total += len;
+    return total;
+}
+
+LayerCosts::LayerCosts(const ModelConfig &m)
+    : model_(m)
+{
+    fatalIf(m.hidden <= 0 || m.numLayers <= 0,
+            "LayerCosts: model '" + m.name + "' is not configured");
+}
+
+namespace
+{
+
+OpCost
+fromGemm(const GemmShape &g)
+{
+    return {g.flops(), g.trafficBytes()};
+}
+
+} // namespace
+
+OpCost
+LayerCosts::qkv(std::int64_t tokens) const
+{
+    const auto kv =
+        static_cast<std::int64_t>(model_.kvHeads()) * model_.headDim();
+    GemmShape g{tokens, model_.hidden, model_.hidden + 2 * kv};
+    return fromGemm(g);
+}
+
+OpCost
+LayerCosts::projection(std::int64_t tokens) const
+{
+    GemmShape g{tokens, model_.hidden, model_.hidden};
+    return fromGemm(g);
+}
+
+OpCost
+LayerCosts::denseFfn(std::int64_t tokens) const
+{
+    OpCost cost;
+    if (model_.gatedFfn) {
+        cost += fromGemm({tokens, model_.hidden, model_.intermediate});
+        cost += fromGemm({tokens, model_.hidden, model_.intermediate});
+    } else {
+        cost += fromGemm({tokens, model_.hidden, model_.intermediate});
+    }
+    cost += fromGemm({tokens, model_.intermediate, model_.hidden});
+    // Gated activation / nonlinearity over the intermediate tensor.
+    const double elems = static_cast<double>(tokens) *
+                         model_.intermediate;
+    cost.flops += 4.0 * elems;
+    cost.bytes += static_cast<Bytes>(elems) * kFp16Bytes;
+    return cost;
+}
+
+OpCost
+LayerCosts::gate(std::int64_t tokens) const
+{
+    GemmShape g{tokens, model_.hidden, model_.numExperts};
+    OpCost cost = fromGemm(g);
+    // Top-k selection and renormalization.
+    cost.flops += 4.0 * static_cast<double>(tokens) *
+                  model_.numExperts;
+    return cost;
+}
+
+OpCost
+LayerCosts::expertFfn(std::int64_t tokens) const
+{
+    if (tokens == 0)
+        return {};
+    return denseFfn(tokens);
+}
+
+OpCost
+LayerCosts::attentionDecode(const StageShape &stage) const
+{
+    OpCost cost;
+    const auto head_dim = static_cast<double>(model_.headDim());
+    const auto kv_heads = static_cast<double>(model_.kvHeads());
+    const auto heads = static_cast<double>(model_.numHeads);
+
+    for (auto ctx_in : stage.decodeContexts) {
+        const auto ctx = static_cast<double>(ctx_in) + 1.0; // + self
+        // Per KV head: (degGrp x headDim) x (headDim x ctx) and
+        // (degGrp x ctx) x (ctx x headDim).
+        cost.flops += 4.0 * heads * head_dim * ctx;
+        // KV matrices are read once per group; Q/output are tiny.
+        const double kv_bytes = 2.0 * kv_heads * head_dim * ctx *
+                                static_cast<double>(kFp16Bytes);
+        const double qo_bytes = 2.0 * heads * head_dim *
+                                static_cast<double>(kFp16Bytes);
+        cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
+        // Softmax over heads x ctx scores.
+        const double scores = heads * ctx;
+        cost.flops += 5.0 * scores;
+        cost.bytes += static_cast<Bytes>(
+            2.0 * scores * static_cast<double>(kFp16Bytes));
+    }
+    // KV append for this stage's new tokens.
+    cost.bytes += static_cast<Bytes>(stage.decodeTokens()) * 2 *
+                  model_.kvHeads() * model_.headDim() * kFp16Bytes;
+    return cost;
+}
+
+OpCost
+LayerCosts::attentionPrefill(const StageShape &stage) const
+{
+    OpCost cost;
+    const auto head_dim = static_cast<double>(model_.headDim());
+    const auto kv_heads = static_cast<double>(model_.kvHeads());
+    const auto heads = static_cast<double>(model_.numHeads);
+
+    for (auto len_in : stage.prefillLengths) {
+        const auto len = static_cast<double>(len_in);
+        // Causal self-attention: half of the full score matrix.
+        const double pairs = len * (len + 1.0) / 2.0;
+        cost.flops += 4.0 * heads * head_dim * pairs;
+        // Flash-style tiling: K and V streamed once per KV head,
+        // Q streamed once; the score matrix never hits DRAM.
+        const double kv_bytes = 2.0 * kv_heads * head_dim * len *
+                                static_cast<double>(kFp16Bytes);
+        const double qo_bytes = 2.0 * heads * head_dim * len *
+                                static_cast<double>(kFp16Bytes);
+        cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
+        cost.flops += 5.0 * heads * pairs; // online softmax
+        // KV append for the whole prompt.
+        cost.bytes += static_cast<Bytes>(
+            2.0 * kv_heads * head_dim * len *
+            static_cast<double>(kFp16Bytes));
+    }
+    return cost;
+}
+
+OpCost
+LayerCosts::lmHead(std::int64_t tokens) const
+{
+    GemmShape g{tokens, model_.hidden, model_.vocab};
+    return fromGemm(g);
+}
+
+OpCost
+LayerCosts::embedding(std::int64_t tokens) const
+{
+    OpCost cost;
+    cost.bytes = static_cast<Bytes>(tokens) * model_.hidden *
+                 kFp16Bytes;
+    return cost;
+}
+
+OpCost
+LayerCosts::elementwise(std::int64_t tokens) const
+{
+    // Two layer norms and two residual adds per block.
+    const double elems = 4.0 * static_cast<double>(tokens) *
+                         model_.hidden;
+    OpCost cost;
+    cost.flops = 4.0 * elems;
+    cost.bytes = static_cast<Bytes>(2.0 * elems *
+                                    static_cast<double>(kFp16Bytes));
+    return cost;
+}
+
+} // namespace duplex

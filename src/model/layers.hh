@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-stage operator cost builder.
+ *
+ * Costs are model-level (unsharded): FLOPs plus DRAM traffic for one
+ * operator group of one decoder block, given the stage composition
+ * (decode sequences, prefill sequences, expert token histogram). The
+ * parallel/ module divides these across devices; the device layer
+ * turns them into time and energy.
+ *
+ * Element-wise work (softmax, gated activation, residual) is folded
+ * into its parent group — matching fused kernels on GPUs and the
+ * dedicated vector modules of Logic-PIM — but is still tracked as
+ * FLOPs/bytes so energy accounting sees it.
+ */
+
+#ifndef DUPLEX_MODEL_LAYERS_HH
+#define DUPLEX_MODEL_LAYERS_HH
+
+#include <vector>
+
+#include "model/config.hh"
+
+namespace duplex
+{
+
+/** Coarse layer class used in Fig. 4(a) / Fig. 15 breakdowns. */
+enum class LayerClass
+{
+    Fc,                //!< QKV gen, projection, dense FFN, LM head
+    AttentionPrefill,  //!< attention of prefill sequences
+    AttentionDecode,   //!< attention of decode sequences
+    Moe,               //!< gate + expert FFNs
+    Communication,     //!< collectives
+};
+
+/** Name for reporting. */
+const char *layerClassName(LayerClass cls);
+
+/** FLOPs + DRAM traffic of one operator group. */
+struct OpCost
+{
+    Flops flops = 0.0;
+    Bytes bytes = 0;
+
+    OpCost &operator+=(const OpCost &other)
+    {
+        flops += other.flops;
+        bytes += other.bytes;
+        return *this;
+    }
+
+    /** Scale both members (sharding). */
+    OpCost scaled(double f) const
+    {
+        return {flops * f,
+                static_cast<Bytes>(static_cast<double>(bytes) * f)};
+    }
+
+    double opPerByte() const
+    {
+        return bytes == 0 ? 0.0
+                          : flops / static_cast<double>(bytes);
+    }
+};
+
+/** Composition of one batched stage, as the scheduler forms it. */
+struct StageShape
+{
+    /** Context length of each decode sequence (before this stage). */
+    std::vector<std::int64_t> decodeContexts;
+
+    /** Input length of each prefill sequence joining this stage. */
+    std::vector<std::int64_t> prefillLengths;
+
+    /** Decode tokens (one per decode sequence). */
+    std::int64_t decodeTokens() const
+    {
+        return static_cast<std::int64_t>(decodeContexts.size());
+    }
+
+    /** Prefill tokens (sum of input lengths). */
+    std::int64_t prefillTokens() const;
+
+    /** All tokens passing the FC / MoE layers this stage. */
+    std::int64_t totalTokens() const
+    {
+        return decodeTokens() + prefillTokens();
+    }
+
+    bool isMixed() const { return !prefillLengths.empty(); }
+};
+
+/** Cost builders for one decoder block of @p m. */
+class LayerCosts
+{
+  public:
+    explicit LayerCosts(const ModelConfig &m);
+
+    const ModelConfig &model() const { return model_; }
+
+    /** QKV generation for @p tokens. */
+    OpCost qkv(std::int64_t tokens) const;
+
+    /** Output projection for @p tokens. */
+    OpCost projection(std::int64_t tokens) const;
+
+    /** Dense FFN (non-MoE block) incl. activation. */
+    OpCost denseFfn(std::int64_t tokens) const;
+
+    /** MoE gate (tokens x hidden x Nex plus top-k selection). */
+    OpCost gate(std::int64_t tokens) const;
+
+    /** One expert FFN processing @p tokens, incl. activation. */
+    OpCost expertFfn(std::int64_t tokens) const;
+
+    /**
+     * Attention of decode sequences: per sequence a
+     * (degGrp x headDim x context) GEMM pair per KV head plus
+     * softmax, KV read dominated. Includes this stage's KV append.
+     */
+    OpCost attentionDecode(const StageShape &stage) const;
+
+    /** Attention of prefill sequences (causal self-attention). */
+    OpCost attentionPrefill(const StageShape &stage) const;
+
+    /** LM head for @p tokens (decode + last prefill token each). */
+    OpCost lmHead(std::int64_t tokens) const;
+
+    /** Token embedding lookup. */
+    OpCost embedding(std::int64_t tokens) const;
+
+    /** Residual/layer-norm element-wise passes for @p tokens. */
+    OpCost elementwise(std::int64_t tokens) const;
+
+  private:
+    ModelConfig model_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_MODEL_LAYERS_HH

@@ -1,0 +1,57 @@
+#include "parallel/collectives.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+PicoSec
+allReduceTime(Bytes bytes, int n, const LinkSpec &link)
+{
+    panicIf(n <= 0, "allReduce: need at least one peer");
+    if (n == 1 || bytes == 0)
+        return 0;
+    const double factor = 2.0 * static_cast<double>(n - 1) /
+                          static_cast<double>(n);
+    const Bytes moved = static_cast<Bytes>(
+        factor * static_cast<double>(bytes));
+    return transferTimePs(moved, link.bytesPerSec) +
+           2 * (n - 1) * link.latency;
+}
+
+PicoSec
+allToAllTime(Bytes bytes, int n, const LinkSpec &link)
+{
+    panicIf(n <= 0, "allToAll: need at least one peer");
+    if (n == 1 || bytes == 0)
+        return 0;
+    const double factor = static_cast<double>(n - 1) /
+                          static_cast<double>(n);
+    const Bytes moved = static_cast<Bytes>(
+        factor * static_cast<double>(bytes));
+    return transferTimePs(moved, link.bytesPerSec) +
+           (n - 1) * link.latency;
+}
+
+PicoSec
+p2pTime(Bytes bytes, const LinkSpec &link)
+{
+    if (bytes == 0)
+        return 0;
+    return transferTimePs(bytes, link.bytesPerSec) + link.latency;
+}
+
+PicoSec
+hierarchicalAllReduceTime(Bytes bytes, int devices_per_node,
+                          int num_nodes, const LinkSpec &intra,
+                          const LinkSpec &inter)
+{
+    PicoSec t = allReduceTime(bytes, devices_per_node, intra);
+    if (num_nodes > 1) {
+        t += allReduceTime(bytes, num_nodes, inter);
+        t += allReduceTime(bytes, devices_per_node, intra) / 2;
+    }
+    return t;
+}
+
+} // namespace duplex

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Collective communication cost models.
+ *
+ * Ring-based formulas over the usable per-direction link bandwidth:
+ *  - all-reduce of B bytes over n peers: 2 (n-1)/n * B per device,
+ *  - all-to-all: each device exchanges (n-1)/n of its payload,
+ *  - point-to-point: a single transfer.
+ * Latency is charged per ring step. These feed the Communication
+ * slices of Fig. 4(a) and the inter-node penalties of Grok1.
+ */
+
+#ifndef DUPLEX_PARALLEL_COLLECTIVES_HH
+#define DUPLEX_PARALLEL_COLLECTIVES_HH
+
+#include "parallel/topology.hh"
+
+namespace duplex
+{
+
+/** Time for a ring all-reduce of @p bytes per device over @p n. */
+PicoSec allReduceTime(Bytes bytes, int n, const LinkSpec &link);
+
+/** Time for an all-to-all where each device holds @p bytes. */
+PicoSec allToAllTime(Bytes bytes, int n, const LinkSpec &link);
+
+/** Point-to-point transfer time. */
+PicoSec p2pTime(Bytes bytes, const LinkSpec &link);
+
+/**
+ * Hierarchical all-reduce: intra-node ring, inter-node ring over
+ * node leaders, intra-node broadcast. Used when a tensor-parallel
+ * group spans nodes.
+ */
+PicoSec hierarchicalAllReduceTime(Bytes bytes, int devices_per_node,
+                                  int num_nodes,
+                                  const LinkSpec &intra,
+                                  const LinkSpec &inter);
+
+} // namespace duplex
+
+#endif // DUPLEX_PARALLEL_COLLECTIVES_HH

@@ -1,0 +1,88 @@
+#include "parallel/sharding.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+ShardingPlan
+makeShardingPlan(const ModelConfig &model, const SystemTopology &topo,
+                 ExpertPlacement placement)
+{
+    ShardingPlan plan;
+    plan.tpDegree = topo.devicesPerNode;
+    plan.dpDegree = topo.numNodes;
+    plan.experts = placement;
+
+    if (model.numExperts == 0) {
+        plan.expertsPerDevice = 0;
+        plan.expertTpDegree = plan.tpDegree;
+        return plan;
+    }
+
+    if (placement == ExpertPlacement::ExpertParallel) {
+        const int devices = topo.totalDevices();
+        if (model.numExperts >= devices) {
+            fatalIf(model.numExperts % devices != 0,
+                    "experts must divide evenly over devices");
+            plan.expertsPerDevice = model.numExperts / devices;
+            plan.expertTpDegree = 1;
+        } else {
+            fatalIf(devices % model.numExperts != 0,
+                    "devices must divide evenly over experts");
+            plan.expertsPerDevice = 1;
+            plan.expertTpDegree = devices / model.numExperts;
+        }
+        plan.expertEpNodes = topo.numNodes;
+    } else {
+        // ET: every expert sliced across the node's devices;
+        // experts split across nodes when there are several.
+        fatalIf(topo.numNodes > 1 &&
+                    model.numExperts % topo.numNodes != 0,
+                "experts must divide evenly over nodes");
+        plan.expertsPerDevice = model.numExperts / topo.numNodes;
+        plan.expertTpDegree = topo.devicesPerNode;
+        plan.expertEpNodes = topo.numNodes;
+    }
+    return plan;
+}
+
+Bytes
+weightBytesPerDevice(const ModelConfig &model,
+                     const SystemTopology &topo,
+                     const ShardingPlan &plan)
+{
+    double per_device = 0.0;
+
+    // Non-expert weights: TP inside the node, replicated across DP
+    // nodes.
+    double non_expert = 0.0;
+    for (int l = 0; l < model.numLayers; ++l) {
+        non_expert += model.attentionParams();
+        if (!model.isMoeLayer(l))
+            non_expert += model.ffnParams();
+        else
+            non_expert += static_cast<double>(model.hidden) *
+                          model.numExperts; // gate
+    }
+    non_expert += 2.0 * static_cast<double>(model.vocab) *
+                  model.hidden;
+    per_device += non_expert / plan.tpDegree;
+
+    // Expert weights.
+    if (model.numExperts > 0) {
+        const double expert_total =
+            static_cast<double>(model.numMoeLayers()) *
+            model.numExperts * model.ffnParams();
+        if (plan.experts == ExpertPlacement::ExpertParallel) {
+            per_device += expert_total / topo.totalDevices();
+        } else {
+            // Experts split over nodes, sliced within the node.
+            per_device += expert_total /
+                          (plan.expertEpNodes * plan.expertTpDegree);
+        }
+    }
+    return static_cast<Bytes>(per_device) * kFp16Bytes;
+}
+
+} // namespace duplex

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Model-to-device sharding plans (Section III, Fig. 3; Section V-B).
+ *
+ * Non-expert weights use tensor parallelism inside a node and data
+ * parallelism across nodes. Expert FFNs use either
+ *  - expert parallelism (EP): experts spread over all devices, with
+ *    tensor parallelism inside an expert when devices > Nex, or
+ *  - expert tensor parallelism (ET, Duplex+PE+ET): every expert is
+ *    sliced across all devices of a node so each device sees every
+ *    expert; EP applies only across nodes.
+ */
+
+#ifndef DUPLEX_PARALLEL_SHARDING_HH
+#define DUPLEX_PARALLEL_SHARDING_HH
+
+#include <vector>
+
+#include "model/config.hh"
+#include "parallel/topology.hh"
+
+namespace duplex
+{
+
+/** Expert placement strategy. */
+enum class ExpertPlacement
+{
+    ExpertParallel, //!< Fig. 3 default
+    ExpertTensorParallel, //!< Duplex+PE+ET (Section V-B)
+};
+
+/** Derived sharding description for one system. */
+struct ShardingPlan
+{
+    int tpDegree = 1;        //!< tensor-parallel width (non-expert)
+    int dpDegree = 1;        //!< data-parallel width (across nodes)
+    ExpertPlacement experts = ExpertPlacement::ExpertParallel;
+
+    /** Experts resident per device (EP mode). */
+    int expertsPerDevice = 0;
+
+    /** Tensor-parallel width inside one expert. */
+    int expertTpDegree = 1;
+
+    /** Nodes an expert-parallel exchange spans. */
+    int expertEpNodes = 1;
+
+    /** Fraction of one expert's weights held per device. */
+    double expertShardFraction() const
+    {
+        return 1.0 / static_cast<double>(expertTpDegree);
+    }
+
+    /** Fraction of non-expert per-layer weights per device. */
+    double tpShardFraction() const
+    {
+        return 1.0 / static_cast<double>(tpDegree);
+    }
+};
+
+/**
+ * Build the plan for @p model on @p topo.
+ *
+ * @param placement Expert placement policy.
+ */
+ShardingPlan makeShardingPlan(const ModelConfig &model,
+                              const SystemTopology &topo,
+                              ExpertPlacement placement);
+
+/**
+ * Weight bytes resident on one device under @p plan (expert and
+ * non-expert shards plus embeddings).
+ */
+Bytes weightBytesPerDevice(const ModelConfig &model,
+                           const SystemTopology &topo,
+                           const ShardingPlan &plan);
+
+} // namespace duplex
+
+#endif // DUPLEX_PARALLEL_SHARDING_HH

@@ -1,0 +1,3 @@
+// SystemTopology is header-only; this translation unit anchors the
+// target.
+#include "parallel/topology.hh"

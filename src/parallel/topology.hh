@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multi-device system topology (Section VI).
+ *
+ * Up to eight devices form a node connected by bidirectional
+ * 900 GB/s NVLink (HGX-style); nodes are connected by 400 GB/s
+ * InfiniBand. Link bandwidth here is the usable per-direction
+ * bandwidth seen by one device.
+ */
+
+#ifndef DUPLEX_PARALLEL_TOPOLOGY_HH
+#define DUPLEX_PARALLEL_TOPOLOGY_HH
+
+#include "common/units.hh"
+
+namespace duplex
+{
+
+/** One interconnect class. */
+struct LinkSpec
+{
+    double bytesPerSec = 0.0;
+    PicoSec latency = 0;
+};
+
+/** Shape of the serving system. */
+struct SystemTopology
+{
+    int numNodes = 1;
+    int devicesPerNode = 4;
+
+    /** NVLink: 900 GB/s bidirectional => 450 GB/s per direction. */
+    LinkSpec intraNode{450.0 * kGB, 700 * kPsPerNs};
+
+    /** InfiniBand: 400 GB/s node-to-node. */
+    LinkSpec interNode{200.0 * kGB, 2 * kPsPerUs};
+
+    int totalDevices() const { return numNodes * devicesPerNode; }
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_PARALLEL_TOPOLOGY_HH

@@ -1,0 +1,123 @@
+#include "sched/batcher.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
+                                     std::vector<Request> requests)
+    : config_(config),
+      pending_(requests.begin(), requests.end())
+{
+    fatalIf(config_.maxBatch <= 0, "maxBatch must be positive");
+}
+
+bool
+ContinuousBatcher::allDone() const
+{
+    return pending_.empty() && active_.empty();
+}
+
+std::int64_t
+ContinuousBatcher::activeKvTokens() const
+{
+    // Full-lifetime budget: context already cached plus the tokens
+    // the request will still generate.
+    std::int64_t total = 0;
+    for (const auto &r : active_)
+        total += r.inputLen + r.outputLen;
+    return total;
+}
+
+PicoSec
+ContinuousBatcher::nextArrival() const
+{
+    if (pending_.empty())
+        return -1;
+    return pending_.front().arrival;
+}
+
+StageShape
+ContinuousBatcher::formStage(PicoSec now)
+{
+    panicIf(stageOpen_, "formStage called with a stage in flight");
+    StageShape stage;
+    stagePrefillIds_.clear();
+
+    // Admit new requests while a slot and KV room exist.
+    std::int64_t kv = activeKvTokens();
+    while (!pending_.empty() &&
+           static_cast<int>(stagePrefillIds_.size()) <
+               config_.maxPrefillsPerStage &&
+           active_.size() < static_cast<std::size_t>(config_.maxBatch)) {
+        Request &cand = pending_.front();
+        if (!config_.closedLoop && cand.arrival > now)
+            break;
+        // Budget the request's full KV lifetime (prompt plus the
+        // tokens it will generate) so admitted requests never
+        // overflow the cache mid-generation.
+        const std::int64_t need =
+            kv + cand.inputLen + cand.outputLen +
+            static_cast<std::int64_t>(active_.size()) + 1;
+        if (need > config_.maxKvTokens)
+            break;
+        Request admitted = cand;
+        pending_.pop_front();
+        if (config_.closedLoop)
+            admitted.arrival = now;
+        kv += admitted.inputLen;
+        stagePrefillIds_.push_back(admitted.id);
+        stage.prefillLengths.push_back(admitted.inputLen);
+        active_.push_back(admitted);
+    }
+
+    for (const auto &r : active_) {
+        if (r.generated > 0)
+            stage.decodeContexts.push_back(r.contextLen());
+    }
+
+    if (!stage.prefillLengths.empty())
+        ++mixed_;
+    else if (!stage.decodeContexts.empty())
+        ++decodeOnly_;
+
+    stageOpen_ = stage.totalTokens() > 0;
+    return stage;
+}
+
+void
+ContinuousBatcher::completeStage(PicoSec now)
+{
+    panicIf(!stageOpen_, "completeStage without a stage in flight");
+    stageOpen_ = false;
+
+    std::vector<Request> still_active;
+    still_active.reserve(active_.size());
+    for (auto &r : active_) {
+        const bool was_prefill =
+            std::find(stagePrefillIds_.begin(), stagePrefillIds_.end(),
+                      r.id) != stagePrefillIds_.end();
+        if (was_prefill) {
+            r.firstToken = now;
+            r.generated = 1;
+        } else {
+            r.generated += 1;
+        }
+        r.tokenTimes.push_back(now);
+        ++totalGenerated_;
+        if (r.done()) {
+            r.finished = now;
+            finished_.push_back(r);
+        } else {
+            still_active.push_back(std::move(r));
+        }
+    }
+    active_ = std::move(still_active);
+    stagePrefillIds_.clear();
+}
+
+} // namespace duplex

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Continuous batching scheduler (ORCA-style, Section II-C).
+ *
+ * Inference is batched at the stage level: every iteration runs one
+ * stage over all admitted requests — decode sequences generate one
+ * token each, newly admitted requests run their prefill in the same
+ * stage (making it a "mixed" stage). When no request is waiting, the
+ * stage is "decoding-only". Admission respects both the configured
+ * batch size and the KV-cache capacity of the serving system.
+ */
+
+#ifndef DUPLEX_SCHED_BATCHER_HH
+#define DUPLEX_SCHED_BATCHER_HH
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "model/layers.hh"
+#include "workload/generator.hh"
+#include "workload/request.hh"
+
+namespace duplex
+{
+
+/** Admission limits for the batcher. */
+struct BatcherConfig
+{
+    int maxBatch = 32;
+
+    /**
+     * Prefills admitted into one stage. Serving systems chunk
+     * admissions so one stage never becomes a prompt avalanche;
+     * this also bounds mixed-stage latency spikes.
+     */
+    int maxPrefillsPerStage = 4;
+
+    /** KV tokens the system can hold; admission stops beyond it. */
+    std::int64_t maxKvTokens =
+        std::numeric_limits<std::int64_t>::max();
+
+    /**
+     * Closed loop (paper default): a finished request is replaced
+     * immediately; arrivals in the request stream are ignored.
+     * Open loop: requests are admitted only after their Poisson
+     * arrival time (Fig. 13).
+     */
+    bool closedLoop = true;
+};
+
+/** Stage-level scheduler over a generated request stream. */
+class ContinuousBatcher
+{
+  public:
+    /**
+     * @param config    Admission limits.
+     * @param requests  The request stream (pre-generated).
+     */
+    ContinuousBatcher(const BatcherConfig &config,
+                      std::vector<Request> requests);
+
+    /** True when every request has finished. */
+    bool allDone() const;
+
+    /** Requests still unadmitted. */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Requests currently being served. */
+    std::size_t activeCount() const { return active_.size(); }
+
+    /**
+     * Form the next stage at time @p now: admit what fits, return
+     * the stage composition. Returns an empty stage if nothing can
+     * run (open loop, before the next arrival).
+     */
+    StageShape formStage(PicoSec now);
+
+    /**
+     * Earliest arrival among pending requests (open loop); used to
+     * advance the clock across idle gaps. -1 when none pending.
+     */
+    PicoSec nextArrival() const;
+
+    /**
+     * Account for the stage formed by the last formStage() call
+     * finishing at @p now: prefills produce their first token,
+     * decodes one more; finished requests retire.
+     */
+    void completeStage(PicoSec now);
+
+    /** Retired requests with full lifecycle timestamps. */
+    const std::vector<Request> &finished() const { return finished_; }
+
+    /** Tokens generated so far across all requests. */
+    std::int64_t totalGenerated() const { return totalGenerated_; }
+
+    /** Stage counts by type (Fig. 5(a)). */
+    std::int64_t decodingOnlyStages() const { return decodeOnly_; }
+    std::int64_t mixedStages() const { return mixed_; }
+
+  private:
+    BatcherConfig config_;
+    std::deque<Request> pending_;
+    std::vector<Request> active_;
+    std::vector<int> stagePrefillIds_; //!< admitted this stage
+    bool stageOpen_ = false;
+    std::vector<Request> finished_;
+    std::int64_t totalGenerated_ = 0;
+    std::int64_t decodeOnly_ = 0;
+    std::int64_t mixed_ = 0;
+
+    std::int64_t activeKvTokens() const;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SCHED_BATCHER_HH

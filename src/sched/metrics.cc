@@ -1,0 +1,25 @@
+#include "sched/metrics.hh"
+
+namespace duplex
+{
+
+ServingMetrics
+collectMetrics(const std::vector<Request> &finished,
+               std::size_t skip_requests)
+{
+    ServingMetrics m;
+    for (std::size_t i = skip_requests; i < finished.size(); ++i) {
+        const Request &r = finished[i];
+        if (r.firstToken >= 0)
+            m.t2ftMs.add(psToMs(r.firstToken - r.arrival));
+        if (r.finished >= 0)
+            m.e2eMs.add(psToMs(r.finished - r.arrival));
+        for (std::size_t t = 1; t < r.tokenTimes.size(); ++t) {
+            m.tbtMs.add(
+                psToMs(r.tokenTimes[t] - r.tokenTimes[t - 1]));
+        }
+    }
+    return m;
+}
+
+} // namespace duplex

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Serving metrics: the quantities the paper's figures report.
+ *
+ *  - TBT  (token-between-token): gap between consecutive token
+ *    completions of one request; p50/p90/p99 in Figs. 12/13.
+ *  - T2FT (time-to-first-token): arrival to first token.
+ *  - E2E  : arrival to last token.
+ *  - Throughput: generated tokens per second (Figs. 11/14).
+ */
+
+#ifndef DUPLEX_SCHED_METRICS_HH
+#define DUPLEX_SCHED_METRICS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "workload/request.hh"
+
+namespace duplex
+{
+
+/** Aggregated serving metrics over a run. */
+struct ServingMetrics
+{
+    SampleStats tbtMs;
+    SampleStats t2ftMs;
+    SampleStats e2eMs;
+    std::int64_t totalTokens = 0;
+    PicoSec elapsed = 0;
+    std::int64_t decodingOnlyStages = 0;
+    std::int64_t mixedStages = 0;
+
+    /** Tokens per second over the whole run. */
+    double throughputTokensPerSec() const
+    {
+        const double sec = psToSec(elapsed);
+        return sec > 0.0 ? static_cast<double>(totalTokens) / sec
+                         : 0.0;
+    }
+
+    /** Fraction of stages that were decoding-only (Fig. 5(a)). */
+    double decodingOnlyRatio() const
+    {
+        const double total = static_cast<double>(
+            decodingOnlyStages + mixedStages);
+        return total > 0.0
+                   ? static_cast<double>(decodingOnlyStages) / total
+                   : 0.0;
+    }
+};
+
+/**
+ * Collect latency metrics from finished requests, skipping the first
+ * @p skip_requests (warm-up) by completion order.
+ */
+ServingMetrics collectMetrics(const std::vector<Request> &finished,
+                              std::size_t skip_requests = 0);
+
+} // namespace duplex
+
+#endif // DUPLEX_SCHED_METRICS_HH

@@ -1,0 +1,3 @@
+// Experiment structs are header-only; this translation unit anchors
+// the target.
+#include "sim/experiment.hh"

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment configuration shared by the simulator entry points.
+ */
+
+#ifndef DUPLEX_SIM_EXPERIMENT_HH
+#define DUPLEX_SIM_EXPERIMENT_HH
+
+#include "cluster/cluster.hh"
+#include "sched/metrics.hh"
+#include "sim/presets.hh"
+#include "workload/generator.hh"
+
+namespace duplex
+{
+
+/** One end-to-end simulation. */
+struct SimConfig
+{
+    SystemKind system = SystemKind::Gpu;
+    ModelConfig model;
+    WorkloadConfig workload;
+
+    /** Stage-level batch limit. */
+    int maxBatch = 32;
+
+    /** Requests injected over the run. */
+    int numRequests = 128;
+
+    /** Finished requests excluded from latency percentiles. */
+    int warmupRequests = 16;
+
+    /** Stage cap; throughput sweeps cut off here. */
+    std::int64_t maxStages = 100000;
+
+    /**
+     * Stages excluded from the throughput window (batch ramp-up);
+     * latency percentiles use warmupRequests instead.
+     */
+    std::int64_t warmupStages = 40;
+
+    /** Prefills admitted per stage (see BatcherConfig). */
+    int maxPrefillsPerStage = 4;
+
+    std::uint64_t seed = 7;
+};
+
+/** Outcome of one simulation. */
+struct SimResult
+{
+    ServingMetrics metrics; //!< throughput over the measured window
+    StageResult totals;     //!< full-run time/energy breakdown
+
+    /** Tokens generated over the whole run (incl. warm-up). */
+    std::int64_t generatedTokens = 0;
+
+    /** Joules per generated token (full run). */
+    double energyPerTokenJ() const
+    {
+        return generatedTokens > 0
+                   ? totals.totalEnergyJ() /
+                         static_cast<double>(generatedTokens)
+                   : 0.0;
+    }
+
+    /** Largest batch observed in any stage. */
+    int peakBatch = 0;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_EXPERIMENT_HH

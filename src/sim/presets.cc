@@ -1,0 +1,118 @@
+#include "sim/presets.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Gpu:
+        return "GPU";
+      case SystemKind::Gpu2x:
+        return "2xGPU";
+      case SystemKind::Duplex:
+        return "Duplex";
+      case SystemKind::DuplexPE:
+        return "Duplex+PE";
+      case SystemKind::DuplexPEET:
+        return "Duplex+PE+ET";
+      case SystemKind::BankPim:
+        return "Bank-PIM";
+      case SystemKind::BankGroupPim:
+        return "BankGroup-PIM";
+      case SystemKind::Hetero:
+        return "Hetero";
+      case SystemKind::DuplexSplit:
+        return "Duplex-Split";
+      default:
+        return "?";
+    }
+}
+
+SystemTopology
+defaultTopology(const ModelConfig &model, bool doubled)
+{
+    SystemTopology topo;
+    int devices = 4;
+    if (model.name == "GLaM")
+        devices = 8;
+    else if (model.name == "Grok1")
+        devices = 16;
+    if (doubled)
+        devices *= 2;
+    topo.devicesPerNode = std::min(devices, 8);
+    topo.numNodes = (devices + 7) / 8;
+    return topo;
+}
+
+ClusterConfig
+makeClusterConfig(SystemKind kind, const ModelConfig &model,
+                  std::uint64_t seed)
+{
+    const HbmTiming timing = hbm3Timing();
+    const DramCalibration &cal = cachedCalibration();
+
+    ClusterConfig cfg;
+    cfg.model = model;
+    cfg.seed = seed;
+    cfg.topo = defaultTopology(model, kind == SystemKind::Gpu2x);
+    cfg.expertPlacement = ExpertPlacement::ExpertParallel;
+
+    switch (kind) {
+      case SystemKind::Gpu:
+      case SystemKind::Gpu2x:
+        cfg.deviceSpec = h100DeviceSpec(timing, cal);
+        break;
+      case SystemKind::Duplex:
+        cfg.deviceSpec = duplexDeviceSpec(timing, cal, false);
+        break;
+      case SystemKind::DuplexPE:
+        cfg.deviceSpec = duplexDeviceSpec(timing, cal, true);
+        break;
+      case SystemKind::DuplexPEET:
+        cfg.deviceSpec = duplexDeviceSpec(timing, cal, true);
+        if (model.numExperts > 0)
+            cfg.expertPlacement =
+                ExpertPlacement::ExpertTensorParallel;
+        break;
+      case SystemKind::BankPim:
+        cfg.deviceSpec = pimVariantDeviceSpec(PimVariant::BankPim,
+                                              timing, cal, true);
+        if (model.numExperts > 0)
+            cfg.expertPlacement =
+                ExpertPlacement::ExpertTensorParallel;
+        break;
+      case SystemKind::BankGroupPim:
+        cfg.deviceSpec = pimVariantDeviceSpec(
+            PimVariant::BankGroupPim, timing, cal, true);
+        if (model.numExperts > 0)
+            cfg.expertPlacement =
+                ExpertPlacement::ExpertTensorParallel;
+        break;
+      default:
+        fatal("makeClusterConfig: system needs a dedicated builder");
+    }
+    return cfg;
+}
+
+HeteroConfig
+makeHeteroConfig(const ModelConfig &model, std::uint64_t seed)
+{
+    const HbmTiming timing = hbm3Timing();
+    const DramCalibration &cal = cachedCalibration();
+
+    HeteroConfig cfg;
+    cfg.model = model;
+    cfg.seed = seed;
+    cfg.numGpus = 2;
+    cfg.numPimDevices = 2;
+    cfg.gpuSpec = h100DeviceSpec(timing, cal);
+    cfg.pimSpec = duplexDeviceSpec(timing, cal, false);
+    cfg.link = SystemTopology{}.intraNode;
+    return cfg;
+}
+
+} // namespace duplex

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * System presets (Section VI).
+ *
+ * Default device counts: Mixtral/OPT/Llama3 one node of four
+ * devices; GLaM one node of eight; Grok1 two nodes of eight. The
+ * 2xGPU comparison doubles devices by first filling nodes to eight,
+ * then adding nodes.
+ */
+
+#ifndef DUPLEX_SIM_PRESETS_HH
+#define DUPLEX_SIM_PRESETS_HH
+
+#include "cluster/cluster.hh"
+
+namespace duplex
+{
+
+/** Evaluated serving systems. */
+enum class SystemKind
+{
+    Gpu,          //!< H100-class baseline
+    Gpu2x,        //!< twice the devices
+    Duplex,       //!< engine selection only (Fig. 10(a)/(b))
+    DuplexPE,     //!< + expert/attention co-processing
+    DuplexPEET,   //!< + tensor-parallel experts
+    BankPim,      //!< hybrid device with Bank-PIM low engine
+    BankGroupPim, //!< hybrid device with BankGroup-PIM low engine
+    Hetero,       //!< 2 GPUs + 2 Logic-PIM devices (Section III-B)
+    DuplexSplit,  //!< Splitwise-style prefill/decode split (Fig. 16)
+};
+
+/** Name for reporting. */
+const char *systemName(SystemKind kind);
+
+/** Device count defaults per model. */
+SystemTopology defaultTopology(const ModelConfig &model,
+                               bool doubled = false);
+
+/**
+ * Cluster configuration for a homogeneous system. Not valid for
+ * Hetero / DuplexSplit (those have dedicated builders).
+ */
+ClusterConfig makeClusterConfig(SystemKind kind,
+                                const ModelConfig &model,
+                                std::uint64_t seed = 7);
+
+/** Hetero system: GPUs + PIM-only devices over NVLink. */
+HeteroConfig makeHeteroConfig(const ModelConfig &model,
+                              std::uint64_t seed = 7);
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_PRESETS_HH

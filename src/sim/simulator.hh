@@ -1,0 +1,28 @@
+/**
+ * @file
+ * End-to-end serving simulation: continuous batching scheduler
+ * driving a cluster, request lifecycle tracking, and the
+ * prefill/decode split system of Section VIII-A.
+ */
+
+#ifndef DUPLEX_SIM_SIMULATOR_HH
+#define DUPLEX_SIM_SIMULATOR_HH
+
+#include "sim/experiment.hh"
+
+namespace duplex
+{
+
+/** Run one simulation on a homogeneous or hetero system. */
+SimResult runSimulation(const SimConfig &config);
+
+/**
+ * Run the Duplex-Split system (Fig. 16): half the devices dedicate
+ * to prefill, half to decode; weights are duplicated across the two
+ * groups and KV caches migrate over NVLink after prefill.
+ */
+SimResult runSplitSimulation(const SimConfig &config);
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_SIMULATOR_HH

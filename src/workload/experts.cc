@@ -1,0 +1,68 @@
+#include "workload/experts.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+ExpertSelector::ExpertSelector(int num_experts, int top_k,
+                               GatePolicy policy, double zipf_s)
+    : numExperts_(num_experts), topK_(top_k), policy_(policy)
+{
+    fatalIf(num_experts <= 0, "ExpertSelector: need experts");
+    fatalIf(top_k <= 0 || top_k > num_experts,
+            "ExpertSelector: need 0 < topK <= numExperts");
+    if (policy_ == GatePolicy::Zipf) {
+        cumWeights_.resize(numExperts_);
+        double total = 0.0;
+        for (int i = 0; i < numExperts_; ++i) {
+            total += 1.0 / std::pow(static_cast<double>(i + 1),
+                                    zipf_s);
+            cumWeights_[i] = total;
+        }
+        for (auto &w : cumWeights_)
+            w /= total;
+    }
+}
+
+void
+ExpertSelector::sampleOneToken(Rng &rng,
+                               std::vector<std::int64_t> &hist) const
+{
+    if (policy_ == GatePolicy::Uniform) {
+        for (int e : rng.chooseDistinct(numExperts_, topK_))
+            ++hist[e];
+        return;
+    }
+    // Zipf: rejection-sample distinct experts by CDF inversion.
+    int chosen[8];
+    panicIf(topK_ > 8, "topK > 8 unsupported for Zipf gate");
+    int found = 0;
+    while (found < topK_) {
+        const double u = rng.uniform();
+        int e = 0;
+        while (e < numExperts_ - 1 && cumWeights_[e] < u)
+            ++e;
+        bool dup = false;
+        for (int i = 0; i < found; ++i)
+            if (chosen[i] == e)
+                dup = true;
+        if (!dup)
+            chosen[found++] = e;
+    }
+    for (int i = 0; i < found; ++i)
+        ++hist[chosen[i]];
+}
+
+std::vector<std::int64_t>
+ExpertSelector::sample(Rng &rng, std::int64_t tokens) const
+{
+    std::vector<std::int64_t> hist(numExperts_, 0);
+    for (std::int64_t t = 0; t < tokens; ++t)
+        sampleOneToken(rng, hist);
+    return hist;
+}
+
+} // namespace duplex

@@ -1,0 +1,45 @@
+#include "workload/generator.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+RequestGenerator::RequestGenerator(const WorkloadConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    fatalIf(config_.meanInputLen <= 0 || config_.meanOutputLen <= 0,
+            "RequestGenerator: mean lengths must be positive");
+}
+
+Request
+RequestGenerator::next()
+{
+    Request r;
+    r.id = nextId_++;
+    r.inputLen = rng_.truncatedGaussianInt(
+        static_cast<double>(config_.meanInputLen),
+        config_.lengthCv * static_cast<double>(config_.meanInputLen),
+        config_.minLen);
+    r.outputLen = rng_.truncatedGaussianInt(
+        static_cast<double>(config_.meanOutputLen),
+        config_.lengthCv * static_cast<double>(config_.meanOutputLen),
+        config_.minLen);
+    if (config_.qps > 0.0) {
+        clock_ += secToPs(rng_.exponential(config_.qps));
+        r.arrival = clock_;
+    }
+    return r;
+}
+
+std::vector<Request>
+RequestGenerator::take(int n)
+{
+    std::vector<Request> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace duplex

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic workload generation (Section VI).
+ *
+ * Request lengths come from truncated Gaussians around the reported
+ * (Lin, Lout) averages; arrivals are either closed-loop (a finished
+ * request is immediately replaced, the paper's default) or an open
+ * Poisson process at a given QPS (Fig. 13).
+ */
+
+#ifndef DUPLEX_WORKLOAD_GENERATOR_HH
+#define DUPLEX_WORKLOAD_GENERATOR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/request.hh"
+
+namespace duplex
+{
+
+/** Parameters of the synthetic request stream. */
+struct WorkloadConfig
+{
+    std::int64_t meanInputLen = 1024;
+    std::int64_t meanOutputLen = 1024;
+
+    /** Stddev as a fraction of the mean. */
+    double lengthCv = 0.25;
+
+    /** Shortest admissible prompt / generation. */
+    std::int64_t minLen = 8;
+
+    /** Poisson arrival rate; <= 0 means closed loop. */
+    double qps = 0.0;
+
+    std::uint64_t seed = 12345;
+};
+
+/** Draws requests per WorkloadConfig. */
+class RequestGenerator
+{
+  public:
+    explicit RequestGenerator(const WorkloadConfig &config);
+
+    const WorkloadConfig &config() const { return config_; }
+
+    /**
+     * Next request. Closed-loop requests carry arrival = 0 (they
+     * are admitted whenever a slot frees); Poisson requests carry
+     * accumulated arrival timestamps.
+     */
+    Request next();
+
+    /** Generate @p n requests. */
+    std::vector<Request> take(int n);
+
+  private:
+    WorkloadConfig config_;
+    Rng rng_;
+    int nextId_ = 0;
+    PicoSec clock_ = 0;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_WORKLOAD_GENERATOR_HH

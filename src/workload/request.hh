@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Inference request records and their lifecycle timestamps.
+ */
+
+#ifndef DUPLEX_WORKLOAD_REQUEST_HH
+#define DUPLEX_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace duplex
+{
+
+/** One inference request as the serving scheduler sees it. */
+struct Request
+{
+    int id = -1;
+    std::int64_t inputLen = 0;   //!< prompt tokens (Lin)
+    std::int64_t outputLen = 0;  //!< tokens to generate (Lout)
+    PicoSec arrival = 0;         //!< when the request enters the queue
+
+    // --- Lifecycle, filled by the scheduler -----------------------
+    PicoSec firstToken = -1;     //!< completion of the prefill stage
+    PicoSec finished = -1;       //!< completion of the last token
+    std::int64_t generated = 0;  //!< tokens produced so far
+    std::vector<PicoSec> tokenTimes; //!< completion time per token
+
+    /** Context length the KV cache holds for this request. */
+    std::int64_t contextLen() const { return inputLen + generated; }
+
+    bool done() const { return generated >= outputLen; }
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_WORKLOAD_REQUEST_HH

@@ -1,0 +1,86 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+std::vector<Request>
+parseTrace(std::istream &in)
+{
+    std::vector<Request> requests;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string arrival_s;
+        std::string lin_s;
+        std::string lout_s;
+        if (!std::getline(fields, arrival_s, ',') ||
+            !std::getline(fields, lin_s, ',') ||
+            !std::getline(fields, lout_s, ',')) {
+            fatal("trace line " + std::to_string(line_no) +
+                  ": expected arrival_sec,input_len,output_len");
+        }
+        Request r;
+        r.id = static_cast<int>(requests.size());
+        try {
+            r.arrival = secToPs(std::stod(arrival_s));
+            r.inputLen = std::stoll(lin_s);
+            r.outputLen = std::stoll(lout_s);
+        } catch (const std::exception &) {
+            fatal("trace line " + std::to_string(line_no) +
+                  ": malformed number");
+        }
+        fatalIf(r.arrival < 0 || r.inputLen <= 0 || r.outputLen <= 0,
+                "trace line " + std::to_string(line_no) +
+                    ": lengths must be positive, arrival "
+                    "non-negative");
+        fatalIf(!requests.empty() &&
+                    r.arrival < requests.back().arrival,
+                "trace line " + std::to_string(line_no) +
+                    ": arrivals must be non-decreasing");
+        requests.push_back(r);
+    }
+    return requests;
+}
+
+std::vector<Request>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open trace: " + path);
+    return parseTrace(in);
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<Request> &requests)
+{
+    out << "# arrival_sec,input_len,output_len\n";
+    char buf[64];
+    for (const auto &r : requests) {
+        // Nanosecond text precision keeps long traces lossless.
+        std::snprintf(buf, sizeof(buf), "%.9f", psToSec(r.arrival));
+        out << buf << "," << r.inputLen << "," << r.outputLen
+            << "\n";
+    }
+}
+
+void
+saveTrace(const std::string &path,
+          const std::vector<Request> &requests)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot write trace: " + path);
+    writeTrace(out, requests);
+}
+
+} // namespace duplex

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Request-trace I/O.
+ *
+ * The paper evaluates on synthesized workloads; deployments replay
+ * production traces. This loader accepts a simple CSV —
+ * `arrival_sec,input_len,output_len` per line, '#' comments — so a
+ * recorded trace can drive the same simulator, and the writer dumps
+ * generated workloads for sharing.
+ */
+
+#ifndef DUPLEX_WORKLOAD_TRACE_HH
+#define DUPLEX_WORKLOAD_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.hh"
+
+namespace duplex
+{
+
+/** Parse a trace from a stream; fatal on malformed lines. */
+std::vector<Request> parseTrace(std::istream &in);
+
+/** Load a trace file. */
+std::vector<Request> loadTrace(const std::string &path);
+
+/** Serialize requests to the trace format. */
+void writeTrace(std::ostream &out,
+                const std::vector<Request> &requests);
+
+/** Save requests to a trace file. */
+void saveTrace(const std::string &path,
+               const std::vector<Request> &requests);
+
+} // namespace duplex
+
+#endif // DUPLEX_WORKLOAD_TRACE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Area-model tests against the published Section VII-E numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(AreaModel, LogicPimTotalMatchesPaper)
+{
+    AreaModel a;
+    const AreaReport r = a.logicPim();
+    EXPECT_NEAR(r.totalMm2(), 17.80, 0.05);
+    EXPECT_NEAR(r.computeMm2, 3.02, 1e-9);
+    EXPECT_NEAR(r.bufferMm2, 2.26, 1e-9);
+    EXPECT_NEAR(r.softmaxMm2, 1.64, 1e-9);
+    EXPECT_NEAR(r.tsvMm2, 10.89, 1e-9);
+}
+
+TEST(AreaModel, LogicDieFractionMatchesPaper)
+{
+    AreaModel a;
+    // 17.80 / 121 = 14.71%.
+    EXPECT_NEAR(a.logicPimDieFraction(), 0.1471, 0.001);
+}
+
+TEST(AreaModel, LogicPimPeakFlops)
+{
+    AreaModel a;
+    // 32 modules x 512 MACs x 650 MHz x 2 = 21.3 TFLOPS per stack.
+    EXPECT_NEAR(a.logicPimPeakFlops(), 21.3e12, 0.1e12);
+}
+
+TEST(AreaModel, BankPimLargerComputeForSameFlops)
+{
+    AreaModel a;
+    const double flops = a.logicPimPeakFlops();
+    const AreaReport bank = a.bankPim(flops);
+    // Same FLOPS in the DRAM process costs ~10x compute area.
+    EXPECT_NEAR(bank.computeMm2,
+                a.logicPim().computeMm2 * a.params().dramLogicFactor,
+                0.01);
+    EXPECT_EQ(bank.tsvMm2, 0.0);
+}
+
+TEST(AreaModel, BankGroupPimWorstTotal)
+{
+    AreaModel a;
+    // BankGroup-PIM carries Logic-PIM's full compute and buffers in
+    // the DRAM process: the largest added area (Fig. 8's EDAP).
+    const double bg = a.bankGroupPim().totalMm2();
+    EXPECT_GT(bg, a.logicPim().totalMm2());
+    // Bank-PIM's published compute: 16 x stack bandwidth at
+    // 1 Op/B ~ 10.9 TFLOPS per stack.
+    EXPECT_GT(bg, a.bankPim(10.9e12).totalMm2());
+}
+
+TEST(AreaModel, PriorWorkOverheadRange)
+{
+    AreaModel a;
+    // Commercial in-DRAM PIM overheads run 20-27% of the die
+    // (Section IV-B); our Bank-PIM model should land in that
+    // neighbourhood for its ~10.9 TFLOPS per stack.
+    const AreaReport bank = a.bankPim(10.9e12);
+    const double fraction =
+        bank.totalMm2() / a.params().logicDieMm2;
+    EXPECT_GT(fraction, 0.10);
+    EXPECT_LT(fraction, 0.30);
+}
+
+TEST(AreaModel, Mm2PerMacSane)
+{
+    AreaModel a;
+    // 3.02 mm^2 / 16384 MACs ~ 184 um^2 per MAC with buffers.
+    EXPECT_NEAR(a.mm2PerMacLogic() * 1e6, 184.0, 2.0);
+}
+
+TEST(AreaModel, BankPimScalesWithFlops)
+{
+    AreaModel a;
+    const AreaReport small = a.bankPim(5e12);
+    const AreaReport big = a.bankPim(10e12);
+    EXPECT_NEAR(big.computeMm2, 2.0 * small.computeMm2, 1e-9);
+}
+
+} // namespace
+} // namespace duplex

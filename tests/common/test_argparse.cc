@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/argparse.hh"
+
+namespace duplex
+{
+namespace
+{
+
+std::vector<char *>
+argvOf(std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return argv;
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    ArgParser p;
+    p.addFlag("model", "model name", "mixtral");
+    std::vector<std::string> args{"prog"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(p.getString("model"), "mixtral");
+}
+
+TEST(ArgParser, EqualsForm)
+{
+    ArgParser p;
+    p.addFlag("batch", "batch size", "32");
+    std::vector<std::string> args{"prog", "--batch=64"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(p.getInt("batch"), 64);
+}
+
+TEST(ArgParser, SpaceForm)
+{
+    ArgParser p;
+    p.addFlag("qps", "arrival rate", "0");
+    std::vector<std::string> args{"prog", "--qps", "12.5"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_DOUBLE_EQ(p.getDouble("qps"), 12.5);
+}
+
+TEST(ArgParser, BoolValues)
+{
+    ArgParser p;
+    p.addFlag("a", "", "true");
+    p.addFlag("b", "", "0");
+    p.addFlag("c", "", "yes");
+    std::vector<std::string> args{"prog"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(p.getBool("a"));
+    EXPECT_FALSE(p.getBool("b"));
+    EXPECT_TRUE(p.getBool("c"));
+}
+
+TEST(ArgParser, MultipleFlags)
+{
+    ArgParser p;
+    p.addFlag("x", "", "1");
+    p.addFlag("y", "", "2");
+    std::vector<std::string> args{"prog", "--y=20", "--x", "10"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_EQ(p.getInt("x"), 10);
+    EXPECT_EQ(p.getInt("y"), 20);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the percentile accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleStats, SingleSample)
+{
+    SampleStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.min(), 42.0);
+    EXPECT_EQ(s.max(), 42.0);
+    EXPECT_EQ(s.percentile(0), 42.0);
+    EXPECT_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleStats, MeanMinMax)
+{
+    SampleStats s;
+    for (double v : {3.0, 1.0, 2.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(SampleStats, MedianOfOddCount)
+{
+    SampleStats s;
+    for (double v : {5.0, 1.0, 3.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleStats, MedianInterpolatesEvenCount)
+{
+    SampleStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(SampleStats, PercentileInterpolation)
+{
+    SampleStats s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.percentile(90), 90.0, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.0, 1e-9);
+    EXPECT_NEAR(s.percentile(50), 50.0, 1e-9);
+}
+
+TEST(SampleStats, PercentileMonotone)
+{
+    SampleStats s;
+    // Unordered insertion, heavy tail.
+    for (double v : {10.0, 1.0, 1.0, 1.0, 100.0, 2.0, 3.0, 50.0})
+        s.add(v);
+    double prev = s.percentile(0);
+    for (int p = 5; p <= 100; p += 5) {
+        const double cur = s.percentile(p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(SampleStats, AddAfterQueryResorts)
+{
+    SampleStats s;
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+    s.add(1.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(SampleStats, Merge)
+{
+    SampleStats a;
+    a.add(1.0);
+    a.add(2.0);
+    SampleStats b;
+    b.add(3.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(SampleStats, Clear)
+{
+    SampleStats s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.startRow();
+    t.cell("alpha");
+    t.cell(static_cast<std::int64_t>(42));
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a"});
+    t.startRow();
+    t.cell("longvalue");
+    t.startRow();
+    t.cell("x");
+    const std::string out = t.str();
+    // Every line should have equal length (aligned columns).
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = first_len + 1;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        ASSERT_NE(next, std::string::npos);
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, FormatsDoubles)
+{
+    Table t({"v"});
+    t.startRow();
+    t.cell(3.14159, 2);
+    EXPECT_NE(t.str().find("3.14"), std::string::npos);
+    EXPECT_EQ(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(FormatDouble, FixedDigits)
+{
+    EXPECT_EQ(formatDouble(1.5, 3), "1.500");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-0.25, 2), "-0.25");
+}
+
+TEST(Table, ShortRowRendersEmptyCells)
+{
+    Table t({"a", "b"});
+    t.startRow();
+    t.cell("only");
+    const std::string out = t.str();
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Roofline operator-timer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compute/engine.hh"
+#include "compute/vector_unit.hh"
+
+namespace duplex
+{
+namespace
+{
+
+EngineSpec
+testEngine()
+{
+    EngineSpec e;
+    e.name = "test";
+    e.peakFlops = 100e12;
+    e.computeEff = 1.0;
+    e.memBps = 1e12;
+    e.dispatchOverhead = 1000;
+    return e;
+}
+
+TEST(OperatorTime, MemoryBoundUsesBandwidth)
+{
+    const EngineSpec e = testEngine();
+    // 1 GB at 1 TB/s = 1 ms; negligible FLOPs.
+    const PicoSec t = operatorTime(e, 1e6, 1'000'000'000ull);
+    EXPECT_NEAR(static_cast<double>(t), 1e9, 1e6);
+}
+
+TEST(OperatorTime, ComputeBoundUsesFlops)
+{
+    const EngineSpec e = testEngine();
+    // 1e12 FLOPs at 100 TFLOPS = 10 ms; negligible bytes.
+    const PicoSec t = operatorTime(e, 1e12, 1024);
+    EXPECT_NEAR(static_cast<double>(t), 1e10, 1e7);
+}
+
+TEST(OperatorTime, RidgePoint)
+{
+    const EngineSpec e = testEngine();
+    EXPECT_DOUBLE_EQ(e.ridgeOpPerByte(), 100.0);
+    // At exactly the ridge the two legs agree.
+    const Bytes bytes = 1'000'000;
+    const Flops flops = 100.0 * static_cast<double>(bytes);
+    const double mem_sec = static_cast<double>(bytes) / e.memBps;
+    const PicoSec t = operatorTimeNoOverhead(e, flops, bytes);
+    EXPECT_NEAR(static_cast<double>(t), mem_sec * 1e12, 10.0);
+}
+
+TEST(OperatorTime, ComputeEfficiencyScales)
+{
+    EngineSpec e = testEngine();
+    const PicoSec full = operatorTimeNoOverhead(e, 1e15, 1);
+    e.computeEff = 0.5;
+    const PicoSec half = operatorTimeNoOverhead(e, 1e15, 1);
+    EXPECT_NEAR(static_cast<double>(half),
+                2.0 * static_cast<double>(full), 4.0);
+}
+
+TEST(OperatorTime, OverheadAdded)
+{
+    const EngineSpec e = testEngine();
+    const PicoSec with = operatorTime(e, 1e9, 1024);
+    const PicoSec without = operatorTimeNoOverhead(e, 1e9, 1024);
+    EXPECT_EQ(with, without + e.dispatchOverhead);
+}
+
+TEST(OperatorTime, ZeroWorkIsFree)
+{
+    const EngineSpec e = testEngine();
+    EXPECT_EQ(operatorTime(e, 0.0, 0), 0);
+}
+
+TEST(OperatorTime, TinyWorkNonZero)
+{
+    const EngineSpec e = testEngine();
+    EXPECT_GE(operatorTimeNoOverhead(e, 1.0, 1), 1);
+}
+
+TEST(OperatorTime, MonotoneInBytes)
+{
+    const EngineSpec e = testEngine();
+    PicoSec prev = 0;
+    for (Bytes b = 1024; b <= 1024 * 1024; b *= 4) {
+        const PicoSec t = operatorTimeNoOverhead(e, 0.0, b);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(GemmTime, UsesShapeTraffic)
+{
+    const EngineSpec e = testEngine();
+    GemmShape g{8, 4096, 4096};
+    const PicoSec direct =
+        operatorTime(e, g.flops(), g.trafficBytes());
+    EXPECT_EQ(gemmTime(e, g), direct);
+}
+
+TEST(VectorUnit, MemoryBoundWhenPipeFast)
+{
+    VectorUnitSpec v;
+    v.elemsPerSec = 1e15; // effectively infinite pipe
+    EngineSpec mem = testEngine();
+    const double elems = 1e9;
+    const PicoSec t = vectorOpTime(v, mem, elems);
+    const double expect_sec = elems * v.bytesPerElem / mem.memBps;
+    EXPECT_NEAR(static_cast<double>(t), expect_sec * 1e12, 1e6);
+}
+
+TEST(VectorUnit, PipeBoundWhenSlow)
+{
+    VectorUnitSpec v;
+    v.elemsPerSec = 1e9;
+    EngineSpec mem = testEngine();
+    const PicoSec t = vectorOpTime(v, mem, 1e9);
+    EXPECT_NEAR(static_cast<double>(t), 1e12, 1e9);
+}
+
+TEST(VectorUnit, AccountingHelpers)
+{
+    VectorUnitSpec v;
+    v.elemsPerSec = 1e9;
+    EXPECT_DOUBLE_EQ(vectorOpFlops(v, 100.0), 500.0);
+    EXPECT_EQ(vectorOpBytes(v, 100.0), 400u);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GEMM shape arithmetic tests, including the Op/B facts from
+ * Section III-A that motivate the whole design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compute/gemm.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(GemmShape, Flops)
+{
+    GemmShape g{2, 3, 4};
+    EXPECT_DOUBLE_EQ(g.flops(), 2.0 * 2 * 3 * 4);
+}
+
+TEST(GemmShape, OperandBytes)
+{
+    GemmShape g{2, 3, 4};
+    EXPECT_EQ(g.weightBytes(), 3u * 4 * 2);
+    EXPECT_EQ(g.inputBytes(), 2u * 3 * 2);
+    EXPECT_EQ(g.outputBytes(), 2u * 4 * 2);
+    EXPECT_EQ(g.trafficBytes(),
+              g.weightBytes() + g.inputBytes() + g.outputBytes());
+}
+
+TEST(GemmShape, GemvOpbJustUnderOne)
+{
+    // A weight-dominated GEMV has Op/B slightly below 1.
+    GemmShape g{1, 4096, 14336};
+    EXPECT_GT(g.opPerByte(), 0.9);
+    EXPECT_LT(g.opPerByte(), 1.0);
+}
+
+TEST(GemmShape, OpbGrowsWithTokens)
+{
+    // Op/B of an FC layer is roughly the token count m (paper:
+    // "the Op/B of the MoE layer is at least 1" and grows with
+    // batching).
+    double prev = 0.0;
+    for (std::int64_t m : {1, 2, 4, 8, 16, 32}) {
+        GemmShape g{m, 4096, 14336};
+        EXPECT_GT(g.opPerByte(), prev);
+        prev = g.opPerByte();
+        EXPECT_LT(g.opPerByte(), static_cast<double>(m));
+        EXPECT_GT(g.opPerByte(), 0.8 * static_cast<double>(m));
+    }
+}
+
+TEST(GemmShape, LargeMBecomesComputeRich)
+{
+    GemmShape g{4096, 4096, 4096};
+    // Balanced square GEMM: Op/B = 2*n/3 per byte / ... just check
+    // it is far into the compute-bound region.
+    EXPECT_GT(g.opPerByte(), 500.0);
+}
+
+TEST(GemmShape, ZeroShapes)
+{
+    GemmShape g{0, 4096, 4096};
+    EXPECT_DOUBLE_EQ(g.flops(), 0.0);
+    EXPECT_EQ(g.inputBytes(), 0u);
+    // Weight bytes remain (the matrix exists even with no tokens).
+    EXPECT_GT(g.weightBytes(), 0u);
+}
+
+TEST(GemmShape, Fig8WeightMatrix)
+{
+    // Fig. 8 uses a (16384 x 4096) FP16 weight: 128 MiB.
+    GemmShape g{1, 16384, 4096};
+    EXPECT_EQ(g.weightBytes(), 134217728u);
+}
+
+/** Op/B of the paper's models' expert FFN GEMV. */
+class ExpertOpbSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(ExpertOpbSweep, TracksTokenCount)
+{
+    const auto [hidden, interm] = GetParam();
+    for (std::int64_t m : {1, 4, 16, 64}) {
+        GemmShape g{m, hidden, interm};
+        EXPECT_NEAR(g.opPerByte(), static_cast<double>(m),
+                    0.25 * static_cast<double>(m));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ExpertOpbSweep,
+    ::testing::Values(std::pair{4096, 14336},   // Mixtral
+                      std::pair{4096, 16384},   // GLaM
+                      std::pair{6144, 32768})); // Grok1
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bank state-machine timing invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+
+namespace duplex
+{
+namespace
+{
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    HbmTiming timing = hbm3Timing();
+    Bank bank{&timing};
+};
+
+TEST_F(BankTest, StartsPrecharged)
+{
+    EXPECT_EQ(bank.state(), Bank::State::Precharged);
+    EXPECT_EQ(bank.openRow(), -1);
+}
+
+TEST_F(BankTest, ActOpensRow)
+{
+    const PicoSec t = bank.earliestAct(0);
+    bank.act(t, 17);
+    EXPECT_EQ(bank.state(), Bank::State::Active);
+    EXPECT_EQ(bank.openRow(), 17);
+}
+
+TEST_F(BankTest, ReadWaitsForTrcd)
+{
+    bank.act(1000, 0);
+    EXPECT_GE(bank.earliestRead(0), 1000 + timing.tRCD);
+}
+
+TEST_F(BankTest, BackToBackReadsSpacedTccdl)
+{
+    bank.act(0, 0);
+    const PicoSec r1 = bank.earliestRead(0);
+    bank.read(r1);
+    const PicoSec r2 = bank.earliestRead(0);
+    EXPECT_GE(r2, r1 + timing.tCCDL);
+}
+
+TEST_F(BankTest, PrechargeWaitsForTras)
+{
+    bank.act(0, 0);
+    EXPECT_GE(bank.earliestPrecharge(0), timing.tRAS);
+}
+
+TEST_F(BankTest, PrechargeWaitsForTrtpAfterRead)
+{
+    bank.act(0, 0);
+    const PicoSec rd = bank.earliestRead(0);
+    bank.read(rd);
+    EXPECT_GE(bank.earliestPrecharge(0), rd + timing.tRTP);
+}
+
+TEST_F(BankTest, ActAfterPrechargeWaitsForTrp)
+{
+    bank.act(0, 0);
+    const PicoSec pre = bank.earliestPrecharge(0);
+    bank.precharge(pre);
+    EXPECT_EQ(bank.state(), Bank::State::Precharged);
+    EXPECT_GE(bank.earliestAct(0), pre + timing.tRP);
+}
+
+TEST_F(BankTest, FullRowCycleRespectsTrc)
+{
+    bank.act(0, 0);
+    bank.precharge(bank.earliestPrecharge(0));
+    const PicoSec act2 = bank.earliestAct(0);
+    EXPECT_GE(act2, timing.tRAS + timing.tRP);
+}
+
+TEST_F(BankTest, WriteThenPrechargeWaitsForTwr)
+{
+    bank.act(0, 0);
+    const PicoSec wr = bank.earliestWrite(0);
+    bank.write(wr);
+    EXPECT_GE(bank.earliestPrecharge(0),
+              wr + timing.tBURST + timing.tWR);
+}
+
+TEST_F(BankTest, WriteToReadTurnaround)
+{
+    bank.act(0, 0);
+    const PicoSec wr = bank.earliestWrite(0);
+    bank.write(wr);
+    EXPECT_GE(bank.earliestRead(0), wr + timing.tWTRL);
+}
+
+TEST_F(BankTest, RefreshClosesRow)
+{
+    bank.act(0, 5);
+    // Refresh may interrupt regardless of bank history.
+    bank.completeRefresh(1'000'000);
+    EXPECT_EQ(bank.state(), Bank::State::Precharged);
+    EXPECT_EQ(bank.openRow(), -1);
+    EXPECT_GE(bank.earliestAct(0), 1'000'000);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Pseudo-channel cross-bank constraint tests: shared bus, tRRD,
+ * tFAW, the Logic-PIM TSV slot resource, and refresh gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+namespace duplex
+{
+namespace
+{
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    HbmTiming timing = hbm3Timing();
+    PseudoChannel ch{timing};
+};
+
+TEST_F(ChannelTest, XpuBusSerializesBursts)
+{
+    ch.recordXpuBurst(0, 0, 0);
+    // Different bank group: only the bus occupancy applies.
+    EXPECT_EQ(ch.earliestXpuBurst(0, 1, 0), timing.tBURST);
+}
+
+TEST_F(ChannelTest, SameBankGroupBurstsSpacedTccdl)
+{
+    ch.recordXpuBurst(0, 2, 0);
+    EXPECT_EQ(ch.earliestXpuBurst(0, 2, 0), timing.tCCDL);
+}
+
+TEST_F(ChannelTest, DifferentRankSameGroupIndexUnconstrained)
+{
+    ch.recordXpuBurst(0, 2, 0);
+    // Rank 1's bank group 2 is a different physical group.
+    EXPECT_EQ(ch.earliestXpuBurst(1, 2, 0), timing.tBURST);
+}
+
+TEST_F(ChannelTest, TrrdShortAcrossGroups)
+{
+    ch.recordAct(0, 0, 0);
+    EXPECT_EQ(ch.earliestAct(0, 1, 0), timing.tRRDS);
+}
+
+TEST_F(ChannelTest, TrrdLongWithinGroup)
+{
+    ch.recordAct(0, 0, 0);
+    EXPECT_EQ(ch.earliestAct(0, 0, 0), timing.tRRDL);
+}
+
+TEST_F(ChannelTest, RanksActIndependently)
+{
+    ch.recordAct(0, 0, 0);
+    EXPECT_EQ(ch.earliestAct(1, 0, 0), 0);
+}
+
+TEST_F(ChannelTest, TfawLimitsFourActs)
+{
+    // Four ACTs spaced by tRRD_S across groups.
+    PicoSec t = 0;
+    for (int bg = 0; bg < 4; ++bg) {
+        t = ch.earliestAct(0, bg, t);
+        ch.recordAct(0, bg, t);
+    }
+    // The fifth ACT must wait for the first + tFAW.
+    const PicoSec fifth = ch.earliestAct(0, 0, 0);
+    EXPECT_GE(fifth, timing.tFAW);
+}
+
+TEST_F(ChannelTest, TfawWindowSlides)
+{
+    PicoSec t = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int bg = i % 4;
+        t = ch.earliestAct(0, bg, t);
+        ch.recordAct(0, bg, t);
+    }
+    // Eight ACTs need at least two tFAW windows minus slack.
+    EXPECT_GE(t, timing.tFAW);
+}
+
+TEST_F(ChannelTest, PimSlotsSpacedTccdl)
+{
+    ch.recordPimSlot(0);
+    EXPECT_EQ(ch.earliestPimSlot(0), timing.tCCDL);
+}
+
+TEST_F(ChannelTest, PimReadsRateLimited)
+{
+    // Eight staggered reads fill exactly one tCCD_L window.
+    PicoSec t = 0;
+    for (int i = 0; i < 8; ++i) {
+        t = ch.earliestPimSlot(t);
+        ch.recordPimRead(t);
+    }
+    EXPECT_EQ(ch.earliestPimSlot(0), timing.tCCDL);
+}
+
+TEST_F(ChannelTest, PimPathIndependentOfXpuBus)
+{
+    ch.recordXpuBurst(0, 0, 0);
+    // The PIM TSV group is a separate resource.
+    EXPECT_EQ(ch.earliestPimSlot(0), 0);
+}
+
+TEST_F(ChannelTest, RefreshGatePassesEarlyTimes)
+{
+    EXPECT_EQ(ch.gateRefresh(100), 100);
+}
+
+TEST_F(ChannelTest, RefreshGateBlocksDuringRefresh)
+{
+    const PicoSec due = ch.nextRefreshAt();
+    const PicoSec gated = ch.gateRefresh(due + 1);
+    EXPECT_GE(gated, due + timing.tRFC);
+}
+
+TEST_F(ChannelTest, RefreshClosesAllBanks)
+{
+    Bank &b = ch.bank(0, 0, 0);
+    b.act(b.earliestAct(0), 3);
+    EXPECT_EQ(b.state(), Bank::State::Active);
+    ch.gateRefresh(ch.nextRefreshAt() + 1);
+    EXPECT_EQ(ch.bank(0, 0, 0).state(), Bank::State::Precharged);
+}
+
+TEST_F(ChannelTest, RefreshReschedules)
+{
+    const PicoSec first = ch.nextRefreshAt();
+    ch.gateRefresh(first + 1);
+    EXPECT_EQ(ch.nextRefreshAt(), first + timing.tREFI);
+}
+
+TEST_F(ChannelTest, MultipleMissedRefreshesCatchUp)
+{
+    const PicoSec far = timing.tREFI * 3 + 42;
+    const PicoSec gated = ch.gateRefresh(far);
+    EXPECT_GE(gated, far);
+    EXPECT_GT(ch.nextRefreshAt(), far);
+}
+
+TEST_F(ChannelTest, BurstCountsTracked)
+{
+    ch.recordXpuBurst(0, 0, 0);
+    ch.recordXpuBurst(0, 1, ch.earliestXpuBurst(0, 1, 0));
+    ch.recordPimSlot(ch.earliestPimSlot(0));
+    EXPECT_EQ(ch.xpuBursts(), 2u);
+    EXPECT_EQ(ch.pimSlots(), 1u);
+}
+
+} // namespace
+} // namespace duplex

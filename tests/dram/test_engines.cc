@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Stream engine and controller tests: sustained bandwidths, the
+ * Logic-PIM bundle gain, FR-FCFS behaviour, and the address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address.hh"
+#include "dram/bundle.hh"
+#include "dram/controller.hh"
+
+namespace duplex
+{
+namespace
+{
+
+std::vector<XpuStreamEngine::BankRef>
+allBanks(const HbmTiming &t)
+{
+    std::vector<XpuStreamEngine::BankRef> banks;
+    for (int r = 0; r < t.ranksPerPch; ++r)
+        for (int bg = 0; bg < t.bankGroups; ++bg)
+            for (int b = 0; b < t.banksPerGroup; ++b)
+                banks.push_back({r, bg, b});
+    return banks;
+}
+
+double
+runXpuStream(const HbmTiming &t, Bytes bytes)
+{
+    PseudoChannel ch(t);
+    XpuStreamEngine eng(ch, allBanks(t), bytes);
+    runEngines({&eng});
+    return static_cast<double>(bytes) / psToSec(eng.finishTime());
+}
+
+double
+runBundleStream(const HbmTiming &t, Bytes bytes, bool lockstep)
+{
+    PseudoChannel ch(t);
+    BundleStreamEngine eng(ch, 0, 0, bytes, lockstep);
+    runEngines({&eng});
+    return static_cast<double>(bytes) / psToSec(eng.finishTime());
+}
+
+TEST(XpuStreamEngine, SustainsMostOfPeak)
+{
+    const HbmTiming t = hbm3Timing();
+    const double bw = runXpuStream(t, 1 * kMiB);
+    EXPECT_GT(bw, 0.80 * t.pchPeakBytesPerSec());
+    EXPECT_LE(bw, t.pchPeakBytesPerSec());
+}
+
+TEST(XpuStreamEngine, ThroughputScalesWithSize)
+{
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel ch(t);
+    XpuStreamEngine small(ch, allBanks(t), 64 * kKiB);
+    runEngines({&small});
+    PseudoChannel ch2(t);
+    XpuStreamEngine big(ch2, allBanks(t), 256 * kKiB);
+    runEngines({&big});
+    EXPECT_GT(big.finishTime(), small.finishTime());
+    // Roughly linear: 4 x the data in 3.5..4.5 x the time.
+    const double ratio = static_cast<double>(big.finishTime()) /
+                         static_cast<double>(small.finishTime());
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 4.6);
+}
+
+TEST(BundleStreamEngine, ExceedsXpuPathSubstantially)
+{
+    const HbmTiming t = hbm3Timing();
+    const double xpu = runXpuStream(t, 1 * kMiB);
+    const double pim = runBundleStream(t, 1 * kMiB, false);
+    // The paper provisions 4 x; row-switch stalls keep the
+    // sustained gain near 3 x on the cycle model.
+    EXPECT_GT(pim / xpu, 2.5);
+    EXPECT_LT(pim / xpu, 4.0);
+}
+
+TEST(BundleStreamEngine, StaysUnderProvisionedBandwidth)
+{
+    const HbmTiming t = hbm3Timing();
+    const double pim = runBundleStream(t, 1 * kMiB, false);
+    EXPECT_LE(pim, t.pchBundlePeakBytesPerSec());
+}
+
+TEST(BundleStreamEngine, LockstepSlowerThanStaggered)
+{
+    const HbmTiming t = hbm3Timing();
+    const double staggered = runBundleStream(t, 1 * kMiB, false);
+    const double lockstep = runBundleStream(t, 1 * kMiB, true);
+    // Synchronized row switches stall all eight banks together.
+    EXPECT_LT(lockstep, staggered);
+    EXPECT_GT(lockstep, 0.4 * staggered);
+}
+
+TEST(BundleStreamEngine, BothHalvesEquivalent)
+{
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel ch0(t);
+    BundleStreamEngine upper(ch0, 0, 0, 512 * kKiB, false);
+    runEngines({&upper});
+    PseudoChannel ch1(t);
+    BundleStreamEngine lower(ch1, 0, 1, 512 * kKiB, false);
+    runEngines({&lower});
+    EXPECT_EQ(upper.finishTime(), lower.finishTime());
+}
+
+TEST(ConcurrentEngines, DisjointBundlesProceedTogether)
+{
+    const HbmTiming t = hbm3Timing();
+    // xPU on rank 1 only; PIM bundle on rank 0 half 0.
+    std::vector<XpuStreamEngine::BankRef> rank1;
+    for (int bg = 0; bg < t.bankGroups; ++bg)
+        for (int b = 0; b < t.banksPerGroup; ++b)
+            rank1.push_back({1, bg, b});
+
+    PseudoChannel ch(t);
+    XpuStreamEngine xpu(ch, rank1, 512 * kKiB);
+    BundleStreamEngine pim(ch, 0, 0, 512 * kKiB, false);
+    runEngines({&xpu, &pim});
+
+    PseudoChannel solo_ch(t);
+    XpuStreamEngine solo(solo_ch, rank1, 512 * kKiB);
+    runEngines({&solo});
+
+    // Concurrency costs at most a few percent (shared refresh).
+    EXPECT_LT(xpu.finishTime(),
+              static_cast<PicoSec>(1.10 *
+                                   static_cast<double>(
+                                       solo.finishTime())));
+}
+
+TEST(FrFcfsController, ServesAllTransactions)
+{
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel ch(t);
+    FrFcfsController ctrl(ch);
+    for (int i = 0; i < 64; ++i) {
+        Transaction txn;
+        txn.coord = {0, 0, i % 4, i % 2, i / 8, i % 32};
+        ctrl.enqueue(txn);
+    }
+    ctrl.drain();
+    EXPECT_EQ(ctrl.completed().size(), 64u);
+    for (const auto &txn : ctrl.completed())
+        EXPECT_GT(txn.completed, 0);
+}
+
+TEST(FrFcfsController, RowHitsFasterThanConflicts)
+{
+    const HbmTiming t = hbm3Timing();
+    // Same bank, same row: hits after the first activation.
+    PseudoChannel hit_ch(t);
+    FrFcfsController hits(hit_ch);
+    for (int i = 0; i < 16; ++i) {
+        Transaction txn;
+        txn.coord = {0, 0, 0, 0, 0, i};
+        hits.enqueue(txn);
+    }
+    const PicoSec hit_time = hits.drain();
+
+    // Same bank, alternating rows, window 1 so the scheduler
+    // cannot reorder around the conflicts.
+    PseudoChannel miss_ch(t);
+    FrFcfsController misses(miss_ch, 1);
+    for (int i = 0; i < 16; ++i) {
+        Transaction txn;
+        txn.coord = {0, 0, 0, 0, i % 2, 0};
+        misses.enqueue(txn);
+    }
+    const PicoSec miss_time = misses.drain();
+    EXPECT_LT(hit_time * 3, miss_time);
+}
+
+TEST(FrFcfsController, ReordersAroundRowConflicts)
+{
+    // The same conflicting pattern with a full window: FR-FCFS
+    // groups the row-0 and row-5 transactions, paying for only two
+    // activations instead of sixteen.
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel in_order_ch(t);
+    FrFcfsController in_order(in_order_ch, 1);
+    PseudoChannel reordered_ch(t);
+    FrFcfsController reordered(reordered_ch, 32);
+    for (int i = 0; i < 16; ++i) {
+        Transaction txn;
+        txn.coord = {0, 0, 0, 0, (i % 2) ? 5 : 0, i};
+        in_order.enqueue(txn);
+        reordered.enqueue(txn);
+    }
+    EXPECT_LT(reordered.drain() * 2, in_order.drain());
+}
+
+TEST(FrFcfsController, PrioritizesRowHitsInWindow)
+{
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel ch(t);
+    FrFcfsController ctrl(ch, 8);
+    Transaction a; // opens row 0
+    a.coord = {0, 0, 0, 0, 0, 0};
+    Transaction b; // row conflict
+    b.coord = {0, 0, 0, 0, 5, 0};
+    Transaction c; // row hit on row 0
+    c.coord = {0, 0, 0, 0, 0, 1};
+    ctrl.enqueue(a);
+    ctrl.enqueue(b);
+    ctrl.enqueue(c);
+    ctrl.drain();
+    // The hit (c) must complete before the conflict (b).
+    ASSERT_EQ(ctrl.completed().size(), 3u);
+    EXPECT_EQ(ctrl.completed()[1].coord.row, 0);
+    EXPECT_EQ(ctrl.completed()[2].coord.row, 5);
+}
+
+TEST(FrFcfsController, WritesComplete)
+{
+    const HbmTiming t = hbm3Timing();
+    PseudoChannel ch(t);
+    FrFcfsController ctrl(ch);
+    for (int i = 0; i < 8; ++i) {
+        Transaction txn;
+        txn.coord = {0, 0, 0, 0, 0, i};
+        txn.isWrite = (i % 2 == 1);
+        ctrl.enqueue(txn);
+    }
+    ctrl.drain();
+    EXPECT_EQ(ctrl.completed().size(), 8u);
+}
+
+TEST(AddressMap, RoundTripBijective)
+{
+    const HbmTiming t = hbm3Timing();
+    AddressMap map(t);
+    for (std::uint64_t unit = 0; unit < 100000; unit += 97) {
+        const std::uint64_t addr = unit * t.columnBytes;
+        EXPECT_EQ(map.encode(map.decode(addr)), addr);
+    }
+}
+
+TEST(AddressMap, SequentialAddressesInterleaveChannels)
+{
+    const HbmTiming t = hbm3Timing();
+    AddressMap map(t);
+    // Consecutive column bursts within one row walk the row first,
+    // then move across pseudo channels.
+    const DramCoord c0 = map.decode(0);
+    const DramCoord c1 = map.decode(t.rowBytes);
+    EXPECT_EQ(c0.pch, 0);
+    EXPECT_EQ(c1.pch, 1);
+}
+
+TEST(AddressMap, BundleIndexMatchesSectionVC)
+{
+    DramCoord c;
+    c.rank = 0;
+    c.bank = 0;
+    EXPECT_EQ(c.bundleIndex(), 0);
+    c.bank = 1;
+    EXPECT_EQ(c.bundleIndex(), 0);
+    c.bank = 2;
+    EXPECT_EQ(c.bundleIndex(), 1);
+    c.rank = 1;
+    c.bank = 3;
+    EXPECT_EQ(c.bundleIndex(), 3);
+    c.bank = 0;
+    EXPECT_EQ(c.bundleIndex(), 2);
+}
+
+TEST(AddressMap, CapacityBytes)
+{
+    const HbmTiming t = hbm3Timing();
+    AddressMap map(t);
+    // 32 pCH x 2 ranks x 16 banks x rows x 1 KiB.
+    EXPECT_EQ(map.capacityBytes(16384),
+              32ull * 2 * 16 * 16384 * 1024);
+}
+
+/** Parameterized sweep: streaming works for many sizes. */
+class StreamSizeSweep : public ::testing::TestWithParam<Bytes>
+{
+};
+
+TEST_P(StreamSizeSweep, CompletesAndStaysUnderPeak)
+{
+    const HbmTiming t = hbm3Timing();
+    const Bytes bytes = GetParam();
+    const double bw = runXpuStream(t, bytes);
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, t.pchPeakBytesPerSec() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamSizeSweep,
+                         ::testing::Values(4 * kKiB, 32 * kKiB,
+                                           128 * kKiB, 1 * kMiB));
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bundle-space allocator tests (Section V-C memory sections).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/stack.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(BundleSpaceAllocator, FourEqualSpaces)
+{
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    EXPECT_EQ(alloc.spaceCapacity(), 4ull * kGiB);
+    for (int s = 0; s < BundleSpaceAllocator::kNumSpaces; ++s)
+        EXPECT_EQ(alloc.freeBytes(s), 4ull * kGiB);
+    EXPECT_EQ(alloc.totalFreeBytes(), 16ull * kGiB);
+}
+
+TEST(BundleSpaceAllocator, AllocateAndRelease)
+{
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    EXPECT_TRUE(alloc.allocate(1, 1 * kGiB));
+    EXPECT_EQ(alloc.freeBytes(1), 3ull * kGiB);
+    EXPECT_EQ(alloc.freeBytes(0), 4ull * kGiB);
+    alloc.release(1, 1 * kGiB);
+    EXPECT_EQ(alloc.freeBytes(1), 4ull * kGiB);
+}
+
+TEST(BundleSpaceAllocator, RejectsOverflowUnchanged)
+{
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    EXPECT_TRUE(alloc.allocate(0, 3 * kGiB));
+    EXPECT_FALSE(alloc.allocate(0, 2 * kGiB));
+    EXPECT_EQ(alloc.freeBytes(0), 1ull * kGiB);
+}
+
+TEST(BundleSpaceAllocator, ExpertsRoundRobinAcrossSpaces)
+{
+    // Section V-C: expert FFNs are allocated one by one across the
+    // four spaces; with equal experts all spaces fill evenly.
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    const Bytes expert = 512 * kMiB;
+    for (int e = 0; e < 8; ++e)
+        EXPECT_TRUE(alloc.allocate(e % 4, expert));
+    for (int s = 0; s < 4; ++s)
+        EXPECT_EQ(alloc.freeBytes(s), 4ull * kGiB - 2 * expert);
+}
+
+TEST(BundleSpaceAllocator, KvSpreadOverThreeSpaces)
+{
+    // Section V-C: KV cache alternates across three spaces, the
+    // fourth is reserved for prefill QKV.
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    const std::array<bool, 4> kv_spaces{true, true, true, false};
+    EXPECT_TRUE(alloc.allocateSpread(kv_spaces, 9 * kGiB));
+    for (int s = 0; s < 3; ++s)
+        EXPECT_EQ(alloc.freeBytes(s), 1ull * kGiB);
+    EXPECT_EQ(alloc.freeBytes(3), 4ull * kGiB);
+}
+
+TEST(BundleSpaceAllocator, SpreadFailsAtomically)
+{
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    EXPECT_TRUE(alloc.allocate(0, 4 * kGiB)); // space 0 full
+    const std::array<bool, 4> spaces{true, true, false, false};
+    EXPECT_FALSE(alloc.allocateSpread(spaces, 2 * kGiB));
+    // Space 1 must be untouched by the failed spread.
+    EXPECT_EQ(alloc.freeBytes(1), 4ull * kGiB);
+}
+
+TEST(BundleSpaceAllocator, SpreadOverNoSpacesFails)
+{
+    BundleSpaceAllocator alloc(16ull * kGiB);
+    const std::array<bool, 4> none{false, false, false, false};
+    EXPECT_FALSE(alloc.allocateSpread(none, kGiB));
+}
+
+TEST(HbmStack, DefaultCapacity)
+{
+    HbmStack stack;
+    EXPECT_EQ(stack.capacity, 16ull * kGiB);
+    EXPECT_EQ(stack.bundleSpaceBytes(), 4ull * kGiB);
+    EXPECT_EQ(stack.timing.pchPerStack, 32);
+}
+
+TEST(HbmStack, FiveStacksMakeAnH100)
+{
+    HbmStack stack;
+    EXPECT_EQ(5 * stack.capacity, 80ull * kGiB);
+}
+
+} // namespace
+} // namespace duplex

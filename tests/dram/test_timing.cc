@@ -1,0 +1,68 @@
+/**
+ * @file
+ * HBM3 timing preset checks: the numbers the paper pivots on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(HbmTiming, Tccd)
+{
+    const HbmTiming t = hbm3Timing();
+    // Section VI: the 650 MHz Logic-PIM clock follows tCCD_S = 1.5 ns.
+    EXPECT_EQ(t.tCCDS, 1500);
+    EXPECT_EQ(t.tCCDL, 2 * t.tCCDS);
+    EXPECT_EQ(t.tBURST, t.tCCDS);
+}
+
+TEST(HbmTiming, Geometry)
+{
+    const HbmTiming t = hbm3Timing();
+    EXPECT_EQ(t.pchPerStack, 32);
+    EXPECT_EQ(t.ranksPerPch, 2);
+    EXPECT_EQ(t.banksPerRank(), 16);
+    EXPECT_EQ(t.banksPerBundle(), 8);
+    EXPECT_EQ(t.bundlesPerPch(), 4);
+    EXPECT_EQ(t.columnsPerRow(), 32);
+}
+
+TEST(HbmTiming, PchPeakBandwidth)
+{
+    const HbmTiming t = hbm3Timing();
+    // 32 B per 1.5 ns = 21.33 GB/s per pseudo channel.
+    EXPECT_NEAR(t.pchPeakBytesPerSec(), 32.0 / 1.5e-9, 1e6);
+}
+
+TEST(HbmTiming, StackPeakNearH100)
+{
+    const HbmTiming t = hbm3Timing();
+    // Five stacks should land near the H100's 3.35 TB/s.
+    EXPECT_NEAR(5.0 * t.stackPeakBytesPerSec(), 3.41e12, 0.1e12);
+}
+
+TEST(HbmTiming, BundleProvisionedIsFourX)
+{
+    const HbmTiming t = hbm3Timing();
+    EXPECT_NEAR(t.pchBundlePeakBytesPerSec() /
+                    t.pchPeakBytesPerSec(),
+                4.0, 1e-9);
+}
+
+TEST(HbmTiming, RowTimingOrdering)
+{
+    const HbmTiming t = hbm3Timing();
+    EXPECT_GT(t.tRAS, t.tRCD);
+    EXPECT_EQ(t.tRAS + t.tRP, 42000); // tRC
+    EXPECT_GT(t.tRRDL, t.tRRDS);
+    EXPECT_GE(t.tFAW, 4 * t.tRRDS);
+    EXPECT_GT(t.tREFI, t.tRFC);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Energy-model tests: the data-path orderings behind Fig. 15 and the
+ * EDAP machinery behind Fig. 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/edap.hh"
+#include "energy/energy.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(EnergyModel, PathOrdering)
+{
+    EnergyModel e;
+    // The further data travels, the more it costs: bank-local <
+    // bank-group < logic die < interposer (Section IV-C, Fig. 15).
+    const double bank = e.dramPjPerByte(DramPath::BankLocal);
+    const double bg = e.dramPjPerByte(DramPath::BankGroup);
+    const double logic = e.dramPjPerByte(DramPath::LogicDie);
+    const double xpu = e.dramPjPerByte(DramPath::XpuInterposer);
+    EXPECT_LT(bank, bg);
+    EXPECT_LT(bg, logic);
+    EXPECT_LT(logic, xpu);
+}
+
+TEST(EnergyModel, LogicPimSavesVsInterposer)
+{
+    EnergyModel e;
+    const double logic = e.dramPjPerByte(DramPath::LogicDie);
+    const double xpu = e.dramPjPerByte(DramPath::XpuInterposer);
+    // Skipping PHY + interposer saves a large fraction — the root
+    // of the paper's 28-42% energy reduction.
+    EXPECT_LT(logic, 0.75 * xpu);
+    EXPECT_GT(logic, 0.40 * xpu);
+}
+
+TEST(EnergyModel, XpuPathNearPublishedHbmNumbers)
+{
+    EnergyModel e;
+    // HBM3 access energy is commonly cited at 3.5-4 pJ/bit.
+    const double pj_per_bit =
+        e.dramPjPerByte(DramPath::XpuInterposer) / 8.0;
+    EXPECT_GT(pj_per_bit, 3.0);
+    EXPECT_LT(pj_per_bit, 4.5);
+}
+
+TEST(EnergyModel, EnergyScalesLinearly)
+{
+    EnergyModel e;
+    const double one = e.dramEnergyJ(DramPath::LogicDie, 1000);
+    const double two = e.dramEnergyJ(DramPath::LogicDie, 2000);
+    EXPECT_NEAR(two, 2.0 * one, 1e-15);
+}
+
+TEST(EnergyModel, ComputeClassOrdering)
+{
+    EnergyModel e;
+    // DRAM-process logic is less efficient than 7 nm logic.
+    EXPECT_LT(e.computePjPerFlop(ComputeClass::LogicPim),
+              e.computePjPerFlop(ComputeClass::BankPim));
+    EXPECT_LT(e.computePjPerFlop(ComputeClass::LogicPim),
+              e.computePjPerFlop(ComputeClass::Xpu));
+}
+
+TEST(Edap, DelayEnergyAreaComposition)
+{
+    PimEngineDesc d;
+    d.engine.peakFlops = 1e12;
+    d.engine.memBps = 1e11;
+    d.path = DramPath::LogicDie;
+    d.cls = ComputeClass::LogicPim;
+    d.areaMm2 = 10.0;
+    EnergyModel e;
+    GemmShape g{4, 1024, 1024};
+    const EdapResult r = evaluateEdap(d, g, e);
+    EXPECT_GT(r.delaySec, 0.0);
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_DOUBLE_EQ(r.areaMm2, 10.0);
+    EXPECT_NEAR(r.edap(), r.delaySec * r.energyJ * r.areaMm2,
+                1e-20);
+}
+
+TEST(Edap, NormalizationMapsWorstToOne)
+{
+    std::vector<EdapResult> results(3);
+    results[0].delaySec = 1.0;
+    results[0].energyJ = 1.0;
+    results[0].areaMm2 = 1.0;
+    results[1].delaySec = 2.0;
+    results[1].energyJ = 1.0;
+    results[1].areaMm2 = 1.0;
+    results[2].delaySec = 0.5;
+    results[2].energyJ = 1.0;
+    results[2].areaMm2 = 1.0;
+    const auto norm = normalizeEdap(results);
+    EXPECT_DOUBLE_EQ(norm[1], 1.0);
+    EXPECT_DOUBLE_EQ(norm[0], 0.5);
+    EXPECT_DOUBLE_EQ(norm[2], 0.25);
+}
+
+TEST(EnergyBreakdown, Accumulates)
+{
+    EnergyBreakdown a{1.0, 2.0};
+    EnergyBreakdown b{0.5, 0.25};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.dramJ, 1.5);
+    EXPECT_DOUBLE_EQ(a.computeJ, 2.25);
+    EXPECT_DOUBLE_EQ(a.totalJ(), 3.75);
+}
+
+} // namespace
+} // namespace duplex

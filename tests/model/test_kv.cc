@@ -1,0 +1,79 @@
+/**
+ * @file
+ * KV budget tests: the capacity effects behind Figs. 5(c) and 16.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/kv.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(KvBudget, BasicCapacity)
+{
+    KvBudget b;
+    b.deviceCapacity = 80ull * kGiB;
+    b.numDevices = 4;
+    b.weightBytesTotal = mixtralConfig().weightBytes();
+    b.reservedBytes = 1 * kGiB;
+    const ModelConfig m = mixtralConfig();
+    // Mixtral: 93 GB weights leave well over 200 GB for KV.
+    EXPECT_GT(b.kvCapacityBytes(), 200ull * kGiB);
+    EXPECT_GT(b.maxKvTokens(m), 1'500'000);
+}
+
+TEST(KvBudget, WeightsExceedCapacityMeansZero)
+{
+    KvBudget b;
+    b.deviceCapacity = 80ull * kGiB;
+    b.numDevices = 1;
+    b.weightBytesTotal = 100ull * kGiB;
+    EXPECT_EQ(b.kvCapacityBytes(), 0u);
+    EXPECT_EQ(b.maxKvTokens(mixtralConfig()), 0);
+}
+
+TEST(KvBudget, MaxBatchDividesTokens)
+{
+    KvBudget b;
+    b.deviceCapacity = 80ull * kGiB;
+    b.numDevices = 4;
+    b.weightBytesTotal = mixtralConfig().weightBytes();
+    const auto tokens = b.maxKvTokens(mixtralConfig());
+    EXPECT_EQ(b.maxBatch(mixtralConfig(), 4096), tokens / 4096);
+}
+
+TEST(KvBudget, DuplicationHalvesKvRoom)
+{
+    // The split system stores the weights twice (Fig. 16).
+    const ModelConfig m = mixtralConfig();
+    KvBudget unified;
+    unified.deviceCapacity = 80ull * kGiB;
+    unified.numDevices = 4;
+    unified.weightBytesTotal = m.weightBytes();
+
+    KvBudget split_decode_half;
+    split_decode_half.deviceCapacity = 80ull * kGiB;
+    split_decode_half.numDevices = 2;
+    split_decode_half.weightBytesTotal = m.weightBytes();
+
+    EXPECT_LT(split_decode_half.maxKvTokens(m),
+              unified.maxKvTokens(m) / 2);
+}
+
+TEST(KvBudget, ReservedBytesCharged)
+{
+    KvBudget a;
+    a.deviceCapacity = 10ull * kGiB;
+    a.numDevices = 2;
+    a.weightBytesTotal = 0;
+    a.reservedBytes = 1 * kGiB;
+    KvBudget b = a;
+    b.reservedBytes = 2 * kGiB;
+    EXPECT_EQ(a.kvCapacityBytes() - b.kvCapacityBytes(), 2 * kGiB);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Operator cost-builder tests: the Section III-A arithmetic
+ * intensity analysis, reproduced as assertions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/layers.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(StageShape, TokenCounts)
+{
+    StageShape s;
+    s.decodeContexts = {100, 200, 300};
+    s.prefillLengths = {512, 1024};
+    EXPECT_EQ(s.decodeTokens(), 3);
+    EXPECT_EQ(s.prefillTokens(), 1536);
+    EXPECT_EQ(s.totalTokens(), 1539);
+    EXPECT_TRUE(s.isMixed());
+}
+
+TEST(StageShape, DecodingOnly)
+{
+    StageShape s;
+    s.decodeContexts = {100};
+    EXPECT_FALSE(s.isMixed());
+}
+
+TEST(LayerCosts, QkvShape)
+{
+    LayerCosts c(mixtralConfig());
+    // QKV: hidden x (hidden + 2 * kv) = 4096 x (4096 + 2048).
+    const OpCost qkv = c.qkv(1);
+    GemmShape expect{1, 4096, 4096 + 2048};
+    EXPECT_DOUBLE_EQ(qkv.flops, expect.flops());
+    EXPECT_EQ(qkv.bytes, expect.trafficBytes());
+}
+
+TEST(LayerCosts, ProjectionShape)
+{
+    LayerCosts c(mixtralConfig());
+    const OpCost p = c.projection(4);
+    GemmShape expect{4, 4096, 4096};
+    EXPECT_DOUBLE_EQ(p.flops, expect.flops());
+}
+
+TEST(LayerCosts, GatedFfnHasThreeGemms)
+{
+    LayerCosts mixtral(mixtralConfig());
+    LayerCosts glam(glamConfig());
+    // Mixtral (gated, interm 14336) vs hypothetical 2-FC version.
+    const double gated = mixtral.denseFfn(1).flops;
+    // gate+up+down = 3 GEMMs of hidden x interm.
+    EXPECT_GT(gated, 3.0 * 2.0 * 4096 * 14336 * 0.99);
+    // GLaM (2-FC, interm 16384).
+    const double plain = glam.denseFfn(1).flops;
+    EXPECT_LT(plain, 2.0 * 2.0 * 4096 * 16384 * 1.01);
+}
+
+TEST(LayerCosts, ExpertZeroTokensIsFree)
+{
+    LayerCosts c(mixtralConfig());
+    const OpCost e = c.expertFfn(0);
+    EXPECT_DOUBLE_EQ(e.flops, 0.0);
+    EXPECT_EQ(e.bytes, 0u);
+}
+
+TEST(LayerCosts, ExpertCostAffineInTokens)
+{
+    LayerCosts c(mixtralConfig());
+    const OpCost c1 = c.expertFfn(1);
+    const OpCost c2 = c.expertFfn(2);
+    const OpCost c3 = c.expertFfn(3);
+    EXPECT_NEAR(c3.flops - c2.flops, c2.flops - c1.flops, 1.0);
+    EXPECT_EQ(c3.bytes - c2.bytes, c2.bytes - c1.bytes);
+}
+
+TEST(LayerCosts, DecodeAttentionOpbNearDegGrp)
+{
+    // Section III-A: GQA attention Op/B is 4-8; MHA is ~1.
+    StageShape s;
+    s.decodeContexts = {2048};
+
+    LayerCosts mixtral(mixtralConfig()); // degGrp 4
+    const double opb4 = mixtral.attentionDecode(s).opPerByte();
+    EXPECT_GT(opb4, 2.5);
+    EXPECT_LT(opb4, 4.5);
+
+    LayerCosts llama(llama3Config()); // degGrp 8
+    const double opb8 = llama.attentionDecode(s).opPerByte();
+    EXPECT_GT(opb8, 5.0);
+    EXPECT_LT(opb8, 8.5);
+
+    LayerCosts opt(optConfig()); // MHA
+    const double opb1 = opt.attentionDecode(s).opPerByte();
+    EXPECT_GT(opb1, 0.7);
+    EXPECT_LT(opb1, 1.5);
+}
+
+TEST(LayerCosts, DecodeAttentionScalesWithContext)
+{
+    LayerCosts c(mixtralConfig());
+    StageShape small;
+    small.decodeContexts = {512};
+    StageShape large;
+    large.decodeContexts = {2048};
+    EXPECT_NEAR(c.attentionDecode(large).flops /
+                    c.attentionDecode(small).flops,
+                4.0, 0.05);
+}
+
+TEST(LayerCosts, DecodeAttentionAdditiveOverSequences)
+{
+    LayerCosts c(mixtralConfig());
+    StageShape one;
+    one.decodeContexts = {1000};
+    StageShape two;
+    two.decodeContexts = {1000, 1000};
+    EXPECT_NEAR(c.attentionDecode(two).flops,
+                2.0 * c.attentionDecode(one).flops, 1.0);
+}
+
+TEST(LayerCosts, PrefillAttentionQuadratic)
+{
+    LayerCosts c(mixtralConfig());
+    StageShape s1;
+    s1.prefillLengths = {1024};
+    StageShape s2;
+    s2.prefillLengths = {2048};
+    const double ratio = c.attentionPrefill(s2).flops /
+                         c.attentionPrefill(s1).flops;
+    EXPECT_GT(ratio, 3.8);
+    EXPECT_LT(ratio, 4.2);
+}
+
+TEST(LayerCosts, PrefillAttentionHighOpb)
+{
+    LayerCosts c(mixtralConfig());
+    StageShape s;
+    s.prefillLengths = {2048};
+    // Prefill attention is strongly compute-rich (paper: mixed
+    // stages suit the xPU).
+    EXPECT_GT(c.attentionPrefill(s).opPerByte(), 100.0);
+}
+
+TEST(LayerCosts, GateIsTiny)
+{
+    LayerCosts c(glamConfig());
+    EXPECT_LT(c.gate(64).flops, c.expertFfn(1).flops);
+}
+
+TEST(LayerCosts, LmHeadUsesVocab)
+{
+    LayerCosts c(llama3Config());
+    GemmShape expect{1, 8192, 128256};
+    EXPECT_DOUBLE_EQ(c.lmHead(1).flops, expect.flops());
+}
+
+TEST(LayerCosts, ScaledHalvesEverything)
+{
+    LayerCosts c(mixtralConfig());
+    const OpCost full = c.qkv(8);
+    const OpCost half = full.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.flops, full.flops / 2.0);
+    EXPECT_EQ(half.bytes, full.bytes / 2);
+}
+
+TEST(LayerClassNames, AllNamed)
+{
+    EXPECT_STREQ(layerClassName(LayerClass::Fc), "FC");
+    EXPECT_STREQ(layerClassName(LayerClass::Moe), "MoE");
+    EXPECT_STREQ(layerClassName(LayerClass::AttentionPrefill),
+                 "Attention(Prefill)");
+    EXPECT_STREQ(layerClassName(LayerClass::AttentionDecode),
+                 "Attention(Decoding)");
+    EXPECT_STREQ(layerClassName(LayerClass::Communication),
+                 "Communication");
+}
+
+} // namespace
+} // namespace duplex

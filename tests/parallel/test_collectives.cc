@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Collective cost-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parallel/collectives.hh"
+
+namespace duplex
+{
+namespace
+{
+
+const LinkSpec kNvlink{450e9, 700 * kPsPerNs};
+const LinkSpec kIb{200e9, 2 * kPsPerUs};
+
+TEST(Collectives, SinglePeerIsFree)
+{
+    EXPECT_EQ(allReduceTime(1 * kGiB, 1, kNvlink), 0);
+    EXPECT_EQ(allToAllTime(1 * kGiB, 1, kNvlink), 0);
+}
+
+TEST(Collectives, ZeroBytesIsFree)
+{
+    EXPECT_EQ(allReduceTime(0, 8, kNvlink), 0);
+    EXPECT_EQ(allToAllTime(0, 8, kNvlink), 0);
+    EXPECT_EQ(p2pTime(0, kNvlink), 0);
+}
+
+TEST(Collectives, AllReduceRingFactor)
+{
+    // 2 (n-1)/n B / bw plus latency terms.
+    const Bytes bytes = 1'000'000'000;
+    const int n = 4;
+    const PicoSec t = allReduceTime(bytes, n, kNvlink);
+    const double expect_sec = 2.0 * 3.0 / 4.0 * 1e9 / 450e9;
+    EXPECT_NEAR(static_cast<double>(t),
+                expect_sec * 1e12 + 6.0 * 700e3, 1e6);
+}
+
+TEST(Collectives, AllToAllCheaperThanAllReduce)
+{
+    const Bytes bytes = 64 * kMiB;
+    EXPECT_LT(allToAllTime(bytes, 8, kNvlink),
+              allReduceTime(bytes, 8, kNvlink));
+}
+
+TEST(Collectives, MonotoneInBytes)
+{
+    PicoSec prev = 0;
+    for (Bytes b = kMiB; b <= 64 * kMiB; b *= 2) {
+        const PicoSec t = allReduceTime(b, 4, kNvlink);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Collectives, InterNodeSlower)
+{
+    const Bytes bytes = 16 * kMiB;
+    EXPECT_GT(allReduceTime(bytes, 2, kIb),
+              allReduceTime(bytes, 2, kNvlink));
+}
+
+TEST(Collectives, P2pBandwidthPlusLatency)
+{
+    const PicoSec t = p2pTime(450'000'000'000ull, kNvlink);
+    // 450 GB at 450 GB/s = 1 s (plus tiny latency).
+    EXPECT_NEAR(psToSec(t), 1.0, 1e-5);
+}
+
+TEST(Collectives, HierarchicalAddsInterNodeLeg)
+{
+    const Bytes bytes = 16 * kMiB;
+    const PicoSec flat =
+        hierarchicalAllReduceTime(bytes, 8, 1, kNvlink, kIb);
+    const PicoSec two_node =
+        hierarchicalAllReduceTime(bytes, 8, 2, kNvlink, kIb);
+    EXPECT_EQ(flat, allReduceTime(bytes, 8, kNvlink));
+    EXPECT_GT(two_node, flat);
+}
+
+} // namespace
+} // namespace duplex

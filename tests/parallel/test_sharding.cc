@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sharding-plan tests: the Fig. 3 distribution and the ET variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parallel/sharding.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SystemTopology
+topo(int nodes, int per_node)
+{
+    SystemTopology t;
+    t.numNodes = nodes;
+    t.devicesPerNode = per_node;
+    return t;
+}
+
+TEST(Sharding, MixtralExpertParallel)
+{
+    const auto plan =
+        makeShardingPlan(mixtralConfig(), topo(1, 4),
+                         ExpertPlacement::ExpertParallel);
+    EXPECT_EQ(plan.tpDegree, 4);
+    EXPECT_EQ(plan.dpDegree, 1);
+    EXPECT_EQ(plan.expertsPerDevice, 2); // 8 experts / 4 devices
+    EXPECT_EQ(plan.expertTpDegree, 1);
+    EXPECT_DOUBLE_EQ(plan.expertShardFraction(), 1.0);
+}
+
+TEST(Sharding, GlamExpertParallel)
+{
+    const auto plan = makeShardingPlan(
+        glamConfig(), topo(1, 8), ExpertPlacement::ExpertParallel);
+    EXPECT_EQ(plan.expertsPerDevice, 8); // 64 / 8
+}
+
+TEST(Sharding, Grok1ExpertsSharded)
+{
+    // 8 experts over 16 devices: each expert split over 2.
+    const auto plan = makeShardingPlan(
+        grok1Config(), topo(2, 8), ExpertPlacement::ExpertParallel);
+    EXPECT_EQ(plan.expertsPerDevice, 1);
+    EXPECT_EQ(plan.expertTpDegree, 2);
+    EXPECT_DOUBLE_EQ(plan.expertShardFraction(), 0.5);
+}
+
+TEST(Sharding, MixtralExpertTensorParallel)
+{
+    const auto plan =
+        makeShardingPlan(mixtralConfig(), topo(1, 4),
+                         ExpertPlacement::ExpertTensorParallel);
+    // Every device sees all 8 experts at 1/4 each (Section V-B).
+    EXPECT_EQ(plan.expertsPerDevice, 8);
+    EXPECT_EQ(plan.expertTpDegree, 4);
+    EXPECT_DOUBLE_EQ(plan.expertShardFraction(), 0.25);
+}
+
+TEST(Sharding, Grok1EtSplitsExpertsAcrossNodes)
+{
+    const auto plan =
+        makeShardingPlan(grok1Config(), topo(2, 8),
+                         ExpertPlacement::ExpertTensorParallel);
+    EXPECT_EQ(plan.expertsPerDevice, 4); // 8 experts / 2 nodes
+    EXPECT_EQ(plan.expertTpDegree, 8);
+    EXPECT_EQ(plan.expertEpNodes, 2);
+}
+
+TEST(Sharding, DenseModelHasNoExperts)
+{
+    const auto plan = makeShardingPlan(
+        llama3Config(), topo(1, 4), ExpertPlacement::ExpertParallel);
+    EXPECT_EQ(plan.expertsPerDevice, 0);
+}
+
+TEST(Sharding, WeightBytesFitOnDevices)
+{
+    // Every Section VI configuration must fit in 80 GB per device.
+    struct Case
+    {
+        ModelConfig model;
+        SystemTopology t;
+    };
+    const std::vector<Case> cases{
+        {mixtralConfig(), topo(1, 4)},
+        {glamConfig(), topo(1, 8)},
+        {grok1Config(), topo(2, 8)},
+        {optConfig(), topo(1, 4)},
+        {llama3Config(), topo(1, 4)},
+    };
+    for (const auto &c : cases) {
+        const auto plan = makeShardingPlan(
+            c.model, c.t, ExpertPlacement::ExpertParallel);
+        const Bytes per_dev =
+            weightBytesPerDevice(c.model, c.t, plan);
+        EXPECT_LT(per_dev, 80ull * kGiB)
+            << c.model.name << " does not fit";
+    }
+}
+
+TEST(Sharding, WeightTotalsConserved)
+{
+    // Summed across devices, shards reconstruct the model (no
+    // duplication in a single-node EP system).
+    const ModelConfig m = mixtralConfig();
+    const SystemTopology t = topo(1, 4);
+    const auto plan =
+        makeShardingPlan(m, t, ExpertPlacement::ExpertParallel);
+    const double total = static_cast<double>(
+        weightBytesPerDevice(m, t, plan) * t.totalDevices());
+    EXPECT_NEAR(total, static_cast<double>(m.weightBytes()),
+                static_cast<double>(m.weightBytes()) * 0.01);
+}
+
+TEST(Sharding, EtSameFootprintAsEpSingleNode)
+{
+    // On one node, ET re-slices but does not duplicate weights.
+    const ModelConfig m = mixtralConfig();
+    const SystemTopology t = topo(1, 4);
+    const auto ep =
+        makeShardingPlan(m, t, ExpertPlacement::ExpertParallel);
+    const auto et =
+        makeShardingPlan(m, t, ExpertPlacement::ExpertTensorParallel);
+    EXPECT_EQ(weightBytesPerDevice(m, t, ep),
+              weightBytesPerDevice(m, t, et));
+}
+
+TEST(Sharding, DataParallelismDuplicatesNonExpert)
+{
+    // Two DP nodes hold two copies of non-expert weights.
+    const ModelConfig m = llama3Config();
+    const auto one = weightBytesPerDevice(
+        m, topo(1, 4),
+        makeShardingPlan(m, topo(1, 4),
+                         ExpertPlacement::ExpertParallel));
+    const auto two = weightBytesPerDevice(
+        m, topo(2, 4),
+        makeShardingPlan(m, topo(2, 4),
+                         ExpertPlacement::ExpertParallel));
+    EXPECT_EQ(one, two); // per-device bytes identical => duplicated
+}
+
+} // namespace
+} // namespace duplex

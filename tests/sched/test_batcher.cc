@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Continuous-batching scheduler tests (Section II-C semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/batcher.hh"
+
+namespace duplex
+{
+namespace
+{
+
+std::vector<Request>
+makeRequests(int n, std::int64_t lin, std::int64_t lout,
+             PicoSec arrival_step = 0)
+{
+    std::vector<Request> reqs;
+    for (int i = 0; i < n; ++i) {
+        Request r;
+        r.id = i;
+        r.inputLen = lin;
+        r.outputLen = lout;
+        r.arrival = arrival_step * i;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+TEST(ContinuousBatcher, FirstStageIsMixed)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 4;
+    ContinuousBatcher b(cfg, makeRequests(4, 128, 4));
+    const StageShape s = b.formStage(0);
+    EXPECT_EQ(s.prefillLengths.size(), 4u);
+    EXPECT_EQ(s.decodeContexts.size(), 0u);
+    EXPECT_TRUE(s.isMixed());
+    EXPECT_EQ(b.mixedStages(), 1);
+}
+
+TEST(ContinuousBatcher, PrefillProducesFirstToken)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 2;
+    ContinuousBatcher b(cfg, makeRequests(2, 128, 4));
+    b.formStage(0);
+    b.completeStage(1000);
+    EXPECT_EQ(b.totalGenerated(), 2);
+    const StageShape s2 = b.formStage(1000);
+    // Second stage: both requests decode with context 129.
+    ASSERT_EQ(s2.decodeContexts.size(), 2u);
+    EXPECT_EQ(s2.decodeContexts[0], 129);
+    EXPECT_FALSE(s2.isMixed());
+}
+
+TEST(ContinuousBatcher, RunsToCompletion)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 2;
+    ContinuousBatcher b(cfg, makeRequests(2, 16, 3));
+    PicoSec now = 0;
+    while (!b.allDone()) {
+        b.formStage(now);
+        now += 1000;
+        b.completeStage(now);
+    }
+    EXPECT_EQ(b.finished().size(), 2u);
+    for (const auto &r : b.finished()) {
+        EXPECT_EQ(r.generated, 3);
+        EXPECT_EQ(r.tokenTimes.size(), 3u);
+        EXPECT_GT(r.finished, r.firstToken);
+    }
+}
+
+TEST(ContinuousBatcher, ClosedLoopRefillsSlots)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 2;
+    // Four requests, two slots: the next request joins only after
+    // one finishes.
+    ContinuousBatcher b(cfg, makeRequests(4, 16, 2));
+    PicoSec now = 0;
+    int mixed_after_start = 0;
+    b.formStage(now);
+    now += 100;
+    b.completeStage(now);
+    while (!b.allDone()) {
+        const StageShape s = b.formStage(now);
+        if (s.isMixed())
+            ++mixed_after_start;
+        now += 100;
+        b.completeStage(now);
+    }
+    // Replacement prefills create later mixed stages.
+    EXPECT_GT(mixed_after_start, 0);
+    EXPECT_EQ(b.finished().size(), 4u);
+}
+
+TEST(ContinuousBatcher, StageTypeCounting)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 2;
+    ContinuousBatcher b(cfg, makeRequests(2, 16, 4));
+    PicoSec now = 0;
+    while (!b.allDone()) {
+        b.formStage(now);
+        now += 10;
+        b.completeStage(now);
+    }
+    // One mixed admission stage, then three decoding-only stages.
+    EXPECT_EQ(b.mixedStages(), 1);
+    EXPECT_EQ(b.decodingOnlyStages(), 3);
+}
+
+TEST(ContinuousBatcher, KvCapacityBlocksAdmission)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxKvTokens = 300;
+    // Each prompt needs 128 tokens of KV; only two fit.
+    ContinuousBatcher b(cfg, makeRequests(8, 128, 4));
+    const StageShape s = b.formStage(0);
+    EXPECT_EQ(s.prefillLengths.size(), 2u);
+}
+
+TEST(ContinuousBatcher, OpenLoopHonorsArrivals)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.closedLoop = false;
+    // Arrivals every 1 ms.
+    ContinuousBatcher b(cfg, makeRequests(4, 16, 4, kPsPerMs));
+    const StageShape s0 = b.formStage(0);
+    EXPECT_EQ(s0.prefillLengths.size(), 1u); // only id 0 arrived
+    b.completeStage(100);
+    EXPECT_EQ(b.nextArrival(), kPsPerMs);
+    const StageShape s1 = b.formStage(2 * kPsPerMs);
+    EXPECT_EQ(s1.prefillLengths.size(), 2u); // ids 1 and 2
+}
+
+TEST(ContinuousBatcher, OpenLoopT2ftIncludesQueueing)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 1;
+    cfg.closedLoop = false;
+    ContinuousBatcher b(cfg, makeRequests(2, 16, 1, 0));
+    // Both arrive at 0 but only one slot exists.
+    b.formStage(0);
+    b.completeStage(5000);
+    b.formStage(5000);
+    b.completeStage(9000);
+    ASSERT_EQ(b.finished().size(), 2u);
+    EXPECT_EQ(b.finished()[0].firstToken, 5000);
+    // The queued request keeps its arrival of 0.
+    EXPECT_EQ(b.finished()[1].arrival, 0);
+    EXPECT_EQ(b.finished()[1].firstToken, 9000);
+}
+
+TEST(ContinuousBatcher, ClosedLoopArrivalIsAdmission)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 1;
+    ContinuousBatcher b(cfg, makeRequests(2, 16, 1));
+    b.formStage(0);
+    b.completeStage(5000);
+    b.formStage(5000);
+    b.completeStage(9000);
+    // The second request was admitted at 5000, so T2FT is 4000.
+    EXPECT_EQ(b.finished()[1].arrival, 5000);
+}
+
+TEST(ContinuousBatcher, MaxBatchHonored)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 3;
+    ContinuousBatcher b(cfg, makeRequests(10, 16, 8));
+    PicoSec now = 0;
+    while (!b.allDone()) {
+        const StageShape s = b.formStage(now);
+        EXPECT_LE(s.decodeContexts.size() + s.prefillLengths.size(),
+                  3u);
+        now += 10;
+        b.completeStage(now);
+    }
+}
+
+TEST(ContinuousBatcher, ContextGrowsEachStage)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 1;
+    ContinuousBatcher b(cfg, makeRequests(1, 100, 3));
+    PicoSec now = 0;
+    b.formStage(now);
+    b.completeStage(++now);
+    const StageShape s1 = b.formStage(now);
+    ASSERT_EQ(s1.decodeContexts.size(), 1u);
+    EXPECT_EQ(s1.decodeContexts[0], 101);
+    b.completeStage(++now);
+    const StageShape s2 = b.formStage(now);
+    EXPECT_EQ(s2.decodeContexts[0], 102);
+}
+
+} // namespace
+} // namespace duplex

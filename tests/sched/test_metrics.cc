@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Serving-metric computation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/metrics.hh"
+
+namespace duplex
+{
+namespace
+{
+
+Request
+makeFinished(PicoSec arrival, std::vector<PicoSec> token_times)
+{
+    Request r;
+    r.arrival = arrival;
+    r.firstToken = token_times.front();
+    r.finished = token_times.back();
+    r.generated = static_cast<std::int64_t>(token_times.size());
+    r.outputLen = r.generated;
+    r.tokenTimes = std::move(token_times);
+    return r;
+}
+
+TEST(Metrics, T2ftAndE2e)
+{
+    std::vector<Request> reqs{
+        makeFinished(0, {2 * kPsPerMs, 3 * kPsPerMs, 4 * kPsPerMs}),
+    };
+    const ServingMetrics m = collectMetrics(reqs);
+    EXPECT_DOUBLE_EQ(m.t2ftMs.median(), 2.0);
+    EXPECT_DOUBLE_EQ(m.e2eMs.median(), 4.0);
+}
+
+TEST(Metrics, TbtFromTokenGaps)
+{
+    std::vector<Request> reqs{
+        makeFinished(0, {kPsPerMs, 3 * kPsPerMs, 6 * kPsPerMs}),
+    };
+    const ServingMetrics m = collectMetrics(reqs);
+    // Gaps: 2 ms and 3 ms.
+    EXPECT_EQ(m.tbtMs.count(), 2u);
+    EXPECT_DOUBLE_EQ(m.tbtMs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(m.tbtMs.max(), 3.0);
+}
+
+TEST(Metrics, WarmupSkipped)
+{
+    std::vector<Request> reqs{
+        makeFinished(0, {100 * kPsPerMs}), // warm-up outlier
+        makeFinished(0, {2 * kPsPerMs}),
+    };
+    const ServingMetrics m = collectMetrics(reqs, 1);
+    EXPECT_EQ(m.t2ftMs.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.t2ftMs.median(), 2.0);
+}
+
+TEST(Metrics, ThroughputFromTokensAndElapsed)
+{
+    ServingMetrics m;
+    m.totalTokens = 5000;
+    m.elapsed = kPsPerSec; // one second
+    EXPECT_DOUBLE_EQ(m.throughputTokensPerSec(), 5000.0);
+}
+
+TEST(Metrics, DecodingOnlyRatio)
+{
+    ServingMetrics m;
+    m.decodingOnlyStages = 98;
+    m.mixedStages = 2;
+    EXPECT_NEAR(m.decodingOnlyRatio(), 0.98, 1e-12);
+}
+
+TEST(Metrics, EmptyIsSafe)
+{
+    const ServingMetrics m = collectMetrics({});
+    EXPECT_EQ(m.tbtMs.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.throughputTokensPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.decodingOnlyRatio(), 0.0);
+}
+
+TEST(Metrics, SingleTokenRequestHasNoTbt)
+{
+    std::vector<Request> reqs{makeFinished(0, {kPsPerMs})};
+    const ServingMetrics m = collectMetrics(reqs);
+    EXPECT_EQ(m.tbtMs.count(), 0u);
+    EXPECT_EQ(m.t2ftMs.count(), 1u);
+}
+
+} // namespace
+} // namespace duplex

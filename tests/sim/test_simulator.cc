@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Integration tests: end-to-end serving simulations reproducing the
+ * paper's qualitative claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+baseConfig(SystemKind kind, const ModelConfig &model, int batch,
+           std::int64_t lin, std::int64_t lout)
+{
+    SimConfig c;
+    c.system = kind;
+    c.model = model;
+    c.maxBatch = batch;
+    c.workload.meanInputLen = lin;
+    c.workload.meanOutputLen = lout;
+    c.numRequests = 3 * batch;
+    c.warmupRequests = batch / 2;
+    c.maxStages = 600;
+    return c;
+}
+
+double
+throughput(SystemKind kind, const ModelConfig &model, int batch = 32,
+           std::int64_t lin = 512, std::int64_t lout = 256)
+{
+    return runSimulation(baseConfig(kind, model, batch, lin, lout))
+        .metrics.throughputTokensPerSec();
+}
+
+TEST(Simulator, DuplexBeatsGpuOnMixtral)
+{
+    const double gpu = throughput(SystemKind::Gpu, mixtralConfig());
+    const double dup =
+        throughput(SystemKind::Duplex, mixtralConfig());
+    EXPECT_GT(dup, 1.3 * gpu);
+}
+
+TEST(Simulator, CoProcessingAndEtMonotone)
+{
+    const ModelConfig m = mixtralConfig();
+    const double base = throughput(SystemKind::Duplex, m, 64);
+    const double pe = throughput(SystemKind::DuplexPE, m, 64);
+    const double et = throughput(SystemKind::DuplexPEET, m, 64);
+    EXPECT_GE(pe, 0.98 * base); // PE never hurts materially
+    EXPECT_GT(et, pe);          // ET adds the big win (Fig. 11)
+}
+
+TEST(Simulator, DuplexBeats2xGpuOnGlamDecodeHeavy)
+{
+    // Fig. 12: the decoding-only stage dominates, where Duplex's
+    // bandwidth beats 2xGPU's extra compute.
+    const ModelConfig m = glamConfig();
+    const double two = throughput(SystemKind::Gpu2x, m, 64, 512, 512);
+    const double dup =
+        throughput(SystemKind::DuplexPEET, m, 64, 512, 512);
+    EXPECT_GT(dup, two);
+}
+
+TEST(Simulator, BankPimWinsOnMhaDecode)
+{
+    // Fig. 14: OPT (MHA, Op/B ~ 1) favours Bank-PIM's bandwidth.
+    const ModelConfig m = optConfig();
+    const double dup = throughput(SystemKind::Duplex, m, 32, 512,
+                                  512);
+    const double bank =
+        throughput(SystemKind::BankPim, m, 32, 512, 512);
+    EXPECT_GT(bank, dup);
+}
+
+TEST(Simulator, DuplexBeatsBankPimOnMoE)
+{
+    // Fig. 14: Mixtral at batch 64 pushes MoE Op/B past Bank-PIM's
+    // compute.
+    const ModelConfig m = mixtralConfig();
+    const double dup =
+        throughput(SystemKind::DuplexPEET, m, 64, 256, 256);
+    const double bank =
+        throughput(SystemKind::BankPim, m, 64, 256, 256);
+    EXPECT_GT(dup, bank);
+}
+
+TEST(Simulator, EnergyPerTokenLowerOnDuplex)
+{
+    const ModelConfig m = mixtralConfig();
+    const auto gpu =
+        runSimulation(baseConfig(SystemKind::Gpu, m, 32, 512, 256));
+    const auto dup = runSimulation(
+        baseConfig(SystemKind::Duplex, m, 32, 512, 256));
+    EXPECT_LT(dup.energyPerTokenJ(), 0.9 * gpu.energyPerTokenJ());
+}
+
+TEST(Simulator, LatencyMetricsPopulated)
+{
+    SimConfig c = baseConfig(SystemKind::Duplex, mixtralConfig(), 8,
+                             128, 32);
+    c.maxStages = 5000;
+    const SimResult r = runSimulation(c);
+    EXPECT_GT(r.metrics.tbtMs.count(), 100u);
+    EXPECT_GT(r.metrics.t2ftMs.median(), 0.0);
+    EXPECT_GT(r.metrics.e2eMs.median(),
+              r.metrics.t2ftMs.median());
+    // TBT tail at least as large as the median.
+    EXPECT_GE(r.metrics.tbtMs.percentile(99),
+              r.metrics.tbtMs.percentile(50));
+}
+
+TEST(Simulator, DecodingOnlyStagesDominate)
+{
+    // Fig. 5(a): most stages are decoding-only.
+    SimConfig c = baseConfig(SystemKind::Gpu, mixtralConfig(), 32,
+                             256, 256);
+    c.maxStages = 2000;
+    const SimResult r = runSimulation(c);
+    EXPECT_GT(r.metrics.decodingOnlyRatio(), 0.80);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const SimConfig c =
+        baseConfig(SystemKind::DuplexPEET, mixtralConfig(), 16, 256,
+                   64);
+    const SimResult a = runSimulation(c);
+    const SimResult b = runSimulation(c);
+    EXPECT_EQ(a.metrics.elapsed, b.metrics.elapsed);
+    EXPECT_EQ(a.metrics.totalTokens, b.metrics.totalTokens);
+    EXPECT_DOUBLE_EQ(a.totals.totalEnergyJ(),
+                     b.totals.totalEnergyJ());
+}
+
+TEST(Simulator, PeakBatchHonorsLimit)
+{
+    SimConfig c = baseConfig(SystemKind::Gpu, mixtralConfig(), 16,
+                             256, 64);
+    const SimResult r = runSimulation(c);
+    EXPECT_LE(r.peakBatch, 16);
+    EXPECT_GT(r.peakBatch, 0);
+}
+
+TEST(Simulator, OpenLoopLowQpsHasIdleGaps)
+{
+    SimConfig c = baseConfig(SystemKind::Duplex, mixtralConfig(), 32,
+                             512, 64);
+    c.workload.qps = 1.0; // far below capacity
+    c.numRequests = 20;
+    c.warmupRequests = 2;
+    c.maxStages = 50000;
+    const SimResult r = runSimulation(c);
+    // All requests finish, and elapsed spans the arrival horizon.
+    EXPECT_GT(r.metrics.totalTokens, 0);
+    EXPECT_GT(psToSec(r.metrics.elapsed), 15.0);
+}
+
+TEST(Simulator, OverloadGrowsT2ft)
+{
+    // Fig. 13: past saturation, queueing delay explodes T2FT.
+    SimConfig low = baseConfig(SystemKind::Gpu, mixtralConfig(), 16,
+                               2048, 256);
+    low.workload.qps = 0.5;
+    low.numRequests = 24;
+    low.warmupRequests = 4;
+    low.maxStages = 50000;
+    SimConfig high = low;
+    high.workload.qps = 50.0;
+    const double t2ft_low =
+        runSimulation(low).metrics.t2ftMs.median();
+    const double t2ft_high =
+        runSimulation(high).metrics.t2ftMs.median();
+    EXPECT_GT(t2ft_high, 2.0 * t2ft_low);
+}
+
+TEST(Simulator, SplitSystemLowerThroughput)
+{
+    // Fig. 16: splitting prefill/decode nodes wastes capacity and
+    // utilization vs unified Duplex.
+    const ModelConfig m = mixtralConfig();
+    SimConfig c = baseConfig(SystemKind::DuplexPEET, m, 64, 1024,
+                             256);
+    c.maxStages = 3000;
+    const double unified =
+        runSimulation(c).metrics.throughputTokensPerSec();
+    c.system = SystemKind::DuplexSplit;
+    const double split =
+        runSimulation(c).metrics.throughputTokensPerSec();
+    EXPECT_LT(split, unified);
+}
+
+TEST(Simulator, SplitSystemCompletesRequests)
+{
+    SimConfig c = baseConfig(SystemKind::DuplexSplit,
+                             mixtralConfig(), 16, 256, 64);
+    c.maxStages = 20000;
+    const SimResult r = runSimulation(c);
+    EXPECT_GT(r.metrics.e2eMs.count(), 0u);
+    EXPECT_GT(r.metrics.totalTokens, 0);
+}
+
+TEST(Simulator, HeteroRunsAndTrailsDuplex)
+{
+    const ModelConfig m = mixtralConfig();
+    const double hetero =
+        throughput(SystemKind::Hetero, m, 32, 1024, 256);
+    const double dup =
+        throughput(SystemKind::DuplexPE, m, 32, 1024, 256);
+    EXPECT_GT(hetero, 0.0);
+    EXPECT_GT(dup, hetero);
+}
+
+TEST(Simulator, GrokTwoNodeRuns)
+{
+    const double thr =
+        throughput(SystemKind::DuplexPEET, grok1Config(), 32, 256,
+                   128);
+    EXPECT_GT(thr, 0.0);
+}
+
+} // namespace
+} // namespace duplex

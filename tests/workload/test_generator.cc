@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Request-generator tests (Section VI workload synthesis).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(RequestGenerator, LengthsNearMeans)
+{
+    WorkloadConfig cfg;
+    cfg.meanInputLen = 2048;
+    cfg.meanOutputLen = 512;
+    RequestGenerator gen(cfg);
+    double in_sum = 0.0;
+    double out_sum = 0.0;
+    const int n = 5000;
+    for (const auto &r : gen.take(n)) {
+        in_sum += static_cast<double>(r.inputLen);
+        out_sum += static_cast<double>(r.outputLen);
+    }
+    EXPECT_NEAR(in_sum / n, 2048.0, 2048.0 * 0.02);
+    EXPECT_NEAR(out_sum / n, 512.0, 512.0 * 0.02);
+}
+
+TEST(RequestGenerator, RespectsMinimumLength)
+{
+    WorkloadConfig cfg;
+    cfg.meanInputLen = 16;
+    cfg.meanOutputLen = 16;
+    cfg.lengthCv = 2.0; // wild spread
+    cfg.minLen = 8;
+    RequestGenerator gen(cfg);
+    for (const auto &r : gen.take(2000)) {
+        EXPECT_GE(r.inputLen, 8);
+        EXPECT_GE(r.outputLen, 8);
+    }
+}
+
+TEST(RequestGenerator, ClosedLoopArrivalsAreZero)
+{
+    WorkloadConfig cfg;
+    cfg.qps = 0.0;
+    RequestGenerator gen(cfg);
+    for (const auto &r : gen.take(50))
+        EXPECT_EQ(r.arrival, 0);
+}
+
+TEST(RequestGenerator, PoissonArrivalsMonotone)
+{
+    WorkloadConfig cfg;
+    cfg.qps = 10.0;
+    RequestGenerator gen(cfg);
+    PicoSec prev = -1;
+    for (const auto &r : gen.take(500)) {
+        EXPECT_GT(r.arrival, prev);
+        prev = r.arrival;
+    }
+}
+
+TEST(RequestGenerator, PoissonRateMatchesQps)
+{
+    WorkloadConfig cfg;
+    cfg.qps = 8.0;
+    RequestGenerator gen(cfg);
+    const auto reqs = gen.take(4000);
+    const double span_sec = psToSec(reqs.back().arrival);
+    EXPECT_NEAR(4000.0 / span_sec, 8.0, 0.5);
+}
+
+TEST(RequestGenerator, DeterministicBySeed)
+{
+    WorkloadConfig cfg;
+    cfg.seed = 99;
+    RequestGenerator a(cfg);
+    RequestGenerator b(cfg);
+    const auto ra = a.take(100);
+    const auto rb = b.take(100);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(ra[i].inputLen, rb[i].inputLen);
+        EXPECT_EQ(ra[i].outputLen, rb[i].outputLen);
+    }
+}
+
+TEST(RequestGenerator, IdsSequential)
+{
+    RequestGenerator gen(WorkloadConfig{});
+    const auto reqs = gen.take(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(reqs[i].id, i);
+}
+
+TEST(Request, LifecycleHelpers)
+{
+    Request r;
+    r.inputLen = 100;
+    r.outputLen = 3;
+    EXPECT_EQ(r.contextLen(), 100);
+    r.generated = 2;
+    EXPECT_EQ(r.contextLen(), 102);
+    EXPECT_FALSE(r.done());
+    r.generated = 3;
+    EXPECT_TRUE(r.done());
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace I/O tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hh"
+#include "workload/trace.hh"
+
+namespace duplex
+{
+namespace
+{
+
+TEST(Trace, ParsesBasicLines)
+{
+    std::istringstream in("# comment\n"
+                          "0.0,512,256\n"
+                          "\n"
+                          "0.5,1024,128\n");
+    const auto reqs = parseTrace(in);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].arrival, 0);
+    EXPECT_EQ(reqs[0].inputLen, 512);
+    EXPECT_EQ(reqs[0].outputLen, 256);
+    EXPECT_EQ(reqs[1].arrival, secToPs(0.5));
+    EXPECT_EQ(reqs[1].id, 1);
+}
+
+TEST(Trace, RoundTripThroughWriter)
+{
+    WorkloadConfig cfg;
+    cfg.qps = 5.0;
+    RequestGenerator gen(cfg);
+    const auto original = gen.take(32);
+
+    std::ostringstream out;
+    writeTrace(out, original);
+    std::istringstream in(out.str());
+    const auto parsed = parseTrace(in);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].inputLen, original[i].inputLen);
+        EXPECT_EQ(parsed[i].outputLen, original[i].outputLen);
+        // Arrival survives to within text round-off (< 1 us).
+        EXPECT_NEAR(static_cast<double>(parsed[i].arrival),
+                    static_cast<double>(original[i].arrival),
+                    1e6);
+    }
+}
+
+TEST(Trace, EmptyInputEmptyTrace)
+{
+    std::istringstream in("# nothing here\n");
+    EXPECT_TRUE(parseTrace(in).empty());
+}
+
+TEST(Trace, FractionalArrivalPrecision)
+{
+    std::istringstream in("1.25,16,16\n");
+    const auto reqs = parseTrace(in);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].arrival, secToPs(1.25));
+}
+
+} // namespace
+} // namespace duplex
