@@ -23,7 +23,7 @@ main()
                  std::vector<std::pair<std::int64_t, std::int64_t>>{
                      {256, 256}, {256, 2048}, {2048, 2048}}) {
                 const SimResult r = runThroughput(
-                    SystemKind::Gpu, model, batch, lin, lout, 1500);
+                    "gpu", model, batch, lin, lout, 1500);
                 t.startRow();
                 t.cell(static_cast<std::int64_t>(batch));
                 t.cell(lin);
@@ -46,10 +46,10 @@ main()
         for (const auto &[lin, lout] :
              std::vector<std::pair<std::int64_t, std::int64_t>>{
                  {256, 256}, {2048, 256}, {2048, 2048}}) {
-            SimResult gpu = runLatency(SystemKind::Gpu, model, 32,
-                                       lin, lout, 96, 8000);
-            SimResult het = runLatency(SystemKind::Hetero, model,
-                                       32, lin, lout, 96, 8000);
+            SimResult gpu = runLatency("gpu", model, 32, lin,
+                                       lout, 96, 8000);
+            SimResult het = runLatency("hetero", model, 32, lin,
+                                       lout, 96, 8000);
             for (const auto &[name, r] :
                  std::vector<std::pair<std::string, SimResult *>>{
                      {"GPU", &gpu}, {"Hetero", &het}}) {
@@ -57,11 +57,7 @@ main()
                 t.cell(lin);
                 t.cell(lout);
                 t.cell(name);
-                t.cell(r->metrics.tbtMs.percentile(50), 2);
-                t.cell(r->metrics.tbtMs.percentile(90), 2);
-                t.cell(r->metrics.tbtMs.percentile(99), 2);
-                t.cell(r->metrics.t2ftMs.percentile(50), 1);
-                t.cell(r->metrics.e2eMs.percentile(50), 1);
+                latencyCells(t, r->metrics);
             }
         }
         t.print();
@@ -79,9 +75,9 @@ main()
              std::vector<std::pair<std::int64_t, std::int64_t>>{
                  {2048, 2048}, {4096, 4096}, {8192, 4096}}) {
             const SimResult gpu = runThroughput(
-                SystemKind::Gpu, model, 128, lin, lout, 400);
+                "gpu", model, 128, lin, lout, 400);
             const SimResult het = runThroughput(
-                SystemKind::Hetero, model, 128, lin, lout, 400);
+                "hetero", model, 128, lin, lout, 400);
             t.startRow();
             t.cell(lin);
             t.cell(lout);

@@ -13,9 +13,8 @@ int
 main()
 {
     banner("Fig. 11: normalized throughput (tokens/s)");
-    const std::vector<SystemKind> systems = {
-        SystemKind::Gpu, SystemKind::Gpu2x, SystemKind::Duplex,
-        SystemKind::DuplexPE, SystemKind::DuplexPEET};
+    const std::vector<std::string> systems = {
+        "gpu", "gpu-2x", "duplex", "duplex-pe", "duplex-pe-et"};
 
     Table t({"Model", "Batch", "Lin", "Lout", "GPU tok/s", "2xGPU",
              "Duplex", "+PE", "+PE+ET"});
@@ -26,12 +25,12 @@ main()
             for (const auto &[lin, lout] : lengthSweep(model)) {
                 double gpu_thr = 0.0;
                 std::vector<double> normalized;
-                for (SystemKind kind : systems) {
+                for (const std::string &system : systems) {
                     const SimResult r = runThroughput(
-                        kind, model, batch, lin, lout);
+                        system, model, batch, lin, lout);
                     const double thr =
                         r.metrics.throughputTokensPerSec();
-                    if (kind == SystemKind::Gpu) {
+                    if (system == "gpu") {
                         gpu_thr = thr;
                         continue;
                     }

@@ -14,40 +14,30 @@ main()
 {
     banner("Fig. 12: GLaM latency, batch 64 (normalized to GPU)");
     const ModelConfig model = glamConfig();
-    const std::vector<SystemKind> systems = {
-        SystemKind::Gpu, SystemKind::Gpu2x, SystemKind::Duplex,
-        SystemKind::DuplexPE, SystemKind::DuplexPEET};
+    const std::vector<std::string> systems = {
+        "gpu", "gpu-2x", "duplex", "duplex-pe", "duplex-pe-et"};
 
     Table t({"Lin=Lout", "System", "TBT p50", "TBT p90", "TBT p99",
              "T2FT p50", "E2E p50"});
     for (std::int64_t len : {512, 1024, 2048}) {
-        SimResult gpu;
-        for (SystemKind kind : systems) {
-            const SimResult r = runLatency(kind, model, 64, len,
+        LatencySummary gpu;
+        for (const std::string &system : systems) {
+            const SimResult r = runLatency(system, model, 64, len,
                                            len, 160, 8000);
-            if (kind == SystemKind::Gpu)
-                gpu = r;
+            const LatencySummary s = summarizeLatency(r.metrics);
+            if (system == "gpu")
+                gpu = s;
             auto norm = [&](double v, double base) {
                 return base > 0.0 ? v / base : 0.0;
             };
             t.startRow();
             t.cell(len);
-            t.cell(systemName(kind));
-            t.cell(norm(r.metrics.tbtMs.percentile(50),
-                        gpu.metrics.tbtMs.percentile(50)),
-                   3);
-            t.cell(norm(r.metrics.tbtMs.percentile(90),
-                        gpu.metrics.tbtMs.percentile(90)),
-                   3);
-            t.cell(norm(r.metrics.tbtMs.percentile(99),
-                        gpu.metrics.tbtMs.percentile(99)),
-                   3);
-            t.cell(norm(r.metrics.t2ftMs.percentile(50),
-                        gpu.metrics.t2ftMs.percentile(50)),
-                   3);
-            t.cell(norm(r.metrics.e2eMs.percentile(50),
-                        gpu.metrics.e2eMs.percentile(50)),
-                   3);
+            t.cell(systemLabel(system));
+            t.cell(norm(s.tbtP50, gpu.tbtP50), 3);
+            t.cell(norm(s.tbtP90, gpu.tbtP90), 3);
+            t.cell(norm(s.tbtP99, gpu.tbtP99), 3);
+            t.cell(norm(s.t2ftP50, gpu.t2ftP50), 3);
+            t.cell(norm(s.e2eP50, gpu.e2eP50), 3);
         }
     }
     t.print();

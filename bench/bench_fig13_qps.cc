@@ -13,10 +13,10 @@ namespace
 {
 
 SimResult
-runQps(SystemKind kind, double qps)
+runQps(const std::string &system, double qps)
 {
     SimConfig c;
-    c.system = kind;
+    c.systemName = system;
     c.model = mixtralConfig();
     c.maxBatch = 128;
     c.workload.meanInputLen = 4096;
@@ -25,7 +25,7 @@ runQps(SystemKind kind, double qps)
     c.numRequests = 96;
     c.warmupRequests = 8;
     c.maxStages = 60000;
-    return runSimulation(c);
+    return SimulationEngine(c).run();
 }
 
 } // namespace
@@ -38,18 +38,13 @@ main()
     Table t({"QPS", "System", "TBT p50 ms", "TBT p90 ms",
              "TBT p99 ms", "T2FT p50 ms", "E2E p50 ms"});
     for (double qps : {4.0, 8.0, 12.0, 16.0}) {
-        for (SystemKind kind :
-             {SystemKind::Gpu, SystemKind::DuplexPEET,
-              SystemKind::Gpu2x}) {
-            const SimResult r = runQps(kind, qps);
+        for (const std::string system :
+             {"gpu", "duplex-pe-et", "gpu-2x"}) {
+            const SimResult r = runQps(system, qps);
             t.startRow();
             t.cell(qps, 0);
-            t.cell(systemName(kind));
-            t.cell(r.metrics.tbtMs.percentile(50), 2);
-            t.cell(r.metrics.tbtMs.percentile(90), 2);
-            t.cell(r.metrics.tbtMs.percentile(99), 2);
-            t.cell(r.metrics.t2ftMs.percentile(50), 1);
-            t.cell(r.metrics.e2eMs.percentile(50), 1);
+            t.cell(systemLabel(system));
+            latencyCells(t, r.metrics);
         }
     }
     t.print();

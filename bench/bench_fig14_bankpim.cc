@@ -31,16 +31,16 @@ main()
         for (int batch : {32, 64}) {
             for (std::int64_t len : row.lengths) {
                 const double gpu =
-                    runThroughput(SystemKind::Gpu, row.model, batch,
-                                  len, len)
+                    runThroughput("gpu", row.model, batch, len,
+                                  len)
                         .metrics.throughputTokensPerSec();
                 const double bank =
-                    runThroughput(SystemKind::BankPim, row.model,
-                                  batch, len, len)
+                    runThroughput("bank-pim", row.model, batch,
+                                  len, len)
                         .metrics.throughputTokensPerSec();
                 const double dup =
-                    runThroughput(SystemKind::DuplexPEET, row.model,
-                                  batch, len, len)
+                    runThroughput("duplex-pe-et", row.model, batch,
+                                  len, len)
                         .metrics.throughputTokensPerSec();
                 t.startRow();
                 t.cell(row.model.name);

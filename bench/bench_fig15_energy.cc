@@ -64,10 +64,10 @@ main()
         for (int batch : {32, 64, 128}) {
             for (const auto &[lin, lout] : lengthSweep(model)) {
                 const SimResult gpu = runThroughput(
-                    SystemKind::Gpu, model, batch, lin, lout, 200);
+                    "gpu", model, batch, lin, lout, 200);
                 const SimResult dup =
-                    runThroughput(SystemKind::DuplexPEET, model,
-                                  batch, lin, lout, 200);
+                    runThroughput("duplex-pe-et", model, batch,
+                                  lin, lout, 200);
                 const double gpu_total = gpu.energyPerTokenJ();
                 addRow(t, model.name, batch, lin, lout, "GPU", gpu,
                        gpu_total);

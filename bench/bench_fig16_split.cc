@@ -19,24 +19,25 @@ main()
              "TBT p99", "T2FT p50", "E2E p50", "peak batch"});
     for (std::int64_t len : {256, 1024, 4096}) {
         SimResult dup;
-        for (SystemKind kind :
-             {SystemKind::DuplexPEET, SystemKind::DuplexSplit}) {
+        for (const std::string system :
+             {"duplex-pe-et", "duplex-split"}) {
             const SimResult r =
-                runLatency(kind, model, 128, len, len, 256, 6000);
-            if (kind == SystemKind::DuplexPEET)
+                runLatency(system, model, 128, len, len, 256, 6000);
+            if (system == "duplex-pe-et")
                 dup = r;
+            const LatencySummary s = summarizeLatency(r.metrics);
             t.startRow();
             t.cell(len);
-            t.cell(kind == SystemKind::DuplexPEET ? "Duplex"
-                                                  : "Duplex-Split");
+            t.cell(system == "duplex-pe-et" ? "Duplex"
+                                            : systemLabel(system));
             t.cell(r.metrics.throughputTokensPerSec(), 0);
             t.cell(r.metrics.throughputTokensPerSec() /
                        dup.metrics.throughputTokensPerSec(),
                    3);
-            t.cell(r.metrics.tbtMs.percentile(50), 2);
-            t.cell(r.metrics.tbtMs.percentile(99), 2);
-            t.cell(r.metrics.t2ftMs.percentile(50), 1);
-            t.cell(r.metrics.e2eMs.percentile(50), 1);
+            t.cell(s.tbtP50, 2);
+            t.cell(s.tbtP99, 2);
+            t.cell(s.t2ftP50, 1);
+            t.cell(s.e2eP50, 1);
             t.cell(static_cast<std::int64_t>(r.peakBatch));
         }
     }

@@ -1,7 +1,11 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches: standard
- * sweep configurations and result formatting.
+ * sweep configurations driven through the SimulationEngine, and
+ * result formatting.
+ *
+ * Systems are referred to by registry id ("gpu", "duplex-pe-et",
+ * ...); use systemLabel() for table cells.
  */
 
 #ifndef DUPLEX_BENCH_BENCH_UTIL_HH
@@ -12,7 +16,9 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+#include "sim/registry.hh"
 
 namespace duplex
 {
@@ -24,40 +30,53 @@ banner(const std::string &title)
     std::printf("\n=== %s ===\n", title.c_str());
 }
 
-/** Throughput-sweep simulation: enough stages for a steady state. */
-inline SimResult
-runThroughput(SystemKind system, const ModelConfig &model, int batch,
-              std::int64_t lin, std::int64_t lout,
-              std::int64_t max_stages = 300)
+/** Display name of a registered system ("duplex-pe" -> "Duplex+PE"). */
+inline const std::string &
+systemLabel(const std::string &id)
 {
-    SimConfig c;
-    c.system = system;
-    c.model = model;
-    c.maxBatch = batch;
-    c.workload.meanInputLen = lin;
-    c.workload.meanOutputLen = lout;
-    c.numRequests = 4 * batch;
-    c.warmupRequests = batch / 2;
-    c.maxStages = max_stages;
-    return runSimulation(c);
+    return SystemRegistry::instance().displayName(id);
 }
 
-/** Latency-sweep simulation: runs until the requests complete. */
-inline SimResult
-runLatency(SystemKind system, const ModelConfig &model, int batch,
-           std::int64_t lin, std::int64_t lout, int num_requests,
-           std::int64_t max_stages = 20000)
+/** The benches' standard sweep configuration. */
+inline SimConfig
+sweepConfig(const std::string &system, const ModelConfig &model,
+            int batch, std::int64_t lin, std::int64_t lout,
+            int num_requests, std::int64_t max_stages)
 {
     SimConfig c;
-    c.system = system;
+    c.systemName = system;
     c.model = model;
     c.maxBatch = batch;
     c.workload.meanInputLen = lin;
     c.workload.meanOutputLen = lout;
     c.numRequests = num_requests;
-    c.warmupRequests = batch / 2;
+    c.warmupRequests = defaultWarmupRequests(batch);
     c.maxStages = max_stages;
-    return runSimulation(c);
+    return c;
+}
+
+/** Throughput-sweep simulation: enough stages for a steady state. */
+inline SimResult
+runThroughput(const std::string &system, const ModelConfig &model,
+              int batch, std::int64_t lin, std::int64_t lout,
+              std::int64_t max_stages = 300)
+{
+    SimulationEngine engine(sweepConfig(system, model, batch, lin,
+                                        lout, 4 * batch,
+                                        max_stages));
+    return engine.run();
+}
+
+/** Latency-sweep simulation: runs until the requests complete. */
+inline SimResult
+runLatency(const std::string &system, const ModelConfig &model,
+           int batch, std::int64_t lin, std::int64_t lout,
+           int num_requests, std::int64_t max_stages = 20000)
+{
+    SimulationEngine engine(sweepConfig(system, model, batch, lin,
+                                        lout, num_requests,
+                                        max_stages));
+    return engine.run();
 }
 
 /** The (Lin, Lout) sweep each model uses in Figs. 11/15. */
@@ -67,6 +86,18 @@ lengthSweep(const ModelConfig &model)
     if (model.name == "GLaM")
         return {{512, 512}, {1024, 1024}, {2048, 2048}};
     return {{256, 256}, {1024, 1024}, {4096, 4096}};
+}
+
+/** Add the five standard latency cells (see LatencySummary). */
+inline void
+latencyCells(Table &t, const ServingMetrics &m)
+{
+    const LatencySummary s = summarizeLatency(m);
+    t.cell(s.tbtP50, 2);
+    t.cell(s.tbtP90, 2);
+    t.cell(s.tbtP99, 2);
+    t.cell(s.t2ftP50, 1);
+    t.cell(s.e2eP50, 1);
 }
 
 } // namespace duplex

@@ -2,7 +2,9 @@
  * @file
  * Capacity planner: given a model, a target arrival rate and a TBT
  * SLO, sweep the candidate systems and report the cheapest one (by
- * device count) that meets the objective.
+ * device count) that meets the objective. A KvOccupancyTrace
+ * observer rides along to report how much KV head-room each
+ * candidate had.
  *
  *   ./capacity_planner --model=glam --qps=8 --tbt-slo=30
  */
@@ -11,7 +13,9 @@
 
 #include "common/argparse.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+#include "sim/registry.hh"
 
 using namespace duplex;
 
@@ -39,23 +43,23 @@ main(int argc, char **argv)
 
     struct Candidate
     {
-        SystemKind kind;
+        std::string system;
         int devices;
     };
     const SystemTopology base = defaultTopology(model);
     const std::vector<Candidate> candidates = {
-        {SystemKind::Gpu, base.totalDevices()},
-        {SystemKind::Duplex, base.totalDevices()},
-        {SystemKind::DuplexPEET, base.totalDevices()},
-        {SystemKind::Gpu2x, base.totalDevices() * 2},
+        {"gpu", base.totalDevices()},
+        {"duplex", base.totalDevices()},
+        {"duplex-pe-et", base.totalDevices()},
+        {"gpu-2x", base.totalDevices() * 2},
     };
 
     Table t({"System", "devices", "tok/s", "TBT p99 ms",
-             "T2FT p50 ms", "meets SLO"});
+             "T2FT p50 ms", "KV use", "meets SLO"});
     const Candidate *winner = nullptr;
     for (const Candidate &cand : candidates) {
         SimConfig c;
-        c.system = cand.kind;
+        c.systemName = cand.system;
         c.model = model;
         c.maxBatch = 128;
         c.workload.meanInputLen = args.getInt("lin");
@@ -64,24 +68,37 @@ main(int argc, char **argv)
         c.numRequests = 96;
         c.warmupRequests = 8;
         c.maxStages = 40000;
-        const SimResult r = runSimulation(c);
+        SimulationEngine engine(c);
+        KvOccupancyTrace kv_trace;
+        engine.addObserver(&kv_trace);
+        SystemOptions opts;
+        opts.seed = c.seed;
+        const std::unique_ptr<ServingSystem> system =
+            makeSystem(cand.system, model, opts);
+        const SimResult r = engine.run(*system);
         const double tbt = r.metrics.tbtMs.percentile(99);
         const bool ok = tbt <= slo;
         if (ok && (winner == nullptr ||
                    cand.devices < winner->devices))
             winner = &cand;
         t.startRow();
-        t.cell(systemName(cand.kind));
+        t.cell(system->name());
         t.cell(static_cast<std::int64_t>(cand.devices));
         t.cell(r.metrics.throughputTokensPerSec(), 0);
         t.cell(tbt, 2);
         t.cell(r.metrics.t2ftMs.percentile(50), 1);
+        t.cell(static_cast<double>(kv_trace.peakKvTokens()) /
+                   static_cast<double>(system->maxKvTokens()),
+               2);
         t.cell(ok ? "yes" : "no");
     }
     t.print();
     if (winner != nullptr) {
         std::printf("\nRecommendation: %s with %d devices.\n",
-                    systemName(winner->kind), winner->devices);
+                    SystemRegistry::instance()
+                        .displayName(winner->system)
+                        .c_str(),
+                    winner->devices);
     } else {
         std::printf("\nNo candidate meets the SLO; lower the load "
                     "or relax the objective.\n");

@@ -13,7 +13,8 @@
 
 #include "common/argparse.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/engine.hh"
+#include "sim/registry.hh"
 
 using namespace duplex;
 
@@ -49,10 +50,10 @@ main(int argc, char **argv)
         const std::int64_t lin =
             args.getInt("first-prompt") +
             (round - 1) * (answer + 128);
-        for (SystemKind kind :
-             {SystemKind::Gpu, SystemKind::DuplexPEET}) {
+        for (const std::string system :
+             {"gpu", "duplex-pe-et"}) {
             SimConfig c;
-            c.system = kind;
+            c.systemName = system;
             c.model = model;
             c.maxBatch = 64;
             c.workload.meanInputLen = lin;
@@ -61,13 +62,13 @@ main(int argc, char **argv)
             c.numRequests = 96;
             c.warmupRequests = 8;
             c.maxStages = 30000;
-            const SimResult r = runSimulation(c);
+            const SimResult r = SimulationEngine(c).run();
             const double tbt = r.metrics.tbtMs.percentile(99);
             const double t2ft = r.metrics.t2ftMs.percentile(50);
             t.startRow();
             t.cell(static_cast<std::int64_t>(round));
             t.cell(lin);
-            t.cell(systemName(kind));
+            t.cell(SystemRegistry::instance().displayName(system));
             t.cell(tbt, 2);
             t.cell(t2ft, 1);
             t.cell(tbt <= tbt_slo && t2ft <= t2ft_slo ? "ok"

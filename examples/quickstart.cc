@@ -1,16 +1,23 @@
 /**
  * @file
- * Quickstart: simulate Mixtral serving on a GPU system and on
- * Duplex, print throughput, latency and energy.
+ * Quickstart: simulate Mixtral serving on a chosen set of systems,
+ * print throughput, latency and energy.
  *
  *   ./quickstart --model=mixtral --batch=64 --lin=1024 --lout=1024
+ *   ./quickstart --system=bank-pim        # any registered system
+ *   ./quickstart --list-systems
+ *
+ * Also demonstrates the observer API: a StageTimeHistogram rides
+ * along with every run and reports the stage-latency tail.
  */
 
 #include <cstdio>
 
 #include "common/argparse.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+#include "sim/registry.hh"
 
 using namespace duplex;
 
@@ -20,11 +27,32 @@ main(int argc, char **argv)
     ArgParser args;
     args.addFlag("model", "mixtral | glam | grok1 | opt | llama3",
                  "mixtral");
+    args.addFlag("system",
+                 "registered system id to run (see "
+                 "--list-systems); empty runs the GPU-vs-Duplex "
+                 "comparison",
+                 "");
+    args.addFlag("list-systems",
+                 "list every registered serving system and exit",
+                 "false");
     args.addFlag("batch", "stage-level batch size", "64");
     args.addFlag("lin", "mean prompt length", "1024");
     args.addFlag("lout", "mean generation length", "256");
     args.addFlag("stages", "stages to simulate", "1500");
     args.parse(argc, argv);
+
+    if (args.getBool("list-systems")) {
+        const SystemRegistry &registry = SystemRegistry::instance();
+        Table t({"id", "name", "summary"});
+        for (const std::string &id : registry.ids()) {
+            t.startRow();
+            t.cell(id);
+            t.cell(registry.displayName(id));
+            t.cell(registry.summary(id));
+        }
+        t.print();
+        return 0;
+    }
 
     const ModelConfig model = modelByName(args.getString("model"));
     std::printf("Model %s: %.1fB parameters, %d layers, "
@@ -37,30 +65,43 @@ main(int argc, char **argv)
     std::printf("System: %d node(s) x %d devices\n\n",
                 topo.numNodes, topo.devicesPerNode);
 
+    std::vector<std::string> systems = {"gpu", "duplex",
+                                        "duplex-pe",
+                                        "duplex-pe-et"};
+    const std::string requested = args.getString("system");
+    if (!requested.empty()) {
+        // The GPU baseline stays in front for the "vs GPU" column.
+        systems = {"gpu"};
+        if (requested != "gpu")
+            systems.push_back(requested);
+    }
+
     Table t({"System", "tokens/s", "vs GPU", "TBT p50 ms",
-             "J/token"});
+             "stage p99 ms", "J/token"});
     double gpu_thr = 0.0;
-    for (SystemKind kind :
-         {SystemKind::Gpu, SystemKind::Duplex, SystemKind::DuplexPE,
-          SystemKind::DuplexPEET}) {
+    for (const std::string &system : systems) {
         SimConfig c;
-        c.system = kind;
+        c.systemName = system;
         c.model = model;
         c.maxBatch = static_cast<int>(args.getInt("batch"));
         c.workload.meanInputLen = args.getInt("lin");
         c.workload.meanOutputLen = args.getInt("lout");
         c.numRequests = 4 * c.maxBatch;
-        c.warmupRequests = c.maxBatch / 2;
+        c.warmupRequests = defaultWarmupRequests(c.maxBatch);
         c.maxStages = args.getInt("stages");
-        const SimResult r = runSimulation(c);
+        SimulationEngine engine(c);
+        StageTimeHistogram stage_times;
+        engine.addObserver(&stage_times);
+        const SimResult r = engine.run();
         const double thr = r.metrics.throughputTokensPerSec();
-        if (kind == SystemKind::Gpu)
+        if (system == "gpu")
             gpu_thr = thr;
         t.startRow();
-        t.cell(systemName(kind));
+        t.cell(SystemRegistry::instance().displayName(system));
         t.cell(thr, 0);
         t.cell(thr / gpu_thr, 2);
         t.cell(r.metrics.tbtMs.percentile(50), 2);
+        t.cell(stage_times.stageMs().percentile(99), 2);
         t.cell(r.energyPerTokenJ(), 3);
     }
     t.print();

@@ -12,7 +12,9 @@ void
 ArgParser::addFlag(const std::string &name, const std::string &help,
                    const std::string &default_value)
 {
-    flags_[name] = Flag{help, default_value};
+    const bool boolean =
+        default_value == "true" || default_value == "false";
+    flags_[name] = Flag{help, default_value, boolean};
 }
 
 void
@@ -48,11 +50,29 @@ ArgParser::parse(int argc, char **argv)
             value = arg.substr(eq + 1);
         } else {
             name = arg;
-            if (i + 1 >= argc) {
+            // Boolean flags (default "true"/"false") work as bare
+            // switches: --list-systems means --list-systems=true.
+            // In space form they only swallow the next token when
+            // it is a recognized boolean literal, so "--verbose
+            // mixtral" stays a typo-detecting positional error
+            // rather than silently disabling the switch.
+            const auto flag = flags_.find(name);
+            const bool boolean =
+                flag != flags_.end() && flag->second.boolean;
+            auto is_bool_literal = [](const std::string &v) {
+                return v == "true" || v == "false" || v == "1" ||
+                       v == "0" || v == "yes" || v == "no";
+            };
+            const bool next_is_value =
+                i + 1 < argc && is_bool_literal(argv[i + 1]);
+            if (boolean && !next_is_value) {
+                value = "true";
+            } else if (i + 1 >= argc) {
                 usage();
                 fatal("flag --" + name + " needs a value");
+            } else {
+                value = argv[++i];
             }
-            value = argv[++i];
         }
         auto it = flags_.find(name);
         if (it == flags_.end()) {

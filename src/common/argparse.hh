@@ -48,6 +48,10 @@ class ArgParser
     {
         std::string help;
         std::string value;
+
+        /** Declared with a true/false default: works as a bare
+         *  switch (--verbose means --verbose=true). */
+        bool boolean = false;
     };
 
     std::map<std::string, Flag> flags_;

@@ -33,6 +33,15 @@ StageShape::prefillTokens() const
     return total;
 }
 
+std::int64_t
+StageShape::contextTokens() const
+{
+    std::int64_t total = 0;
+    for (auto ctx : decodeContexts)
+        total += ctx;
+    return total + prefillTokens();
+}
+
 LayerCosts::LayerCosts(const ModelConfig &m)
     : model_(m)
 {

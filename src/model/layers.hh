@@ -88,6 +88,13 @@ struct StageShape
         return decodeTokens() + prefillTokens();
     }
 
+    /**
+     * Context tokens resident in the KV cache during this stage
+     * (decode contexts plus joining prompts); what
+     * StageObservation.kvTokens reports.
+     */
+    std::int64_t contextTokens() const;
+
     bool isMixed() const { return !prefillLengths.empty(); }
 };
 

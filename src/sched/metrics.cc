@@ -22,4 +22,41 @@ collectMetrics(const std::vector<Request> &finished,
     return m;
 }
 
+void
+WarmupWindow::onStageCompleted(PicoSec now,
+                               std::int64_t generated_tokens)
+{
+    ++stages_;
+    if (stages_ == warmupStages_) {
+        windowStart_ = now;
+        tokensAtStart_ = generated_tokens;
+    }
+}
+
+void
+WarmupWindow::finalize(ServingMetrics &m, PicoSec now,
+                       std::int64_t total_tokens) const
+{
+    if (stages_ > warmupStages_) {
+        // Throughput over the post-warm-up window only.
+        m.totalTokens = total_tokens - tokensAtStart_;
+        m.elapsed = now - windowStart_;
+    } else {
+        m.totalTokens = total_tokens;
+        m.elapsed = now;
+    }
+}
+
+LatencySummary
+summarizeLatency(const ServingMetrics &m)
+{
+    LatencySummary s;
+    s.tbtP50 = m.tbtMs.percentile(50);
+    s.tbtP90 = m.tbtMs.percentile(90);
+    s.tbtP99 = m.tbtMs.percentile(99);
+    s.t2ftP50 = m.t2ftMs.percentile(50);
+    s.e2eP50 = m.e2eMs.percentile(50);
+    return s;
+}
+
 } // namespace duplex

@@ -58,6 +58,62 @@ struct ServingMetrics
 ServingMetrics collectMetrics(const std::vector<Request> &finished,
                               std::size_t skip_requests = 0);
 
+/**
+ * Warm-up-window bookkeeping shared by the simulation drivers:
+ * throughput is reported over the post-warm-up window only (the
+ * batch ramp-up distorts it), falling back to the whole run when it
+ * ends before the window closes. Latency percentiles use
+ * warm-up-request skipping (collectMetrics) instead.
+ */
+class WarmupWindow
+{
+  public:
+    explicit WarmupWindow(std::int64_t warmup_stages)
+        : warmupStages_(warmup_stages)
+    {
+    }
+
+    /** Record one completed stage at time @p now. */
+    void onStageCompleted(PicoSec now,
+                          std::int64_t generated_tokens);
+
+    /** Completed stages so far. */
+    std::int64_t stages() const { return stages_; }
+
+    /** Fill @p m's throughput window from the run's end state. */
+    void finalize(ServingMetrics &m, PicoSec now,
+                  std::int64_t total_tokens) const;
+
+  private:
+    std::int64_t warmupStages_;
+    std::int64_t stages_ = 0;
+    PicoSec windowStart_ = 0;
+    std::int64_t tokensAtStart_ = 0;
+};
+
+/**
+ * Warm-up requests to exclude from latency percentiles for a given
+ * stage-level batch limit (the benches' shared rule of thumb).
+ */
+inline int
+defaultWarmupRequests(int max_batch)
+{
+    return max_batch / 2;
+}
+
+/** The latency percentiles the paper's figures report. */
+struct LatencySummary
+{
+    double tbtP50 = 0.0;
+    double tbtP90 = 0.0;
+    double tbtP99 = 0.0;
+    double t2ftP50 = 0.0;
+    double e2eP50 = 0.0;
+};
+
+/** Pull the standard figure percentiles out of @p m. */
+LatencySummary summarizeLatency(const ServingMetrics &m);
+
 } // namespace duplex
 
 #endif // DUPLEX_SCHED_METRICS_HH

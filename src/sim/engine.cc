@@ -1,0 +1,153 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sched/batcher.hh"
+#include "sim/registry.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+/** Fans one callback stream out to the attached observers. */
+class ObserverMux : public SimObserver
+{
+  public:
+    explicit ObserverMux(const std::vector<SimObserver *> &obs)
+        : observers_(obs)
+    {
+    }
+
+    void onSimBegin(const ServingSystem &system,
+                    const SimConfig &config) override
+    {
+        for (SimObserver *o : observers_)
+            o->onSimBegin(system, config);
+    }
+
+    void onStage(const StageObservation &obs) override
+    {
+        for (SimObserver *o : observers_)
+            o->onStage(obs);
+    }
+
+    void onRequestRetired(const Request &request,
+                          PicoSec now) override
+    {
+        for (SimObserver *o : observers_)
+            o->onRequestRetired(request, now);
+    }
+
+    void onSimEnd(const SimResult &result) override
+    {
+        for (SimObserver *o : observers_)
+            o->onSimEnd(result);
+    }
+
+  private:
+    const std::vector<SimObserver *> &observers_;
+};
+
+} // namespace
+
+SimulationEngine::SimulationEngine(SimConfig config)
+    : config_(std::move(config))
+{
+}
+
+void
+SimulationEngine::addObserver(SimObserver *observer)
+{
+    panicIf(observer == nullptr, "null SimObserver attached");
+    observers_.push_back(observer);
+}
+
+SimResult
+SimulationEngine::run()
+{
+    const std::string id = config_.systemName.empty()
+                               ? systemId(config_.system)
+                               : config_.systemName;
+    SystemOptions opts;
+    opts.seed = config_.seed;
+    const std::unique_ptr<ServingSystem> system =
+        makeSystem(id, config_.model, opts);
+    return run(*system);
+}
+
+SimResult
+SimulationEngine::run(ServingSystem &system)
+{
+    ObserverMux mux(observers_);
+    mux.onSimBegin(system, config_);
+
+    if (auto custom = system.runCustomLoop(config_, mux)) {
+        mux.onSimEnd(*custom);
+        return *custom;
+    }
+
+    SimResult result = runBatcherLoop(system, mux);
+    mux.onSimEnd(result);
+    return result;
+}
+
+SimResult
+SimulationEngine::runBatcherLoop(ServingSystem &system,
+                                 SimObserver &observer)
+{
+    RequestGenerator gen(config_.workload);
+    BatcherConfig bcfg;
+    bcfg.maxBatch = config_.maxBatch;
+    bcfg.maxPrefillsPerStage = config_.maxPrefillsPerStage;
+    bcfg.maxKvTokens = system.maxKvTokens();
+    bcfg.closedLoop = config_.workload.qps <= 0.0;
+    ContinuousBatcher batcher(bcfg,
+                              gen.take(config_.numRequests));
+
+    SimResult result;
+    PicoSec now = 0;
+    WarmupWindow warmup(config_.warmupStages);
+    std::int64_t stages = 0;
+    std::size_t retired = 0;
+    while (!batcher.allDone() && stages < config_.maxStages) {
+        StageShape stage = batcher.formStage(now);
+        if (stage.totalTokens() == 0) {
+            // Open loop and idle: jump to the next arrival.
+            const PicoSec arrival = batcher.nextArrival();
+            panicIf(arrival < 0, "idle batcher with no arrivals");
+            now = std::max(now + 1, arrival);
+            // The batcher counted no stage; retry at the new time.
+            continue;
+        }
+        result.peakBatch = std::max(
+            result.peakBatch,
+            static_cast<int>(stage.decodeContexts.size() +
+                             stage.prefillLengths.size()));
+        const PicoSec stage_start = now;
+        const StageResult sr = system.executeStage(stage);
+        now += sr.time;
+        batcher.completeStage(now);
+        result.totals += sr;
+        warmup.onStageCompleted(now, batcher.totalGenerated());
+        observer.onStage({stages, stage_start, now, stage, sr,
+                          stage.contextTokens()});
+        ++stages;
+        for (; retired < batcher.finished().size(); ++retired)
+            observer.onRequestRetired(batcher.finished()[retired],
+                                      now);
+    }
+
+    result.metrics = collectMetrics(
+        batcher.finished(),
+        static_cast<std::size_t>(config_.warmupRequests));
+    result.generatedTokens = batcher.totalGenerated();
+    warmup.finalize(result.metrics, now, batcher.totalGenerated());
+    result.metrics.decodingOnlyStages = batcher.decodingOnlyStages();
+    result.metrics.mixedStages = batcher.mixedStages();
+    return result;
+}
+
+} // namespace duplex

@@ -6,6 +6,8 @@
 #ifndef DUPLEX_SIM_EXPERIMENT_HH
 #define DUPLEX_SIM_EXPERIMENT_HH
 
+#include <string>
+
 #include "cluster/cluster.hh"
 #include "sched/metrics.hh"
 #include "sim/presets.hh"
@@ -17,7 +19,16 @@ namespace duplex
 /** One end-to-end simulation. */
 struct SimConfig
 {
+    /**
+     * Registry id of the serving system to build ("gpu",
+     * "duplex-pe-et", ... — see sim/registry.hh). When empty, the
+     * deprecated SystemKind enum below picks the system instead.
+     */
+    std::string systemName;
+
+    /** @deprecated Use systemName; kept for the old entry points. */
     SystemKind system = SystemKind::Gpu;
+
     ModelConfig model;
     WorkloadConfig workload;
 

@@ -1,0 +1,74 @@
+#include "sim/observers.hh"
+
+#include <algorithm>
+
+namespace duplex
+{
+
+void
+StageTimeHistogram::onStage(const StageObservation &obs)
+{
+    stageMs_.add(psToMs(obs.result.time));
+}
+
+void
+KvOccupancyTrace::onStage(const StageObservation &obs)
+{
+    points_.push_back({obs.end, obs.kvTokens});
+}
+
+std::int64_t
+KvOccupancyTrace::peakKvTokens() const
+{
+    std::int64_t peak = 0;
+    for (const Point &p : points_)
+        peak = std::max(peak, p.kvTokens);
+    return peak;
+}
+
+void
+ProgressPrinter::onSimBegin(const ServingSystem &system,
+                            const SimConfig &config)
+{
+    retired_ = 0;
+    std::fprintf(out_, "[sim] %s: %d requests, max batch %d\n",
+                 system.describe().c_str(), config.numRequests,
+                 config.maxBatch);
+}
+
+void
+ProgressPrinter::onStage(const StageObservation &obs)
+{
+    if (every_ > 0 && (obs.index + 1) % every_ == 0) {
+        std::fprintf(out_,
+                     "[sim] stage %lld: t=%.1f ms, batch %zu+%zu, "
+                     "%lld requests done\n",
+                     static_cast<long long>(obs.index + 1),
+                     psToMs(obs.end),
+                     obs.shape.decodeContexts.size(),
+                     obs.shape.prefillLengths.size(),
+                     static_cast<long long>(retired_));
+    }
+}
+
+void
+ProgressPrinter::onRequestRetired(const Request &request,
+                                  PicoSec now)
+{
+    (void)request;
+    (void)now;
+    ++retired_;
+}
+
+void
+ProgressPrinter::onSimEnd(const SimResult &result)
+{
+    std::fprintf(out_,
+                 "[sim] done: %lld tokens, %.0f tok/s, peak batch "
+                 "%d\n",
+                 static_cast<long long>(result.generatedTokens),
+                 result.metrics.throughputTokensPerSec(),
+                 result.peakBatch);
+}
+
+} // namespace duplex

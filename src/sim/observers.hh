@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Drop-in observers for the simulation engine: the metrics that
+ * used to require a bespoke driver loop are now SimObserver
+ * implementations attached with SimulationEngine::addObserver.
+ *
+ *  - StageTimeHistogram: stage-latency distribution over the run.
+ *  - KvOccupancyTrace:   KV-resident tokens over time (capacity
+ *                        head-room studies, Fig. 5(c)).
+ *  - ProgressPrinter:    periodic progress/trace sink for long
+ *                        sweeps; prints to any FILE*.
+ */
+
+#ifndef DUPLEX_SIM_OBSERVERS_HH
+#define DUPLEX_SIM_OBSERVERS_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/engine.hh"
+
+namespace duplex
+{
+
+/** Collects the distribution of per-stage execution times. */
+class StageTimeHistogram : public SimObserver
+{
+  public:
+    void onStage(const StageObservation &obs) override;
+
+    /** Stage-time samples in milliseconds. */
+    const SampleStats &stageMs() const { return stageMs_; }
+
+  private:
+    SampleStats stageMs_;
+};
+
+/** Records (time, KV tokens resident) per stage. */
+class KvOccupancyTrace : public SimObserver
+{
+  public:
+    struct Point
+    {
+        PicoSec time;
+        std::int64_t kvTokens;
+    };
+
+    void onStage(const StageObservation &obs) override;
+
+    const std::vector<Point> &points() const { return points_; }
+
+    /** Largest KV-token residency seen in any stage. */
+    std::int64_t peakKvTokens() const;
+
+  private:
+    std::vector<Point> points_;
+};
+
+/** Prints one progress line every @p every stages. */
+class ProgressPrinter : public SimObserver
+{
+  public:
+    explicit ProgressPrinter(std::int64_t every = 200,
+                             std::FILE *out = stderr)
+        : every_(every), out_(out)
+    {
+    }
+
+    void onSimBegin(const ServingSystem &system,
+                    const SimConfig &config) override;
+    void onStage(const StageObservation &obs) override;
+    void onRequestRetired(const Request &request,
+                          PicoSec now) override;
+    void onSimEnd(const SimResult &result) override;
+
+  private:
+    std::int64_t every_;
+    std::FILE *out_;
+    std::int64_t retired_ = 0;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_OBSERVERS_HH

@@ -1,11 +1,19 @@
 /**
  * @file
- * System presets (Section VI).
+ * System presets (Section VI): the cluster-level configurations
+ * behind the registered serving systems.
  *
  * Default device counts: Mixtral/OPT/Llama3 one node of four
  * devices; GLaM one node of eight; Grok1 two nodes of eight. The
  * 2xGPU comparison doubles devices by first filling nodes to eight,
  * then adding nodes.
+ *
+ * To *run* a system, prefer the string-keyed SystemRegistry
+ * (sim/registry.hh) over the SystemKind enum: makeSystem("duplex")
+ * builds a ready ServingSystem, and new systems register without
+ * touching this enum. The builders below remain the config layer
+ * the registry factories (and the ablation studies, which tweak
+ * individual fields) are written against.
  */
 
 #ifndef DUPLEX_SIM_PRESETS_HH

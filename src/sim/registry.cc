@@ -1,0 +1,196 @@
+#include "sim/registry.hh"
+
+#include "common/log.hh"
+#include "sim/split_system.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+/** Factory for the homogeneous (Cluster-backed) presets. */
+SystemFactory
+clusterFactory(SystemKind kind)
+{
+    return [kind](const ModelConfig &model,
+                  const SystemOptions &opts) {
+        return std::make_unique<ClusterSystem>(
+            systemName(kind),
+            makeClusterConfig(kind, model, opts.seed));
+    };
+}
+
+void
+registerPaperSystems(SystemRegistry &registry)
+{
+    registry.add("gpu", systemName(SystemKind::Gpu),
+                 "H100-class baseline, 4-8 devices per node",
+                 clusterFactory(SystemKind::Gpu));
+    registry.add("gpu-2x", systemName(SystemKind::Gpu2x),
+                 "GPU baseline with twice the devices",
+                 clusterFactory(SystemKind::Gpu2x));
+    registry.add("duplex", systemName(SystemKind::Duplex),
+                 "Logic-PIM low engine, Op/B-driven selection",
+                 clusterFactory(SystemKind::Duplex));
+    registry.add("duplex-pe", systemName(SystemKind::DuplexPE),
+                 "Duplex + expert/attention co-processing",
+                 clusterFactory(SystemKind::DuplexPE));
+    registry.add("duplex-pe-et",
+                 systemName(SystemKind::DuplexPEET),
+                 "Duplex + co-processing + tensor-parallel experts",
+                 clusterFactory(SystemKind::DuplexPEET));
+    registry.add("bank-pim", systemName(SystemKind::BankPim),
+                 "hybrid device with a Bank-PIM low engine",
+                 clusterFactory(SystemKind::BankPim));
+    registry.add("bankgroup-pim",
+                 systemName(SystemKind::BankGroupPim),
+                 "hybrid device with a BankGroup-PIM low engine",
+                 clusterFactory(SystemKind::BankGroupPim));
+    registry.add(
+        "hetero", systemName(SystemKind::Hetero),
+        "2 GPUs + 2 Logic-PIM devices over NVLink (Section III-B)",
+        [](const ModelConfig &model, const SystemOptions &opts) {
+            return std::make_unique<HeteroSystem>(
+                systemName(SystemKind::Hetero),
+                makeHeteroConfig(model, opts.seed));
+        });
+    registry.add(
+        "duplex-split", systemName(SystemKind::DuplexSplit),
+        "Splitwise-style prefill/decode split (Fig. 16)",
+        [](const ModelConfig &model, const SystemOptions &opts) {
+            return std::make_unique<SplitSystem>(
+                systemName(SystemKind::DuplexSplit), model,
+                opts.seed);
+        });
+}
+
+} // namespace
+
+SystemRegistry &
+SystemRegistry::instance()
+{
+    static SystemRegistry *registry = [] {
+        auto *r = new SystemRegistry;
+        registerPaperSystems(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+SystemRegistry::add(const std::string &id,
+                    const std::string &display,
+                    const std::string &summary,
+                    SystemFactory factory)
+{
+    fatalIf(contains(id),
+            "SystemRegistry: duplicate system id '" + id + "'");
+    fatalIf(!factory,
+            "SystemRegistry: null factory for '" + id + "'");
+    entries_.push_back(
+        {id, display, summary, std::move(factory)});
+}
+
+bool
+SystemRegistry::contains(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return true;
+    return false;
+}
+
+const SystemRegistry::Entry &
+SystemRegistry::find(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return e;
+    std::string known;
+    for (const Entry &e : entries_)
+        known += (known.empty() ? "" : ", ") + e.id;
+    fatal("SystemRegistry: unknown system '" + id +
+          "' (known: " + known + ")");
+}
+
+std::unique_ptr<ServingSystem>
+SystemRegistry::make(const std::string &id,
+                     const ModelConfig &model,
+                     const SystemOptions &opts) const
+{
+    return find(id).factory(model, opts);
+}
+
+std::vector<std::string>
+SystemRegistry::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.id);
+    return out;
+}
+
+const std::string &
+SystemRegistry::displayName(const std::string &id) const
+{
+    return find(id).display;
+}
+
+const std::string &
+SystemRegistry::summary(const std::string &id) const
+{
+    return find(id).summary;
+}
+
+std::unique_ptr<ServingSystem>
+makeSystem(const std::string &id, const ModelConfig &model,
+           const SystemOptions &opts)
+{
+    return SystemRegistry::instance().make(id, model, opts);
+}
+
+std::vector<std::string>
+registeredSystems()
+{
+    return SystemRegistry::instance().ids();
+}
+
+void
+registerServingSystem(const std::string &id,
+                      const std::string &display,
+                      const std::string &summary,
+                      SystemFactory factory)
+{
+    SystemRegistry::instance().add(id, display, summary,
+                                   std::move(factory));
+}
+
+const char *
+systemId(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Gpu:
+        return "gpu";
+      case SystemKind::Gpu2x:
+        return "gpu-2x";
+      case SystemKind::Duplex:
+        return "duplex";
+      case SystemKind::DuplexPE:
+        return "duplex-pe";
+      case SystemKind::DuplexPEET:
+        return "duplex-pe-et";
+      case SystemKind::BankPim:
+        return "bank-pim";
+      case SystemKind::BankGroupPim:
+        return "bankgroup-pim";
+      case SystemKind::Hetero:
+        return "hetero";
+      case SystemKind::DuplexSplit:
+        return "duplex-split";
+    }
+    fatal("systemId: unknown SystemKind");
+}
+
+} // namespace duplex

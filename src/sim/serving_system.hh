@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The polymorphic serving-system interface.
+ *
+ * Every evaluated system — the GPU baseline, the Duplex variants,
+ * the Bank-PIM hybrids, the Section III-B hetero strawman and the
+ * Fig. 16 prefill/decode split — implements ServingSystem, so the
+ * SimulationEngine, the benches and the tests can drive any of them
+ * through one contract. Systems are created by name through the
+ * SystemRegistry (sim/registry.hh); new systems implement this
+ * interface and register a factory, nothing else.
+ */
+
+#ifndef DUPLEX_SIM_SERVING_SYSTEM_HH
+#define DUPLEX_SIM_SERVING_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "sim/experiment.hh"
+
+namespace duplex
+{
+
+class SimObserver;
+
+/** A serving system the simulation engine can drive. */
+class ServingSystem
+{
+  public:
+    virtual ~ServingSystem() = default;
+
+    /** Execute one batched stage; deterministic given the seed. */
+    virtual StageResult executeStage(const StageShape &stage) = 0;
+
+    /** KV capacity of the whole system. */
+    virtual KvBudget kvBudget() const = 0;
+
+    /** Largest context-token count the KV cache can hold. */
+    virtual std::int64_t maxKvTokens() const = 0;
+
+    /** Display name for tables and reports (e.g. "Duplex+PE"). */
+    virtual const std::string &name() const = 0;
+
+    /** One-line description of the modeled hardware. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Systems whose request lifecycle deviates from the engine's
+     * continuous-batching loop (e.g. disaggregated prefill/decode)
+     * run their own driver here and return the result; the default
+     * nullopt means "use the engine's loop". The observer receives
+     * the same callbacks either way.
+     */
+    virtual std::optional<SimResult>
+    runCustomLoop(const SimConfig &config, SimObserver &observer)
+    {
+        (void)config;
+        (void)observer;
+        return std::nullopt;
+    }
+};
+
+/** Homogeneous cluster behind the ServingSystem interface. */
+class ClusterSystem : public ServingSystem
+{
+  public:
+    ClusterSystem(std::string name, const ClusterConfig &config);
+
+    StageResult executeStage(const StageShape &stage) override;
+    KvBudget kvBudget() const override;
+    std::int64_t maxKvTokens() const override;
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+    /** The underlying cluster, for config-level inspection. */
+    const Cluster &cluster() const { return cluster_; }
+    Cluster &cluster() { return cluster_; }
+
+  private:
+    std::string name_;
+    Cluster cluster_;
+};
+
+/** Section III-B GPUs + PIM-only devices behind the interface. */
+class HeteroSystem : public ServingSystem
+{
+  public:
+    HeteroSystem(std::string name, const HeteroConfig &config);
+
+    StageResult executeStage(const StageShape &stage) override;
+    KvBudget kvBudget() const override;
+    std::int64_t maxKvTokens() const override;
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+  private:
+    std::string name_;
+    HeteroConfig cfg_;
+    HeteroCluster cluster_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_SERVING_SYSTEM_HH

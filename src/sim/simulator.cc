@@ -1,317 +1,22 @@
 #include "sim/simulator.hh"
 
-#include <algorithm>
-#include <deque>
-#include <memory>
-
-#include "common/log.hh"
-#include "sched/batcher.hh"
-
 namespace duplex
 {
-
-namespace
-{
-
-/** Uniform face over Cluster and HeteroCluster. */
-class StageExecutor
-{
-  public:
-    virtual ~StageExecutor() = default;
-    virtual StageResult execute(const StageShape &stage) = 0;
-    virtual std::int64_t maxKvTokens() const = 0;
-};
-
-class HomogeneousExecutor : public StageExecutor
-{
-  public:
-    explicit HomogeneousExecutor(const ClusterConfig &cfg)
-        : cluster_(cfg)
-    {
-    }
-
-    StageResult execute(const StageShape &stage) override
-    {
-        return cluster_.executeStage(stage);
-    }
-
-    std::int64_t maxKvTokens() const override
-    {
-        return cluster_.maxKvTokens();
-    }
-
-  private:
-    Cluster cluster_;
-};
-
-class HeteroExecutor : public StageExecutor
-{
-  public:
-    explicit HeteroExecutor(const HeteroConfig &cfg)
-        : cluster_(cfg)
-    {
-    }
-
-    StageResult execute(const StageShape &stage) override
-    {
-        return cluster_.executeStage(stage);
-    }
-
-    std::int64_t maxKvTokens() const override
-    {
-        return cluster_.maxKvTokens();
-    }
-
-  private:
-    HeteroCluster cluster_;
-};
-
-std::unique_ptr<StageExecutor>
-makeExecutor(const SimConfig &config)
-{
-    if (config.system == SystemKind::Hetero) {
-        return std::make_unique<HeteroExecutor>(
-            makeHeteroConfig(config.model, config.seed));
-    }
-    return std::make_unique<HomogeneousExecutor>(
-        makeClusterConfig(config.system, config.model, config.seed));
-}
-
-} // namespace
 
 SimResult
 runSimulation(const SimConfig &config)
 {
-    if (config.system == SystemKind::DuplexSplit)
-        return runSplitSimulation(config);
-
-    auto executor = makeExecutor(config);
-
-    RequestGenerator gen(config.workload);
-    BatcherConfig bcfg;
-    bcfg.maxBatch = config.maxBatch;
-    bcfg.maxPrefillsPerStage = config.maxPrefillsPerStage;
-    bcfg.maxKvTokens = executor->maxKvTokens();
-    bcfg.closedLoop = config.workload.qps <= 0.0;
-    ContinuousBatcher batcher(bcfg, gen.take(config.numRequests));
-
-    SimResult result;
-    PicoSec now = 0;
-    std::int64_t stages = 0;
-    PicoSec warmup_end_time = 0;
-    std::int64_t warmup_tokens = 0;
-    while (!batcher.allDone() && stages < config.maxStages) {
-        StageShape stage = batcher.formStage(now);
-        if (stage.totalTokens() == 0) {
-            // Open loop and idle: jump to the next arrival.
-            const PicoSec arrival = batcher.nextArrival();
-            panicIf(arrival < 0, "idle batcher with no arrivals");
-            now = std::max(now + 1, arrival);
-            // The batcher counted no stage; retry at the new time.
-            continue;
-        }
-        result.peakBatch = std::max(
-            result.peakBatch,
-            static_cast<int>(stage.decodeContexts.size() +
-                             stage.prefillLengths.size()));
-        const StageResult sr = executor->execute(stage);
-        now += sr.time;
-        batcher.completeStage(now);
-        result.totals += sr;
-        ++stages;
-        if (stages == config.warmupStages) {
-            warmup_end_time = now;
-            warmup_tokens = batcher.totalGenerated();
-        }
-    }
-
-    result.metrics = collectMetrics(
-        batcher.finished(),
-        static_cast<std::size_t>(config.warmupRequests));
-    result.generatedTokens = batcher.totalGenerated();
-    if (stages > config.warmupStages) {
-        // Throughput over the post-warm-up window only.
-        result.metrics.totalTokens =
-            batcher.totalGenerated() - warmup_tokens;
-        result.metrics.elapsed = now - warmup_end_time;
-    } else {
-        result.metrics.totalTokens = batcher.totalGenerated();
-        result.metrics.elapsed = now;
-    }
-    result.metrics.decodingOnlyStages = batcher.decodingOnlyStages();
-    result.metrics.mixedStages = batcher.mixedStages();
-    return result;
+    // The engine already falls back to the legacy enum when
+    // systemName is empty.
+    return SimulationEngine(config).run();
 }
 
 SimResult
 runSplitSimulation(const SimConfig &config)
 {
-    // Two device groups, each with half the devices and a full copy
-    // of the (sharded) weights.
-    const SystemTopology full = defaultTopology(config.model, false);
-    fatalIf(full.numNodes != 1,
-            "split system modeled for single-node configurations");
-    const int half = full.devicesPerNode / 2;
-    fatalIf(half < 1, "split system needs at least two devices");
-
-    ClusterConfig group = makeClusterConfig(
-        SystemKind::DuplexPEET, config.model, config.seed);
-    group.topo.devicesPerNode = half;
-    if (config.model.numExperts > 0 &&
-        config.model.numExperts % half != 0) {
-        group.expertPlacement = ExpertPlacement::ExpertTensorParallel;
-    }
-    Cluster prefill_cluster(group);
-    ClusterConfig decode_group = group;
-    decode_group.seed = config.seed + 1;
-    Cluster decode_cluster(decode_group);
-
-    const LinkSpec nvlink = SystemTopology{}.intraNode;
-
-    RequestGenerator gen(config.workload);
-    std::vector<Request> requests = gen.take(config.numRequests);
-
-    // KV capacity of the decode group only.
-    const std::int64_t kv_limit = decode_cluster.maxKvTokens();
-
-    struct PendingDecode
-    {
-        Request req;
-        PicoSec readyAt;
-    };
-
-    std::deque<Request> waiting(requests.begin(), requests.end());
-    std::vector<PendingDecode> transferred;
-    std::vector<Request> active;
-    std::vector<Request> finished;
-
-    PicoSec prefill_now = 0;
-    PicoSec decode_now = 0;
-    std::int64_t total_generated = 0;
-    SimResult result;
-    std::int64_t stages = 0;
-
-    const int max_prefill_batch = 4;
-
-    auto kv_tokens_active = [&]() {
-        // Full-lifetime budget, matching the batcher's admission.
-        std::int64_t total = 0;
-        for (const auto &r : active)
-            total += r.inputLen + r.outputLen;
-        return total;
-    };
-
-    while ((!waiting.empty() || !transferred.empty() ||
-            !active.empty()) &&
-           stages < config.maxStages) {
-        // The prefill group paces itself against decode demand: it
-        // keeps a small reserve of ready requests, no more.
-        while (!waiting.empty() &&
-               static_cast<int>(transferred.size() + active.size()) <
-                   config.maxBatch + max_prefill_batch) {
-            StageShape stage;
-            std::vector<Request> batch;
-            while (!waiting.empty() &&
-                   static_cast<int>(batch.size()) <
-                       max_prefill_batch) {
-                Request r = waiting.front();
-                waiting.pop_front();
-                r.arrival = prefill_now; // closed-loop admission
-                stage.prefillLengths.push_back(r.inputLen);
-                batch.push_back(std::move(r));
-            }
-            const StageResult sr = prefill_cluster.executeStage(stage);
-            prefill_now += sr.time;
-            result.totals += sr;
-            ++stages;
-            for (auto &r : batch) {
-                r.firstToken = prefill_now;
-                r.generated = 1;
-                r.tokenTimes.push_back(prefill_now);
-                ++total_generated;
-                // Migrate the prompt KV to the decode group.
-                const Bytes kv_bytes =
-                    static_cast<Bytes>(r.inputLen) *
-                    config.model.kvBytesPerToken();
-                const PicoSec ready =
-                    prefill_now + p2pTime(kv_bytes, nvlink);
-                transferred.push_back({r, ready});
-            }
-        }
-
-        // Admit transferred requests the decode group can hold.
-        std::sort(transferred.begin(), transferred.end(),
-                  [](const PendingDecode &a, const PendingDecode &b) {
-                      return a.readyAt < b.readyAt;
-                  });
-        std::int64_t kv = kv_tokens_active();
-        for (auto it = transferred.begin();
-             it != transferred.end();) {
-            if (static_cast<int>(active.size()) >= config.maxBatch)
-                break;
-            if (it->readyAt > decode_now) {
-                if (active.empty()) {
-                    decode_now = it->readyAt; // idle jump
-                } else {
-                    break;
-                }
-            }
-            const std::int64_t need =
-                kv + it->req.inputLen + it->req.outputLen +
-                static_cast<std::int64_t>(active.size()) + 1;
-            if (need > kv_limit) {
-                fatalIf(active.empty(),
-                        "split system: one request's KV exceeds the "
-                        "decode group's capacity");
-                break;
-            }
-            kv += it->req.contextLen();
-            active.push_back(it->req);
-            it = transferred.erase(it);
-        }
-
-        if (active.empty()) {
-            if (transferred.empty() && waiting.empty())
-                break;
-            continue;
-        }
-
-        // One decode-only stage.
-        StageShape stage;
-        for (const auto &r : active)
-            stage.decodeContexts.push_back(r.contextLen());
-        const StageResult sr = decode_cluster.executeStage(stage);
-        decode_now += sr.time;
-        result.totals += sr;
-        ++stages;
-
-        std::vector<Request> still;
-        still.reserve(active.size());
-        for (auto &r : active) {
-            r.generated += 1;
-            r.tokenTimes.push_back(decode_now);
-            ++total_generated;
-            if (r.done()) {
-                r.finished = decode_now;
-                finished.push_back(r);
-            } else {
-                still.push_back(std::move(r));
-            }
-        }
-        active = std::move(still);
-        result.peakBatch = std::max(
-            result.peakBatch,
-            static_cast<int>(stage.decodeContexts.size()));
-    }
-
-    result.metrics = collectMetrics(
-        finished, static_cast<std::size_t>(config.warmupRequests));
-    result.generatedTokens = total_generated;
-    result.metrics.totalTokens = total_generated;
-    result.metrics.elapsed = std::max(prefill_now, decode_now);
-    result.metrics.decodingOnlyStages = stages;
-    result.metrics.mixedStages = 0;
-    return result;
+    SimConfig c = config;
+    c.systemName = "duplex-split";
+    return SimulationEngine(c).run();
 }
 
 } // namespace duplex

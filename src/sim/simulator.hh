@@ -1,25 +1,39 @@
 /**
  * @file
- * End-to-end serving simulation: continuous batching scheduler
- * driving a cluster, request lifecycle tracking, and the
- * prefill/decode split system of Section VIII-A.
+ * Deprecated simulation entry points.
+ *
+ * The driver loop now lives in SimulationEngine (sim/engine.hh) and
+ * systems are built by name through the SystemRegistry
+ * (sim/registry.hh). These free functions survive as thin shims for
+ * old call sites:
+ *
+ *     SimConfig c;
+ *     c.systemName = "duplex-pe-et";
+ *     SimResult r = SimulationEngine(c).run();
+ *
+ * replaces runSimulation; the split system is just another
+ * registered name ("duplex-split"), so runSplitSimulation has no
+ * modern counterpart.
  */
 
 #ifndef DUPLEX_SIM_SIMULATOR_HH
 #define DUPLEX_SIM_SIMULATOR_HH
 
-#include "sim/experiment.hh"
+#include "sim/engine.hh"
+#include "sim/registry.hh"
 
 namespace duplex
 {
 
-/** Run one simulation on a homogeneous or hetero system. */
+/**
+ * Run one simulation on any system.
+ * @deprecated Use SimulationEngine(config).run().
+ */
 SimResult runSimulation(const SimConfig &config);
 
 /**
- * Run the Duplex-Split system (Fig. 16): half the devices dedicate
- * to prefill, half to decode; weights are duplicated across the two
- * groups and KV caches migrate over NVLink after prefill.
+ * Run the Duplex-Split system regardless of config.system.
+ * @deprecated Use SimulationEngine with systemName "duplex-split".
  */
 SimResult runSplitSimulation(const SimConfig &config);
 

@@ -1,0 +1,244 @@
+#include "sim/split_system.hh"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/engine.hh"
+
+namespace duplex
+{
+
+ClusterConfig
+SplitSystem::groupConfig(const ModelConfig &model,
+                         std::uint64_t seed)
+{
+    // Each group gets half the devices and a full copy of the
+    // (sharded) weights.
+    const SystemTopology full = defaultTopology(model, false);
+    fatalIf(full.numNodes != 1,
+            "split system modeled for single-node configurations");
+    const int half = full.devicesPerNode / 2;
+    fatalIf(half < 1, "split system needs at least two devices");
+
+    ClusterConfig group =
+        makeClusterConfig(SystemKind::DuplexPEET, model, seed);
+    group.topo.devicesPerNode = half;
+    if (model.numExperts > 0 && model.numExperts % half != 0) {
+        group.expertPlacement = ExpertPlacement::ExpertTensorParallel;
+    }
+    return group;
+}
+
+SplitSystem::SplitSystem(std::string name, const ModelConfig &model,
+                         std::uint64_t seed)
+    : name_(std::move(name)), model_(model),
+      prefill_(groupConfig(model, seed)),
+      decode_([&] {
+          ClusterConfig decode_group = groupConfig(model, seed);
+          decode_group.seed = seed + 1;
+          return decode_group;
+      }()),
+      nvlink_(SystemTopology{}.intraNode)
+{
+}
+
+StageResult
+SplitSystem::executeStage(const StageShape &stage)
+{
+    StageShape prefill_part;
+    prefill_part.prefillLengths = stage.prefillLengths;
+    StageShape decode_part;
+    decode_part.decodeContexts = stage.decodeContexts;
+
+    StageResult r;
+    if (!prefill_part.prefillLengths.empty())
+        r += prefill_.executeStage(prefill_part);
+    if (!decode_part.decodeContexts.empty())
+        r += decode_.executeStage(decode_part);
+    return r;
+}
+
+KvBudget
+SplitSystem::kvBudget() const
+{
+    return decode_.kvBudget();
+}
+
+std::int64_t
+SplitSystem::maxKvTokens() const
+{
+    return decode_.maxKvTokens();
+}
+
+std::string
+SplitSystem::describe() const
+{
+    const ClusterConfig &cfg = prefill_.config();
+    std::ostringstream out;
+    out << name_ << ": " << cfg.topo.devicesPerNode
+        << " prefill + " << cfg.topo.devicesPerNode
+        << " decode device(s), duplicated weights, KV migrates "
+           "over NVLink";
+    return out.str();
+}
+
+std::optional<SimResult>
+SplitSystem::runCustomLoop(const SimConfig &config,
+                           SimObserver &observer)
+{
+    RequestGenerator gen(config.workload);
+    std::vector<Request> requests = gen.take(config.numRequests);
+
+    // KV capacity of the decode group only.
+    const std::int64_t kv_limit = decode_.maxKvTokens();
+
+    struct PendingDecode
+    {
+        Request req;
+        PicoSec readyAt;
+    };
+
+    std::deque<Request> waiting(requests.begin(), requests.end());
+    std::vector<PendingDecode> transferred;
+    std::vector<Request> active;
+    std::vector<Request> finished;
+
+    PicoSec prefill_now = 0;
+    PicoSec decode_now = 0;
+    std::int64_t total_generated = 0;
+    SimResult result;
+    std::int64_t stages = 0;
+
+    const int max_prefill_batch = 4;
+
+    auto kv_tokens_active = [&]() {
+        // Full-lifetime budget, matching the batcher's admission.
+        std::int64_t total = 0;
+        for (const auto &r : active)
+            total += r.inputLen + r.outputLen;
+        return total;
+    };
+
+    while ((!waiting.empty() || !transferred.empty() ||
+            !active.empty()) &&
+           stages < config.maxStages) {
+        // The prefill group paces itself against decode demand: it
+        // keeps a small reserve of ready requests, no more.
+        while (!waiting.empty() &&
+               static_cast<int>(transferred.size() + active.size()) <
+                   config.maxBatch + max_prefill_batch) {
+            StageShape stage;
+            std::vector<Request> batch;
+            while (!waiting.empty() &&
+                   static_cast<int>(batch.size()) <
+                       max_prefill_batch) {
+                Request r = waiting.front();
+                waiting.pop_front();
+                r.arrival = prefill_now; // closed-loop admission
+                stage.prefillLengths.push_back(r.inputLen);
+                batch.push_back(std::move(r));
+            }
+            const PicoSec stage_start = prefill_now;
+            const StageResult sr = prefill_.executeStage(stage);
+            prefill_now += sr.time;
+            result.totals += sr;
+            observer.onStage({stages, stage_start, prefill_now,
+                              stage, sr, stage.contextTokens()});
+            ++stages;
+            for (auto &r : batch) {
+                r.firstToken = prefill_now;
+                r.generated = 1;
+                r.tokenTimes.push_back(prefill_now);
+                ++total_generated;
+                // Migrate the prompt KV to the decode group.
+                const Bytes kv_bytes =
+                    static_cast<Bytes>(r.inputLen) *
+                    model_.kvBytesPerToken();
+                const PicoSec ready =
+                    prefill_now + p2pTime(kv_bytes, nvlink_);
+                transferred.push_back({r, ready});
+            }
+        }
+
+        // Admit transferred requests the decode group can hold.
+        std::sort(transferred.begin(), transferred.end(),
+                  [](const PendingDecode &a, const PendingDecode &b) {
+                      return a.readyAt < b.readyAt;
+                  });
+        std::int64_t kv = kv_tokens_active();
+        for (auto it = transferred.begin();
+             it != transferred.end();) {
+            if (static_cast<int>(active.size()) >= config.maxBatch)
+                break;
+            if (it->readyAt > decode_now) {
+                if (active.empty()) {
+                    decode_now = it->readyAt; // idle jump
+                } else {
+                    break;
+                }
+            }
+            const std::int64_t need =
+                kv + it->req.inputLen + it->req.outputLen +
+                static_cast<std::int64_t>(active.size()) + 1;
+            if (need > kv_limit) {
+                fatalIf(active.empty(),
+                        "split system: one request's KV exceeds the "
+                        "decode group's capacity");
+                break;
+            }
+            kv += it->req.contextLen();
+            active.push_back(it->req);
+            it = transferred.erase(it);
+        }
+
+        if (active.empty()) {
+            if (transferred.empty() && waiting.empty())
+                break;
+            continue;
+        }
+
+        // One decode-only stage.
+        StageShape stage;
+        for (const auto &r : active)
+            stage.decodeContexts.push_back(r.contextLen());
+        const PicoSec stage_start = decode_now;
+        const StageResult sr = decode_.executeStage(stage);
+        decode_now += sr.time;
+        result.totals += sr;
+        observer.onStage({stages, stage_start, decode_now, stage,
+                          sr, stage.contextTokens()});
+        ++stages;
+
+        std::vector<Request> still;
+        still.reserve(active.size());
+        for (auto &r : active) {
+            r.generated += 1;
+            r.tokenTimes.push_back(decode_now);
+            ++total_generated;
+            if (r.done()) {
+                r.finished = decode_now;
+                observer.onRequestRetired(r, decode_now);
+                finished.push_back(r);
+            } else {
+                still.push_back(std::move(r));
+            }
+        }
+        active = std::move(still);
+        result.peakBatch = std::max(
+            result.peakBatch,
+            static_cast<int>(stage.decodeContexts.size()));
+    }
+
+    result.metrics = collectMetrics(
+        finished, static_cast<std::size_t>(config.warmupRequests));
+    result.generatedTokens = total_generated;
+    result.metrics.totalTokens = total_generated;
+    result.metrics.elapsed = std::max(prefill_now, decode_now);
+    result.metrics.decodingOnlyStages = stages;
+    result.metrics.mixedStages = 0;
+    return result;
+}
+
+} // namespace duplex

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Duplex-Split serving system (Fig. 16, Splitwise-style): half
+ * the devices dedicate to prefill, half to decode; weights are
+ * duplicated across the two groups and KV caches migrate over
+ * NVLink after prefill.
+ *
+ * The split lifecycle (two device groups with independent clocks)
+ * does not fit the engine's continuous-batching loop, so the system
+ * overrides ServingSystem::runCustomLoop with its own driver —
+ * extracted verbatim from the old runSplitSimulation — and feeds
+ * the same observer callbacks the engine fires.
+ */
+
+#ifndef DUPLEX_SIM_SPLIT_SYSTEM_HH
+#define DUPLEX_SIM_SPLIT_SYSTEM_HH
+
+#include "sim/serving_system.hh"
+
+namespace duplex
+{
+
+/** Disaggregated prefill/decode system over two device groups. */
+class SplitSystem : public ServingSystem
+{
+  public:
+    SplitSystem(std::string name, const ModelConfig &model,
+                std::uint64_t seed);
+
+    /**
+     * Prefill-only stages run on the prefill group, decode-only
+     * stages on the decode group; a mixed stage runs each half on
+     * its group and reports the serialized (summed) time.
+     */
+    StageResult executeStage(const StageShape &stage) override;
+
+    /** KV lives on the decode group only. */
+    KvBudget kvBudget() const override;
+    std::int64_t maxKvTokens() const override;
+
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+    std::optional<SimResult>
+    runCustomLoop(const SimConfig &config,
+                  SimObserver &observer) override;
+
+  private:
+    std::string name_;
+    ModelConfig model_;
+    Cluster prefill_;
+    Cluster decode_;
+    LinkSpec nvlink_;
+
+    static ClusterConfig groupConfig(const ModelConfig &model,
+                                     std::uint64_t seed);
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_SPLIT_SYSTEM_HH

@@ -68,6 +68,67 @@ TEST(ArgParser, BoolValues)
     EXPECT_TRUE(p.getBool("c"));
 }
 
+TEST(ArgParser, BareBooleanSwitch)
+{
+    ArgParser p;
+    p.addFlag("list-systems", "", "false");
+    p.addFlag("system", "", "");
+    std::vector<std::string> args{"prog", "--list-systems"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(p.getBool("list-systems"));
+}
+
+TEST(ArgParser, BareBooleanSwitchBeforeAnotherFlag)
+{
+    ArgParser p;
+    p.addFlag("verbose", "", "false");
+    p.addFlag("batch", "", "32");
+    std::vector<std::string> args{"prog", "--verbose",
+                                  "--batch=8"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(p.getBool("verbose"));
+    EXPECT_EQ(p.getInt("batch"), 8);
+}
+
+TEST(ArgParser, BooleanFlagStillTakesExplicitValue)
+{
+    ArgParser p;
+    p.addFlag("verbose", "", "false");
+    std::vector<std::string> args{"prog", "--verbose", "false"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_FALSE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, BareSwitchAfterNonCanonicalValue)
+{
+    // Boolean-ness comes from the declared default, not the live
+    // value: setting "yes" must not demote the flag to value-taking.
+    ArgParser p;
+    p.addFlag("verbose", "", "false");
+    std::vector<std::string> args{"prog", "--verbose=yes",
+                                  "--verbose"};
+    auto argv = argvOf(args);
+    p.parse(static_cast<int>(argv.size()), argv.data());
+    EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, BareSwitchDoesNotSwallowNonBooleanToken)
+{
+    // "--verbose mixtral" must not silently disable the switch;
+    // the stray token surfaces as a positional-argument error.
+    ArgParser p;
+    p.addFlag("verbose", "", "false");
+    std::vector<std::string> args{"prog", "--verbose", "mixtral"};
+    auto argv = argvOf(args);
+    EXPECT_EXIT(p.parse(static_cast<int>(argv.size()),
+                        argv.data()),
+                ::testing::ExitedWithCode(1),
+                "positional arguments are not supported");
+}
+
 TEST(ArgParser, MultipleFlags)
 {
     ArgParser p;

@@ -90,5 +90,66 @@ TEST(Metrics, SingleTokenRequestHasNoTbt)
     EXPECT_EQ(m.t2ftMs.count(), 1u);
 }
 
+TEST(WarmupWindowTest, ThroughputOverPostWarmupWindow)
+{
+    WarmupWindow w(2);
+    w.onStageCompleted(10 * kPsPerMs, 100); // ramp-up
+    w.onStageCompleted(20 * kPsPerMs, 250); // window opens here
+    w.onStageCompleted(30 * kPsPerMs, 400);
+    EXPECT_EQ(w.stages(), 3);
+
+    ServingMetrics m;
+    w.finalize(m, 40 * kPsPerMs, 500);
+    EXPECT_EQ(m.totalTokens, 250); // 500 - 250
+    EXPECT_EQ(m.elapsed, 20 * kPsPerMs);
+}
+
+TEST(WarmupWindowTest, ShortRunFallsBackToWholeRun)
+{
+    WarmupWindow w(40);
+    w.onStageCompleted(10 * kPsPerMs, 100);
+    w.onStageCompleted(20 * kPsPerMs, 200);
+
+    ServingMetrics m;
+    w.finalize(m, 20 * kPsPerMs, 200);
+    EXPECT_EQ(m.totalTokens, 200);
+    EXPECT_EQ(m.elapsed, 20 * kPsPerMs);
+}
+
+TEST(WarmupWindowTest, RunEndingExactlyAtWarmupUsesWholeRun)
+{
+    // The window opens at stage N but only closes a measurement
+    // when at least one post-warm-up stage ran.
+    WarmupWindow w(2);
+    w.onStageCompleted(10 * kPsPerMs, 100);
+    w.onStageCompleted(20 * kPsPerMs, 250);
+
+    ServingMetrics m;
+    w.finalize(m, 20 * kPsPerMs, 250);
+    EXPECT_EQ(m.totalTokens, 250);
+    EXPECT_EQ(m.elapsed, 20 * kPsPerMs);
+}
+
+TEST(LatencySummaryTest, PullsTheStandardPercentiles)
+{
+    ServingMetrics m;
+    for (int i = 1; i <= 100; ++i)
+        m.tbtMs.add(static_cast<double>(i));
+    m.t2ftMs.add(7.0);
+    m.e2eMs.add(11.0);
+    const LatencySummary s = summarizeLatency(m);
+    EXPECT_DOUBLE_EQ(s.tbtP50, m.tbtMs.percentile(50));
+    EXPECT_DOUBLE_EQ(s.tbtP90, m.tbtMs.percentile(90));
+    EXPECT_DOUBLE_EQ(s.tbtP99, m.tbtMs.percentile(99));
+    EXPECT_DOUBLE_EQ(s.t2ftP50, 7.0);
+    EXPECT_DOUBLE_EQ(s.e2eP50, 11.0);
+}
+
+TEST(LatencySummaryTest, DefaultWarmupRequestsRule)
+{
+    EXPECT_EQ(defaultWarmupRequests(64), 32);
+    EXPECT_EQ(defaultWarmupRequests(1), 0);
+}
+
 } // namespace
 } // namespace duplex

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * SimulationEngine tests: observer callback ordering and counts,
+ * the shipped drop-in observers, and a golden test pinning the
+ * engine's SimResult to the values the seed runSimulation produced
+ * on the Mixtral preset (Gpu and Duplex systems).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+#include "sim/registry.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+goldenConfig(const std::string &system)
+{
+    SimConfig c;
+    c.systemName = system;
+    c.model = mixtralConfig();
+    c.maxBatch = 16;
+    c.workload.meanInputLen = 256;
+    c.workload.meanOutputLen = 64;
+    c.numRequests = 48;
+    c.warmupRequests = 8;
+    c.maxStages = 600;
+    return c;
+}
+
+/** Records the full callback sequence for ordering assertions. */
+class RecordingObserver : public SimObserver
+{
+  public:
+    enum class Event
+    {
+        Begin,
+        Stage,
+        Retire,
+        End
+    };
+
+    void onSimBegin(const ServingSystem &system,
+                    const SimConfig &config) override
+    {
+        (void)config;
+        systemName = system.name();
+        events.push_back(Event::Begin);
+    }
+
+    void onStage(const StageObservation &obs) override
+    {
+        events.push_back(Event::Stage);
+        stageIndexes.push_back(obs.index);
+        EXPECT_GE(obs.end, obs.start);
+        EXPECT_GT(obs.kvTokens, 0);
+        lastStageEnd = obs.end;
+    }
+
+    void onRequestRetired(const Request &request,
+                          PicoSec now) override
+    {
+        events.push_back(Event::Retire);
+        EXPECT_TRUE(request.done());
+        EXPECT_LE(request.finished, now);
+        ++retired;
+    }
+
+    void onSimEnd(const SimResult &result) override
+    {
+        events.push_back(Event::End);
+        finalTokens = result.generatedTokens;
+    }
+
+    std::vector<Event> events;
+    std::vector<std::int64_t> stageIndexes;
+    std::string systemName;
+    std::int64_t retired = 0;
+    std::int64_t finalTokens = 0;
+    PicoSec lastStageEnd = 0;
+};
+
+std::int64_t
+countEvents(const RecordingObserver &rec,
+            RecordingObserver::Event kind)
+{
+    std::int64_t n = 0;
+    for (auto e : rec.events)
+        if (e == kind)
+            ++n;
+    return n;
+}
+
+TEST(Engine, GoldenGpuMatchesSeedRunSimulation)
+{
+    // Values captured from the seed implementation's
+    // runSimulation on this exact configuration; the engine must
+    // reproduce them bit-for-bit (time/token integers) and to
+    // rounding (energy).
+    const SimResult r =
+        SimulationEngine(goldenConfig("gpu")).run();
+    EXPECT_EQ(r.metrics.elapsed, 1688760707856LL);
+    EXPECT_EQ(r.metrics.totalTokens, 2521);
+    EXPECT_EQ(r.generatedTokens, 3137);
+    EXPECT_EQ(r.peakBatch, 16);
+    EXPECT_EQ(r.metrics.decodingOnlyStages, 210);
+    EXPECT_EQ(r.metrics.mixedStages, 27);
+    EXPECT_NEAR(r.totals.totalEnergyJ(), 769.36158265872291,
+                1e-6 * 769.36158265872291);
+    EXPECT_NEAR(r.metrics.tbtMs.percentile(50), 8.563581246,
+                1e-6);
+}
+
+TEST(Engine, GoldenDuplexMatchesSeedRunSimulation)
+{
+    const SimResult r =
+        SimulationEngine(goldenConfig("duplex")).run();
+    EXPECT_EQ(r.metrics.elapsed, 800495559533LL);
+    EXPECT_EQ(r.metrics.totalTokens, 2521);
+    EXPECT_EQ(r.generatedTokens, 3137);
+    EXPECT_EQ(r.peakBatch, 16);
+    EXPECT_EQ(r.metrics.decodingOnlyStages, 210);
+    EXPECT_EQ(r.metrics.mixedStages, 27);
+    EXPECT_NEAR(r.totals.totalEnergyJ(), 551.21667480047654,
+                1e-6 * 551.21667480047654);
+    EXPECT_NEAR(r.metrics.tbtMs.percentile(50), 3.361203755,
+                1e-6);
+}
+
+TEST(Engine, ObserverCallbackOrderingAndCounts)
+{
+    SimulationEngine engine(goldenConfig("gpu"));
+    RecordingObserver rec;
+    engine.addObserver(&rec);
+    const SimResult r = engine.run();
+
+    ASSERT_GE(rec.events.size(), 3u);
+    EXPECT_EQ(rec.events.front(), RecordingObserver::Event::Begin);
+    EXPECT_EQ(rec.events.back(), RecordingObserver::Event::End);
+    EXPECT_EQ(countEvents(rec, RecordingObserver::Event::Begin), 1);
+    EXPECT_EQ(countEvents(rec, RecordingObserver::Event::End), 1);
+
+    // One onStage per executed stage, indexed 0..N-1 in order.
+    const std::int64_t stages = r.metrics.decodingOnlyStages +
+                                r.metrics.mixedStages;
+    EXPECT_EQ(countEvents(rec, RecordingObserver::Event::Stage),
+              stages);
+    ASSERT_FALSE(rec.stageIndexes.empty());
+    for (std::size_t i = 0; i < rec.stageIndexes.size(); ++i)
+        EXPECT_EQ(rec.stageIndexes[i],
+                  static_cast<std::int64_t>(i));
+
+    // Every request retires exactly once (closed loop, all done).
+    EXPECT_EQ(rec.retired, 48);
+    EXPECT_EQ(countEvents(rec, RecordingObserver::Event::Retire),
+              48);
+
+    // Retires only ever follow a stage, never precede the first.
+    bool seen_stage = false;
+    for (auto e : rec.events) {
+        if (e == RecordingObserver::Event::Stage)
+            seen_stage = true;
+        if (e == RecordingObserver::Event::Retire) {
+            EXPECT_TRUE(seen_stage);
+        }
+    }
+
+    EXPECT_EQ(rec.systemName, "GPU");
+    EXPECT_EQ(rec.finalTokens, r.generatedTokens);
+}
+
+TEST(Engine, ObserversFireOnCustomLoopSystems)
+{
+    // The split system runs its own driver loop but must feed the
+    // same observer stream.
+    SimConfig c = goldenConfig("duplex-split");
+    c.maxStages = 20000;
+    SimulationEngine engine(c);
+    RecordingObserver rec;
+    engine.addObserver(&rec);
+    const SimResult r = engine.run();
+
+    EXPECT_EQ(rec.events.front(), RecordingObserver::Event::Begin);
+    EXPECT_EQ(rec.events.back(), RecordingObserver::Event::End);
+    EXPECT_GT(countEvents(rec, RecordingObserver::Event::Stage), 0);
+    EXPECT_EQ(rec.retired, 48);
+    EXPECT_EQ(rec.finalTokens, r.generatedTokens);
+}
+
+TEST(Engine, MultipleObserversAllReceiveCallbacks)
+{
+    SimulationEngine engine(goldenConfig("duplex"));
+    RecordingObserver a;
+    RecordingObserver b;
+    engine.addObserver(&a);
+    engine.addObserver(&b);
+    engine.run();
+    EXPECT_EQ(a.events.size(), b.events.size());
+    EXPECT_GT(a.events.size(), 0u);
+}
+
+TEST(Engine, DropInObserversCollectMetrics)
+{
+    SimulationEngine engine(goldenConfig("gpu"));
+    StageTimeHistogram hist;
+    KvOccupancyTrace kv;
+    engine.addObserver(&hist);
+    engine.addObserver(&kv);
+    const SimResult r = engine.run();
+
+    const std::int64_t stages = r.metrics.decodingOnlyStages +
+                                r.metrics.mixedStages;
+    EXPECT_EQ(hist.stageMs().count(),
+              static_cast<std::size_t>(stages));
+    EXPECT_GT(hist.stageMs().percentile(99), 0.0);
+    EXPECT_EQ(kv.points().size(),
+              static_cast<std::size_t>(stages));
+    EXPECT_GT(kv.peakKvTokens(), 0);
+    // Occupancy never exceeds what the system can hold.
+    const std::unique_ptr<ServingSystem> system =
+        makeSystem("gpu", mixtralConfig());
+    EXPECT_LE(kv.peakKvTokens(), system->maxKvTokens());
+}
+
+TEST(Engine, RunOnExistingInstanceMatchesRegistryRun)
+{
+    const SimConfig c = goldenConfig("duplex");
+    const SimResult via_registry = SimulationEngine(c).run();
+    SystemOptions opts;
+    opts.seed = c.seed;
+    const std::unique_ptr<ServingSystem> system =
+        makeSystem("duplex", c.model, opts);
+    const SimResult via_instance =
+        SimulationEngine(c).run(*system);
+    EXPECT_EQ(via_registry.metrics.elapsed,
+              via_instance.metrics.elapsed);
+    EXPECT_EQ(via_registry.metrics.totalTokens,
+              via_instance.metrics.totalTokens);
+}
+
+} // namespace
+} // namespace duplex
