@@ -13,40 +13,52 @@ int
 main()
 {
     banner("Fig. 11: normalized throughput (tokens/s)");
-    const std::vector<std::string> systems = {
-        "gpu", "gpu-2x", "duplex", "duplex-pe", "duplex-pe-et"};
+    const std::vector<std::string> &systems = comparedSystems();
 
     Table t({"Model", "Batch", "Lin", "Lout", "GPU tok/s", "2xGPU",
              "Duplex", "+PE", "+PE+ET"});
+
+    // Build the whole figure sweep up front (the same configs
+    // bench_perf times), run it on the worker pool, then format
+    // from the in-order results.
+    struct Point
+    {
+        ModelConfig model;
+        int batch;
+        std::int64_t lin;
+        std::int64_t lout;
+    };
+    std::vector<Point> points;
+    for (const ModelConfig &model : fig11Models())
+        for (int batch : kFig11Batches)
+            for (const auto &[lin, lout] : lengthSweep(model))
+                points.push_back({model, batch, lin, lout});
+    const std::vector<SimResult> results =
+        runSweep(fig11SweepConfigs());
+
     double max_gain = 0.0;
-    for (const ModelConfig &model :
-         {mixtralConfig(), glamConfig(), grok1Config()}) {
-        for (int batch : {32, 64, 128}) {
-            for (const auto &[lin, lout] : lengthSweep(model)) {
-                double gpu_thr = 0.0;
-                std::vector<double> normalized;
-                for (const std::string &system : systems) {
-                    const SimResult r = runThroughput(
-                        system, model, batch, lin, lout);
-                    const double thr =
-                        r.metrics.throughputTokensPerSec();
-                    if (system == "gpu") {
-                        gpu_thr = thr;
-                        continue;
-                    }
-                    normalized.push_back(thr / gpu_thr);
-                }
-                max_gain = std::max(max_gain, normalized.back());
-                t.startRow();
-                t.cell(model.name);
-                t.cell(static_cast<std::int64_t>(batch));
-                t.cell(lin);
-                t.cell(lout);
-                t.cell(gpu_thr, 0);
-                for (double n : normalized)
-                    t.cell(n, 2);
+    std::size_t next = 0;
+    for (const Point &p : points) {
+        double gpu_thr = 0.0;
+        std::vector<double> normalized;
+        for (const std::string &system : systems) {
+            const SimResult &r = results[next++];
+            const double thr = r.metrics.throughputTokensPerSec();
+            if (system == "gpu") {
+                gpu_thr = thr;
+                continue;
             }
+            normalized.push_back(thr / gpu_thr);
         }
+        max_gain = std::max(max_gain, normalized.back());
+        t.startRow();
+        t.cell(p.model.name);
+        t.cell(static_cast<std::int64_t>(p.batch));
+        t.cell(p.lin);
+        t.cell(p.lout);
+        t.cell(gpu_thr, 0);
+        for (double n : normalized)
+            t.cell(n, 2);
     }
     t.print();
     std::printf("\nMax Duplex+PE+ET gain over GPU: %.2fx "

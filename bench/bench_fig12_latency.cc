@@ -13,17 +13,20 @@ int
 main()
 {
     banner("Fig. 12: GLaM latency, batch 64 (normalized to GPU)");
-    const ModelConfig model = glamConfig();
-    const std::vector<std::string> systems = {
-        "gpu", "gpu-2x", "duplex", "duplex-pe", "duplex-pe-et"};
+    const std::vector<std::string> &systems = comparedSystems();
 
     Table t({"Lin=Lout", "System", "TBT p50", "TBT p90", "TBT p99",
              "T2FT p50", "E2E p50"});
-    for (std::int64_t len : {512, 1024, 2048}) {
+
+    // The same configs bench_perf times.
+    const std::vector<SimResult> results =
+        runSweep(fig12SweepConfigs());
+
+    std::size_t next = 0;
+    for (std::int64_t len : kFig12Lengths) {
         LatencySummary gpu;
         for (const std::string &system : systems) {
-            const SimResult r = runLatency(system, model, 64, len,
-                                           len, 160, 8000);
+            const SimResult &r = results[next++];
             const LatencySummary s = summarizeLatency(r.metrics);
             if (system == "gpu")
                 gpu = s;

@@ -12,8 +12,8 @@ using namespace duplex;
 namespace
 {
 
-SimResult
-runQps(const std::string &system, double qps)
+SimConfig
+qpsConfig(const std::string &system, double qps)
 {
     SimConfig c;
     c.systemName = system;
@@ -25,7 +25,7 @@ runQps(const std::string &system, double qps)
     c.numRequests = 96;
     c.warmupRequests = 8;
     c.maxStages = 60000;
-    return SimulationEngine(c).run();
+    return c;
 }
 
 } // namespace
@@ -37,10 +37,19 @@ main()
            "batch 128");
     Table t({"QPS", "System", "TBT p50 ms", "TBT p90 ms",
              "TBT p99 ms", "T2FT p50 ms", "E2E p50 ms"});
-    for (double qps : {4.0, 8.0, 12.0, 16.0}) {
-        for (const std::string system :
-             {"gpu", "duplex-pe-et", "gpu-2x"}) {
-            const SimResult r = runQps(system, qps);
+    const std::vector<double> qps_sweep = {4.0, 8.0, 12.0, 16.0};
+    const std::vector<std::string> systems = {"gpu", "duplex-pe-et",
+                                              "gpu-2x"};
+    std::vector<SimConfig> configs;
+    for (double qps : qps_sweep)
+        for (const std::string &system : systems)
+            configs.push_back(qpsConfig(system, qps));
+    const std::vector<SimResult> results = runSweep(configs);
+
+    std::size_t next = 0;
+    for (double qps : qps_sweep) {
+        for (const std::string &system : systems) {
+            const SimResult &r = results[next++];
             t.startRow();
             t.cell(qps, 0);
             t.cell(systemLabel(system));

@@ -27,20 +27,29 @@ main()
         {optConfig(), "MoE X, MHA", {256, 512, 1024}},
     };
 
+    const std::vector<std::string> systems = {"gpu", "bank-pim",
+                                              "duplex-pe-et"};
+    std::vector<SimConfig> configs;
+    for (const Row &row : rows)
+        for (int batch : {32, 64})
+            for (std::int64_t len : row.lengths)
+                for (const std::string &system : systems)
+                    configs.push_back(throughputConfig(
+                        system, row.model, batch, len, len));
+    const std::vector<SimResult> results = runSweep(configs);
+
+    std::size_t next = 0;
     for (const Row &row : rows) {
         for (int batch : {32, 64}) {
             for (std::int64_t len : row.lengths) {
                 const double gpu =
-                    runThroughput("gpu", row.model, batch, len,
-                                  len)
+                    results[next++]
                         .metrics.throughputTokensPerSec();
                 const double bank =
-                    runThroughput("bank-pim", row.model, batch,
-                                  len, len)
+                    results[next++]
                         .metrics.throughputTokensPerSec();
                 const double dup =
-                    runThroughput("duplex-pe-et", row.model, batch,
-                                  len, len)
+                    results[next++]
                         .metrics.throughputTokensPerSec();
                 t.startRow();
                 t.cell(row.model.name);

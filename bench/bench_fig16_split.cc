@@ -17,12 +17,21 @@ main()
 
     Table t({"Lin=Lout", "System", "tok/s", "norm", "TBT p50",
              "TBT p99", "T2FT p50", "E2E p50", "peak batch"});
-    for (std::int64_t len : {256, 1024, 4096}) {
+    const std::vector<std::int64_t> lengths = {256, 1024, 4096};
+    const std::vector<std::string> systems = {"duplex-pe-et",
+                                              "duplex-split"};
+    std::vector<SimConfig> configs;
+    for (std::int64_t len : lengths)
+        for (const std::string &system : systems)
+            configs.push_back(latencyConfig(system, model, 128, len,
+                                            len, 256, 6000));
+    const std::vector<SimResult> results = runSweep(configs);
+
+    std::size_t next = 0;
+    for (std::int64_t len : lengths) {
         SimResult dup;
-        for (const std::string system :
-             {"duplex-pe-et", "duplex-split"}) {
-            const SimResult r =
-                runLatency(system, model, 128, len, len, 256, 6000);
+        for (const std::string &system : systems) {
+            const SimResult &r = results[next++];
             if (system == "duplex-pe-et")
                 dup = r;
             const LatencySummary s = summarizeLatency(r.metrics);

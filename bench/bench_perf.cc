@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Simulator performance harness: times the end-to-end hot path and
+ * emits BENCH_perf.json so the perf trajectory is a tracked,
+ * per-PR artifact (uploaded by the CI Release job).
+ *
+ * Three probes:
+ *  - cost model: the O(1) closed-form attention costs against the
+ *    retained per-context reference loops (batch 256);
+ *  - stage execution: stages/sec of Cluster::executeStage on a
+ *    representative decode and mixed stage;
+ *  - figure sweeps: wall-clock of the Fig. 11 throughput sweep
+ *    (the paper's headline figure, 135 simulations) and the
+ *    Fig. 12 GLaM latency sweep through the SweepRunner, with
+ *    stages/sec and requests/sec.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace duplex;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** Closed-form vs reference attention-cost microbenchmark. */
+struct CostModelProbe
+{
+    double closedFormNs = 0.0;
+    double referenceNs = 0.0;
+    double speedup = 0.0;
+    // Folded into the JSON so the compiler cannot drop the loops.
+    double checksum = 0.0;
+};
+
+CostModelProbe
+probeCostModel()
+{
+    const LayerCosts costs(mixtralConfig());
+    StageShape stage;
+    for (int i = 0; i < 256; ++i)
+        stage.decodeContexts.push_back(1024 + 13 * i);
+    for (int i = 0; i < 4; ++i)
+        stage.prefillLengths.push_back(2048 + 101 * i);
+    const StageAggregates agg = aggregatesOf(stage);
+
+    CostModelProbe probe;
+    const int iters = 20000;
+    auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        probe.checksum += costs.attentionDecode(agg).flops;
+        probe.checksum += costs.attentionPrefill(agg).flops;
+    }
+    probe.closedFormNs = secondsSince(t0) * 1e9 / iters;
+
+    const int ref_iters = 2000;
+    t0 = Clock::now();
+    for (int i = 0; i < ref_iters; ++i) {
+        probe.checksum -= costs.attentionDecodeReference(stage).flops;
+        probe.checksum -= costs.attentionPrefillReference(stage).flops;
+    }
+    probe.referenceNs = secondsSince(t0) * 1e9 / ref_iters;
+    probe.speedup = probe.closedFormNs > 0.0
+                        ? probe.referenceNs / probe.closedFormNs
+                        : 0.0;
+    return probe;
+}
+
+/** Stages/sec of one system on a fixed stage shape. */
+double
+probeStageExec(const std::string &system, const StageShape &stage)
+{
+    const std::unique_ptr<ServingSystem> sys =
+        makeSystem(system, mixtralConfig());
+    // Warm up once (device LUT construction etc.).
+    sys->executeStage(stage);
+    const int iters = 300;
+    const auto t0 = Clock::now();
+    PicoSec sink = 0;
+    for (int i = 0; i < iters; ++i)
+        sink += sys->executeStage(stage).time;
+    const double sec = secondsSince(t0);
+    return sink > 0 && sec > 0.0 ? iters / sec : 0.0;
+}
+
+struct SweepProbe
+{
+    const char *name = "";
+    int configs = 0;
+    double wallSec = 0.0;
+    std::int64_t stages = 0;
+    std::int64_t requests = 0;
+    std::int64_t tokens = 0;
+};
+
+SweepProbe
+timeSweep(const char *name, const std::vector<SimConfig> &configs)
+{
+    SweepProbe probe;
+    probe.name = name;
+    probe.configs = static_cast<int>(configs.size());
+    const auto t0 = Clock::now();
+    const std::vector<SimResult> results = runSweep(configs);
+    probe.wallSec = secondsSince(t0);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        probe.stages += results[i].metrics.decodingOnlyStages +
+                        results[i].metrics.mixedStages;
+        probe.requests += configs[i].numRequests;
+        probe.tokens += results[i].generatedTokens;
+    }
+    return probe;
+}
+
+// The sweeps time exactly the configs the figure benches run
+// (bench_util's fig11SweepConfigs / fig12SweepConfigs), so the
+// tracked numbers stay in lockstep with the figures.
+
+} // namespace
+
+int
+main()
+{
+    banner("Perf: simulator throughput (BENCH_perf.json)");
+
+    const CostModelProbe cost = probeCostModel();
+    std::printf("cost model: closed form %.1f ns, reference %.1f "
+                "ns, speedup %.1fx\n",
+                cost.closedFormNs, cost.referenceNs, cost.speedup);
+
+    StageShape decode_stage;
+    for (int i = 0; i < 64; ++i)
+        decode_stage.decodeContexts.push_back(2048);
+    StageShape mixed_stage = decode_stage;
+    mixed_stage.prefillLengths.push_back(2048);
+
+    struct StageProbe
+    {
+        const char *name;
+        double stagesPerSec;
+    };
+    const StageProbe stage_probes[] = {
+        {"gpu_decode64", probeStageExec("gpu", decode_stage)},
+        {"gpu_mixed64", probeStageExec("gpu", mixed_stage)},
+        {"duplex_decode64",
+         probeStageExec("duplex-pe-et", decode_stage)},
+        {"duplex_mixed64",
+         probeStageExec("duplex-pe-et", mixed_stage)},
+    };
+    for (const StageProbe &p : stage_probes)
+        std::printf("stage exec %-16s %10.0f stages/s\n", p.name,
+                    p.stagesPerSec);
+
+    const SweepProbe sweeps[] = {
+        timeSweep("fig11-throughput", fig11SweepConfigs()),
+        timeSweep("fig12-glam-latency", fig12SweepConfigs())};
+    for (const SweepProbe &s : sweeps)
+        std::printf("%s: %d configs in %.2f s (%.0f stages/s, "
+                    "%.0f requests/s)\n",
+                    s.name, s.configs, s.wallSec,
+                    s.stages / s.wallSec,
+                    s.requests / s.wallSec);
+
+    std::FILE *json = std::fopen("BENCH_perf.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_perf.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"schema\": 1,\n");
+    std::fprintf(json, "  \"sweep_workers\": %d,\n",
+                 SweepRunner().workers());
+    std::fprintf(json,
+                 "  \"cost_model\": {\"closed_form_ns\": %.3f, "
+                 "\"reference_ns\": %.3f, \"speedup\": %.3f, "
+                 "\"checksum\": %.17g},\n",
+                 cost.closedFormNs, cost.referenceNs, cost.speedup,
+                 cost.checksum);
+    std::fprintf(json, "  \"stage_exec\": {");
+    for (std::size_t i = 0; i < std::size(stage_probes); ++i)
+        std::fprintf(json, "%s\"%s\": %.3f", i ? ", " : "",
+                     stage_probes[i].name,
+                     stage_probes[i].stagesPerSec);
+    std::fprintf(json, "},\n");
+    std::fprintf(json, "  \"figure_sweeps\": [");
+    for (std::size_t i = 0; i < std::size(sweeps); ++i) {
+        const SweepProbe &s = sweeps[i];
+        std::fprintf(json,
+                     "%s{\"name\": \"%s\", \"configs\": %d, "
+                     "\"wall_sec\": %.3f, \"stages_per_sec\": %.1f, "
+                     "\"requests_per_sec\": %.2f, "
+                     "\"tokens_per_sec\": %.1f}",
+                     i ? ", " : "", s.name, s.configs, s.wallSec,
+                     s.stages / s.wallSec,
+                     s.requests / s.wallSec,
+                     s.tokens / s.wallSec);
+    }
+    std::fprintf(json, "]\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_perf.json\n");
+    return 0;
+}

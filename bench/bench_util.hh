@@ -19,6 +19,7 @@
 #include "sim/engine.hh"
 #include "sim/observers.hh"
 #include "sim/registry.hh"
+#include "sim/sweep.hh"
 
 namespace duplex
 {
@@ -55,15 +56,46 @@ sweepConfig(const std::string &system, const ModelConfig &model,
     return c;
 }
 
+/** Throughput-sweep configuration: enough stages for steady state. */
+inline SimConfig
+throughputConfig(const std::string &system, const ModelConfig &model,
+                 int batch, std::int64_t lin, std::int64_t lout,
+                 std::int64_t max_stages = 300)
+{
+    return sweepConfig(system, model, batch, lin, lout, 4 * batch,
+                       max_stages);
+}
+
+/** Latency-sweep configuration: runs until the requests complete. */
+inline SimConfig
+latencyConfig(const std::string &system, const ModelConfig &model,
+              int batch, std::int64_t lin, std::int64_t lout,
+              int num_requests, std::int64_t max_stages = 20000)
+{
+    return sweepConfig(system, model, batch, lin, lout, num_requests,
+                       max_stages);
+}
+
+/**
+ * Run a batch of independent configurations on the SweepRunner's
+ * worker pool; results come back in input order, so benches build
+ * their whole figure sweep up front and format afterwards.
+ */
+inline std::vector<SimResult>
+runSweep(const std::vector<SimConfig> &configs)
+{
+    return SweepRunner().run(configs);
+}
+
 /** Throughput-sweep simulation: enough stages for a steady state. */
 inline SimResult
 runThroughput(const std::string &system, const ModelConfig &model,
               int batch, std::int64_t lin, std::int64_t lout,
               std::int64_t max_stages = 300)
 {
-    SimulationEngine engine(sweepConfig(system, model, batch, lin,
-                                        lout, 4 * batch,
-                                        max_stages));
+    SimulationEngine engine(
+        throughputConfig(system, model, batch, lin, lout,
+                         max_stages));
     return engine.run();
 }
 
@@ -73,9 +105,9 @@ runLatency(const std::string &system, const ModelConfig &model,
            int batch, std::int64_t lin, std::int64_t lout,
            int num_requests, std::int64_t max_stages = 20000)
 {
-    SimulationEngine engine(sweepConfig(system, model, batch, lin,
-                                        lout, num_requests,
-                                        max_stages));
+    SimulationEngine engine(latencyConfig(system, model, batch, lin,
+                                          lout, num_requests,
+                                          max_stages));
     return engine.run();
 }
 
@@ -86,6 +118,63 @@ lengthSweep(const ModelConfig &model)
     if (model.name == "GLaM")
         return {{512, 512}, {1024, 1024}, {2048, 2048}};
     return {{256, 256}, {1024, 1024}, {4096, 4096}};
+}
+
+/** The five systems compared in Figs. 11/12. */
+inline const std::vector<std::string> &
+comparedSystems()
+{
+    static const std::vector<std::string> systems = {
+        "gpu", "gpu-2x", "duplex", "duplex-pe", "duplex-pe-et"};
+    return systems;
+}
+
+/** The Fig. 11 models and batch sizes. */
+inline const std::vector<ModelConfig> &
+fig11Models()
+{
+    static const std::vector<ModelConfig> models = {
+        mixtralConfig(), glamConfig(), grok1Config()};
+    return models;
+}
+
+constexpr int kFig11Batches[] = {32, 64, 128};
+
+/** The Fig. 12 sweep lengths (Lin = Lout) and batch/request sizes. */
+constexpr std::int64_t kFig12Lengths[] = {512, 1024, 2048};
+constexpr int kFig12Batch = 64;
+constexpr int kFig12Requests = 160;
+constexpr std::int64_t kFig12MaxStages = 8000;
+
+/**
+ * The full Fig. 11 throughput sweep, in table order (innermost:
+ * comparedSystems()). Shared by the figure bench and bench_perf so
+ * the tracked perf numbers always time the figure's workload.
+ */
+inline std::vector<SimConfig>
+fig11SweepConfigs()
+{
+    std::vector<SimConfig> configs;
+    for (const ModelConfig &model : fig11Models())
+        for (int batch : kFig11Batches)
+            for (const auto &[lin, lout] : lengthSweep(model))
+                for (const std::string &system : comparedSystems())
+                    configs.push_back(throughputConfig(
+                        system, model, batch, lin, lout));
+    return configs;
+}
+
+/** The full Fig. 12 GLaM latency sweep, in table order. */
+inline std::vector<SimConfig>
+fig12SweepConfigs()
+{
+    std::vector<SimConfig> configs;
+    for (std::int64_t len : kFig12Lengths)
+        for (const std::string &system : comparedSystems())
+            configs.push_back(latencyConfig(
+                system, glamConfig(), kFig12Batch, len, len,
+                kFig12Requests, kFig12MaxStages));
+    return configs;
 }
 
 /** Add the five standard latency cells (see LatencySummary). */

@@ -22,6 +22,10 @@ StageResult::operator+=(const StageResult &other)
     time += other.time;
     for (int i = 0; i < kNumLayerClasses; ++i)
         byClass[i] += other.byClass[i];
+    if (expertTokens.size() < other.expertTokens.size())
+        expertTokens.resize(other.expertTokens.size(), 0);
+    for (std::size_t e = 0; e < other.expertTokens.size(); ++e)
+        expertTokens[e] += other.expertTokens[e];
     return *this;
 }
 
@@ -36,6 +40,8 @@ Cluster::Cluster(const ClusterConfig &config)
                 config.zipfS),
       rng_(config.seed)
 {
+    if (cfg_.model.numExperts > 0)
+        expertCost_ = costs_.expertFfnAffine();
     if (cfg_.deviceSpec.hasLowEngine && cfg_.model.numExperts > 0) {
         const double shard = plan_.expertShardFraction();
         lut_ = std::make_unique<ExpertTimeLut>(
@@ -67,25 +73,38 @@ Cluster::kvBudget() const
     return budget;
 }
 
-StageShape
-Cluster::nodeShare(const StageShape &stage) const
+const StageShape &
+Cluster::nodeShare(const StageShape &stage)
 {
     if (cfg_.topo.numNodes <= 1)
         return stage;
-    StageShape share;
+    StageShape &share = nodeShareScratch_;
+    share.decodeContexts.clear();
+    share.prefillLengths.clear();
+    share.agg = {};
     for (std::size_t i = 0; i < stage.decodeContexts.size(); ++i)
-        if (i % cfg_.topo.numNodes == 0)
+        if (i % cfg_.topo.numNodes == 0) {
             share.decodeContexts.push_back(stage.decodeContexts[i]);
+            share.agg.addDecode(stage.decodeContexts[i]);
+        }
     for (std::size_t i = 0; i < stage.prefillLengths.size(); ++i)
-        if (i % cfg_.topo.numNodes == 0)
+        if (i % cfg_.topo.numNodes == 0) {
             share.prefillLengths.push_back(stage.prefillLengths[i]);
+            share.agg.addPrefill(stage.prefillLengths[i]);
+        }
+    share.aggValid = true;
     return share;
 }
 
 void
 Cluster::addFc(const OpCost &cost, double scale, StageResult &out)
 {
-    const DeviceTiming t = device_->runHighOpb(cost.scaled(scale));
+    addFcTiming(device_->runHighOpb(cost.scaled(scale)), out);
+}
+
+void
+Cluster::addFcTiming(const DeviceTiming &t, StageResult &out)
+{
     out.time += t.time;
     auto &slice = out.slice(LayerClass::Fc);
     slice.time += t.time;
@@ -96,10 +115,19 @@ Cluster::addFc(const OpCost &cost, double scale, StageResult &out)
 }
 
 void
-Cluster::runMoeLayer(std::int64_t global_tokens, StageResult &out)
+Cluster::runMoeLayer(std::int64_t global_tokens,
+                     const DeviceTiming &gate_t, PicoSec moe_comm,
+                     StageResult &out)
 {
-    const auto hist = selector_.sample(rng_, global_tokens);
+    selector_.sampleInto(rng_, global_tokens, histScratch_);
+    const std::vector<std::int64_t> &hist = histScratch_;
     const ModelConfig &m = cfg_.model;
+
+    if (out.expertTokens.size() <
+        static_cast<std::size_t>(m.numExperts))
+        out.expertTokens.resize(m.numExperts, 0);
+    for (int e = 0; e < m.numExperts; ++e)
+        out.expertTokens[e] += hist[e];
 
     // Group the experts the way the plan places them.
     int num_groups = 0;
@@ -114,43 +142,45 @@ Cluster::runMoeLayer(std::int64_t global_tokens, StageResult &out)
         experts_per_group = m.numExperts / num_groups;
     }
 
-    PicoSec makespan = 0;
-    EnergyBreakdown moe_energy;
-    for (int g = 0; g < num_groups; ++g) {
-        std::vector<ExpertWork> work;
-        work.reserve(experts_per_group);
-        for (int e = g * experts_per_group;
-             e < (g + 1) * experts_per_group; ++e) {
-            ExpertWork w;
-            w.tokens = hist[e];
-            w.cost = costs_.expertFfn(hist[e]).scaled(shard);
-            work.push_back(w);
-        }
-        const DeviceTiming t = device_->runMoe(work);
-        makespan = std::max(makespan, t.time);
-        moe_energy.dramJ += t.energy.dramJ * shards_per_group;
-        moe_energy.computeJ += t.energy.computeJ * shards_per_group;
+    // One device call for the whole layer: equivalent to runMoe
+    // per expert group, but the device shares its per-token-count
+    // memo across groups.
+    std::vector<ExpertWork> &work = moeWorkScratch_;
+    work.clear();
+    work.reserve(static_cast<std::size_t>(num_groups) *
+                 experts_per_group);
+    for (int e = 0; e < num_groups * experts_per_group; ++e) {
+        ExpertWork w;
+        w.tokens = hist[e];
+        w.cost = expertCost_.at(hist[e]).scaled(shard);
+        work.push_back(w);
     }
+    const DeviceTiming moe = device_->runMoeGroups(
+        work, experts_per_group,
+        static_cast<double>(shards_per_group));
 
-    // Gate runs on every device over the node's tokens.
-    const std::int64_t node_tokens =
-        (global_tokens + plan_.dpDegree - 1) / plan_.dpDegree;
-    const DeviceTiming gate_t = device_->runHighOpb(
-        costs_.gate(node_tokens).scaled(plan_.tpShardFraction()));
-
-    out.time += gate_t.time + makespan;
+    out.time += gate_t.time + moe.time;
     auto &slice = out.slice(LayerClass::Moe);
-    slice.time += gate_t.time + makespan;
+    slice.time += gate_t.time + moe.time;
     const double devices =
         static_cast<double>(plan_.tpDegree) * plan_.dpDegree;
     slice.energy.dramJ +=
-        moe_energy.dramJ + gate_t.energy.dramJ * devices;
+        moe.energy.dramJ + gate_t.energy.dramJ * devices;
     slice.energy.computeJ +=
-        moe_energy.computeJ + gate_t.energy.computeJ * devices;
+        moe.energy.computeJ + gate_t.energy.computeJ * devices;
 
+    out.time += moe_comm;
+    out.slice(LayerClass::Communication).time += moe_comm;
+}
+
+PicoSec
+Cluster::moeCommTime(std::int64_t global_tokens,
+                     std::int64_t node_tokens) const
+{
     // Collectives: token dispatch + combine (all-to-all) for expert
     // parallelism; a single all-reduce for expert tensor parallelism
     // (Section V-B).
+    const ModelConfig &m = cfg_.model;
     PicoSec comm = 0;
     const Bytes token_payload =
         static_cast<Bytes>(global_tokens) * m.topK * m.hidden *
@@ -176,18 +206,21 @@ Cluster::runMoeLayer(std::int64_t global_tokens, StageResult &out)
                                      cfg_.topo.interNode);
         }
     }
-    out.time += comm;
-    out.slice(LayerClass::Communication).time += comm;
+    return comm;
 }
 
 StageResult
 Cluster::executeStage(const StageShape &stage)
 {
     StageResult out;
-    const StageShape node = nodeShare(stage);
-    const std::int64_t node_tokens = node.totalTokens();
-    if (stage.totalTokens() == 0)
+    const StageAggregates stage_agg = stage.aggregates();
+    const std::int64_t global_tokens = stage_agg.totalTokens();
+    if (global_tokens == 0)
         return out;
+    const StageShape &node = nodeShare(stage);
+    const StageAggregates agg =
+        &node == &stage ? stage_agg : node.aggregates();
+    const std::int64_t node_tokens = agg.totalTokens();
 
     const ModelConfig &m = cfg_.model;
     const double tp_shard = plan_.tpShardFraction();
@@ -200,14 +233,45 @@ Cluster::executeStage(const StageShape &stage)
     const Bytes reduce_bytes =
         static_cast<Bytes>(node_tokens) * m.hidden * kFp16Bytes;
 
+    // Every per-layer cost below is layer-invariant, so it is
+    // computed once and its DeviceTiming re-accumulated per layer
+    // — bit-identical to the former per-layer recomputation, since
+    // the devices are stateless for these groups.
+    const DeviceTiming qkv_t =
+        device_->runHighOpb(costs_.qkv(node_tokens).scaled(tp_shard));
+    const AttentionTiming at = device_->runAttention(
+        costs_.attentionDecode(agg).scaled(tp_shard),
+        costs_.attentionPrefill(agg).scaled(tp_shard));
+    const DeviceTiming proj_t = device_->runHighOpb(
+        costs_.projection(node_tokens).scaled(tp_shard));
+    const DeviceTiming elem_t = device_->runHighOpb(
+        costs_.elementwise(node_tokens).scaled(tp_shard));
+    const PicoSec all_reduce = allReduceTime(
+        reduce_bytes, plan_.tpDegree, cfg_.topo.intraNode);
+
+    const bool has_dense = m.numLayers > m.numMoeLayers();
+    const bool has_moe = m.numMoeLayers() > 0;
+    DeviceTiming ffn_t;
+    if (has_dense)
+        ffn_t = device_->runHighOpb(
+            costs_.denseFfn(node_tokens).scaled(tp_shard));
+    DeviceTiming gate_t;
+    PicoSec moe_comm = 0;
+    if (has_moe) {
+        // Gate runs on every device over the node's tokens (DP
+        // ceiling split, as the seed modeled it).
+        const std::int64_t moe_node_tokens =
+            (global_tokens + plan_.dpDegree - 1) / plan_.dpDegree;
+        gate_t = device_->runHighOpb(
+            costs_.gate(moe_node_tokens).scaled(tp_shard));
+        moe_comm = moeCommTime(global_tokens, moe_node_tokens);
+    }
+
     for (int layer = 0; layer < m.numLayers; ++layer) {
         // QKV generation.
-        addFc(costs_.qkv(node_tokens), tp_shard, out);
+        addFcTiming(qkv_t, out);
 
         // Attention (decode + prefill groups, possibly co-processed).
-        const AttentionTiming at = device_->runAttention(
-            costs_.attentionDecode(node).scaled(tp_shard),
-            costs_.attentionPrefill(node).scaled(tp_shard));
         out.time += at.composed;
         auto &dec = out.slice(LayerClass::AttentionDecode);
         dec.time += at.decode.time;
@@ -219,32 +283,24 @@ Cluster::executeStage(const StageShape &stage)
         pre.energy.computeJ += at.prefill.energy.computeJ * devices;
 
         // Output projection + residual/layer norms.
-        addFc(costs_.projection(node_tokens), tp_shard, out);
-        addFc(costs_.elementwise(node_tokens), tp_shard, out);
+        addFcTiming(proj_t, out);
+        addFcTiming(elem_t, out);
 
-        // All-reduce after the attention block.
-        PicoSec comm = allReduceTime(reduce_bytes, plan_.tpDegree,
-                                     cfg_.topo.intraNode);
-
-        // FFN or MoE.
+        // All-reduce after the attention block; FFN or MoE (the
+        // expert draw is the only per-layer randomness); all-reduce
+        // after the FFN/MoE block output.
         if (m.isMoeLayer(layer)) {
-            runMoeLayer(stage.totalTokens(), out);
+            runMoeLayer(global_tokens, gate_t, moe_comm, out);
         } else {
-            addFc(costs_.denseFfn(node_tokens), tp_shard, out);
+            addFcTiming(ffn_t, out);
         }
-
-        // All-reduce after the FFN/MoE block output.
-        comm += allReduceTime(reduce_bytes, plan_.tpDegree,
-                              cfg_.topo.intraNode);
-        out.time += comm;
-        out.slice(LayerClass::Communication).time += comm;
+        out.time += 2 * all_reduce;
+        out.slice(LayerClass::Communication).time += 2 * all_reduce;
     }
 
     // LM head: one next-token logit per decode sequence and per
     // prefill sequence.
-    const std::int64_t head_tokens =
-        node.decodeTokens() +
-        static_cast<std::int64_t>(node.prefillLengths.size());
+    const std::int64_t head_tokens = agg.numDecode + agg.numPrefill;
     addFc(costs_.lmHead(head_tokens), tp_shard, out);
 
     return out;
@@ -261,6 +317,8 @@ HeteroCluster::HeteroCluster(const HeteroConfig &config)
 {
     fatalIf(!cfg_.pimSpec.hasLowEngine,
             "HeteroCluster: PIM devices need a low engine");
+    if (cfg_.model.numExperts > 0)
+        expertCost_ = costs_.expertFfnAffine();
 }
 
 KvBudget
@@ -286,30 +344,28 @@ StageResult
 HeteroCluster::executeStage(const StageShape &stage)
 {
     StageResult out;
-    if (stage.totalTokens() == 0)
+    const StageAggregates agg = stage.aggregates();
+    const std::int64_t tokens = agg.totalTokens();
+    if (tokens == 0)
         return out;
 
     const ModelConfig &m = cfg_.model;
-    const std::int64_t tokens = stage.totalTokens();
     const double gpu_shard = 1.0 / cfg_.numGpus;
     const double pim_shard = 1.0 / cfg_.numPimDevices;
 
-    auto run_gpu = [&](const OpCost &cost, LayerClass cls) {
-        const OpCost shard = cost.scaled(gpu_shard);
-        DeviceTiming t =
-            engineRun(cfg_.gpuSpec.xpu, cfg_.gpuSpec.xpuPath,
-                      cfg_.gpuSpec.xpuCls, energy_, shard);
+    auto time_gpu = [&](const OpCost &cost) {
+        return engineRun(cfg_.gpuSpec.xpu, cfg_.gpuSpec.xpuPath,
+                         cfg_.gpuSpec.xpuCls, energy_,
+                         cost.scaled(gpu_shard));
+    };
+    auto add_gpu = [&](const DeviceTiming &t, LayerClass cls) {
         out.time += t.time;
         auto &slice = out.slice(cls);
         slice.time += t.time;
         slice.energy.dramJ += t.energy.dramJ * cfg_.numGpus;
         slice.energy.computeJ += t.energy.computeJ * cfg_.numGpus;
     };
-    auto run_pim = [&](const OpCost &cost, LayerClass cls) {
-        const OpCost shard = cost.scaled(pim_shard);
-        DeviceTiming t =
-            engineRun(cfg_.pimSpec.low, cfg_.pimSpec.lowPath,
-                      cfg_.pimSpec.lowCls, energy_, shard);
+    auto add_pim = [&](const DeviceTiming &t, LayerClass cls) {
         out.time += t.time;
         auto &slice = out.slice(cls);
         slice.time += t.time;
@@ -321,26 +377,49 @@ HeteroCluster::executeStage(const StageShape &stage)
     const Bytes activation_bytes =
         static_cast<Bytes>(tokens) * m.hidden * kFp16Bytes;
 
-    run_gpu(costs_.embedding(tokens), LayerClass::Fc);
+    add_gpu(time_gpu(costs_.embedding(tokens)), LayerClass::Fc);
+
+    // Layer-invariant timings, computed once per stage (the engine
+    // evaluation is stateless; re-accumulating the same DeviceTiming
+    // is bit-identical to the former per-layer recomputation).
+    const DeviceTiming qkv_t = time_gpu(costs_.qkv(tokens));
+    const DeviceTiming attn_dec_t = engineRun(
+        cfg_.pimSpec.low, cfg_.pimSpec.lowPath, cfg_.pimSpec.lowCls,
+        energy_, costs_.attentionDecode(agg).scaled(pim_shard));
+    // Prefill attention stays on the GPUs (KV is streamed over).
+    const DeviceTiming attn_pre_t =
+        time_gpu(costs_.attentionPrefill(agg));
+    const DeviceTiming proj_t = time_gpu(costs_.projection(tokens));
+    const DeviceTiming elem_t = time_gpu(costs_.elementwise(tokens));
+    const bool has_dense = m.numLayers > m.numMoeLayers();
+    DeviceTiming ffn_t;
+    if (has_dense)
+        ffn_t = time_gpu(costs_.denseFfn(tokens));
+    DeviceTiming gate_t;
+    if (m.numMoeLayers() > 0)
+        gate_t = time_gpu(costs_.gate(tokens));
+    const PicoSec attn_comm = 2 * p2pTime(activation_bytes, cfg_.link);
+
     for (int layer = 0; layer < m.numLayers; ++layer) {
-        run_gpu(costs_.qkv(tokens), LayerClass::Fc);
+        add_gpu(qkv_t, LayerClass::Fc);
 
         // Activations cross to the PIM devices for attention and
         // return for the projection.
-        PicoSec comm = 2 * p2pTime(activation_bytes, cfg_.link);
-        run_pim(costs_.attentionDecode(stage),
-                LayerClass::AttentionDecode);
-        // Prefill attention stays on the GPUs (KV is streamed over).
-        run_gpu(costs_.attentionPrefill(stage),
-                LayerClass::AttentionPrefill);
-        run_gpu(costs_.projection(tokens), LayerClass::Fc);
-        run_gpu(costs_.elementwise(tokens), LayerClass::Fc);
+        PicoSec comm = attn_comm;
+        add_pim(attn_dec_t, LayerClass::AttentionDecode);
+        add_gpu(attn_pre_t, LayerClass::AttentionPrefill);
+        add_gpu(proj_t, LayerClass::Fc);
+        add_gpu(elem_t, LayerClass::Fc);
 
         if (m.isMoeLayer(layer)) {
             // The PIM devices own every expert, in all stages.
-            run_gpu(costs_.gate(tokens), LayerClass::Moe);
-            comm += 2 * p2pTime(activation_bytes, cfg_.link);
-            const auto hist = selector_.sample(rng_, tokens);
+            add_gpu(gate_t, LayerClass::Moe);
+            comm += attn_comm;
+            selector_.sampleInto(rng_, tokens, histScratch_);
+            const std::vector<std::int64_t> &hist = histScratch_;
+            if (out.expertTokens.size() <
+                static_cast<std::size_t>(m.numExperts))
+                out.expertTokens.resize(m.numExperts, 0);
             PicoSec worst = 0;
             EnergyBreakdown moe_energy;
             const int per_dev = m.numExperts / cfg_.numPimDevices;
@@ -348,9 +427,10 @@ HeteroCluster::executeStage(const StageShape &stage)
                 PicoSec dev_time = cfg_.pimSpec.low.dispatchOverhead;
                 for (int e = d * per_dev; e < (d + 1) * per_dev;
                      ++e) {
+                    out.expertTokens[e] += hist[e];
                     if (hist[e] == 0)
                         continue;
-                    const OpCost c = costs_.expertFfn(hist[e]);
+                    const OpCost c = expertCost_.at(hist[e]);
                     dev_time += operatorTimeNoOverhead(
                         cfg_.pimSpec.low, c.flops, c.bytes);
                     moe_energy.dramJ += energy_.dramEnergyJ(
@@ -365,15 +445,13 @@ HeteroCluster::executeStage(const StageShape &stage)
             slice.time += worst;
             slice.energy += moe_energy;
         } else {
-            run_gpu(costs_.denseFfn(tokens), LayerClass::Fc);
+            add_gpu(ffn_t, LayerClass::Fc);
         }
         out.time += comm;
         out.slice(LayerClass::Communication).time += comm;
     }
-    const std::int64_t head_tokens =
-        stage.decodeTokens() +
-        static_cast<std::int64_t>(stage.prefillLengths.size());
-    run_gpu(costs_.lmHead(head_tokens), LayerClass::Fc);
+    const std::int64_t head_tokens = agg.numDecode + agg.numPrefill;
+    add_gpu(time_gpu(costs_.lmHead(head_tokens)), LayerClass::Fc);
     return out;
 }
 

@@ -53,6 +53,13 @@ struct StageResult
     PicoSec time = 0;
     std::array<ClassSlice, kNumLayerClasses> byClass{};
 
+    /**
+     * Tokens routed to each expert across the stage's MoE layers
+     * (empty for dense models); the ExpertRoutingCounts observer
+     * folds these into a per-run histogram.
+     */
+    std::vector<std::int64_t> expertTokens;
+
     ClassSlice &slice(LayerClass cls)
     {
         return byClass[static_cast<int>(cls)];
@@ -114,11 +121,33 @@ class Cluster
     ExpertSelector selector_;
     Rng rng_;
 
-    /** Sequences this node serves under data parallelism. */
-    StageShape nodeShare(const StageShape &stage) const;
+    /** Reused across stages: multi-node share of the stage. */
+    StageShape nodeShareScratch_;
 
-    void runMoeLayer(std::int64_t global_tokens, StageResult &out);
+    /** Reused across MoE layers: per-group expert work. */
+    std::vector<ExpertWork> moeWorkScratch_;
+
+    /** Reused across MoE layers: per-expert token histogram. */
+    std::vector<std::int64_t> histScratch_;
+
+    /** Exact affine expert-FFN cost (avoids re-deriving GEMMs). */
+    AffineOpCost expertCost_;
+
+    /**
+     * Sequences this node serves under data parallelism. Borrows
+     * the original shape when one node serves everything; fills the
+     * reused scratch shape otherwise. The returned reference is
+     * valid until the next call.
+     */
+    const StageShape &nodeShare(const StageShape &stage);
+
+    void runMoeLayer(std::int64_t global_tokens,
+                     const DeviceTiming &gate_t, PicoSec moe_comm,
+                     StageResult &out);
+    PicoSec moeCommTime(std::int64_t global_tokens,
+                        std::int64_t node_tokens) const;
     void addFc(const OpCost &cost, double scale, StageResult &out);
+    void addFcTiming(const DeviceTiming &t, StageResult &out);
 };
 
 /** Section III-B heterogeneous system: GPUs + PIM-only devices. */
@@ -156,6 +185,12 @@ class HeteroCluster
     EnergyModel energy_;
     ExpertSelector selector_;
     Rng rng_;
+
+    /** Reused across MoE layers: per-expert token histogram. */
+    std::vector<std::int64_t> histScratch_;
+
+    /** Exact affine expert-FFN cost (avoids re-deriving GEMMs). */
+    AffineOpCost expertCost_;
 };
 
 } // namespace duplex

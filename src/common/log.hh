@@ -48,6 +48,17 @@ panicIf(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Overload for hot paths: the literal is only converted to a
+ * std::string (an allocation) when the invariant actually fails.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
+
 /** Check a user-facing precondition. */
 inline void
 fatalIf(bool cond, const std::string &msg)

@@ -20,12 +20,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,37 +27,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitmix64(s);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 mantissa bits give a uniform double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::int64_t
-Rng::uniformInt(std::int64_t lo, std::int64_t hi)
-{
-    panicIf(lo > hi, "uniformInt: empty range");
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next() % span);
 }
 
 double
@@ -118,21 +81,9 @@ Rng::exponential(double rate_per_sec)
 std::vector<int>
 Rng::chooseDistinct(int n, int k)
 {
-    panicIf(k > n || k < 0, "chooseDistinct: need 0 <= k <= n");
-    // Floyd's algorithm: O(k) draws, no allocation of [0, n).
-    std::vector<int> chosen;
-    chosen.reserve(k);
-    for (int j = n - k; j < n; ++j) {
-        const int t = static_cast<int>(uniformInt(0, j));
-        bool seen = false;
-        for (int c : chosen) {
-            if (c == t) {
-                seen = true;
-                break;
-            }
-        }
-        chosen.push_back(seen ? j : t);
-    }
+    // chooseDistinctInto validates 0 <= k <= n.
+    std::vector<int> chosen(k < 0 ? 0 : k);
+    chooseDistinctInto(n, k, chosen.data());
     return chosen;
 }
 

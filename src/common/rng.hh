@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
+
 namespace duplex
 {
 
@@ -27,14 +29,40 @@ class Rng
     /** Construct from a 64-bit seed via splitmix64 expansion. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /**
+     * Next raw 64-bit value. Inline: expert selection draws this
+     * hundreds of millions of times per figure sweep.
+     */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 mantissa bits give a uniform double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        panicIf(lo > hi, "uniformInt: empty range");
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
 
     /** Standard normal via Box-Muller (cached pair). */
     double gaussian();
@@ -58,10 +86,40 @@ class Rng
      */
     std::vector<int> chooseDistinct(int n, int k);
 
+    /**
+     * Allocation-free chooseDistinct: writes @p k distinct values
+     * into @p out (caller provides at least k slots). Consumes the
+     * same draws as chooseDistinct, so mixing the two preserves the
+     * stream.
+     */
+    void chooseDistinctInto(int n, int k, int *out)
+    {
+        panicIf(k > n || k < 0,
+                "chooseDistinct: need 0 <= k <= n");
+        // Floyd's algorithm: O(k) draws, no allocation of [0, n).
+        int count = 0;
+        for (int j = n - k; j < n; ++j) {
+            const int t = static_cast<int>(uniformInt(0, j));
+            bool seen = false;
+            for (int i = 0; i < count; ++i) {
+                if (out[i] == t) {
+                    seen = true;
+                    break;
+                }
+            }
+            out[count++] = seen ? j : t;
+        }
+    }
+
   private:
     std::uint64_t state_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;
+
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
 };
 
 } // namespace duplex

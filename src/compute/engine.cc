@@ -8,30 +8,11 @@
 namespace duplex
 {
 
-PicoSec
-operatorTimeNoOverhead(const EngineSpec &spec, Flops flops, Bytes bytes)
+void
+reportUnconfiguredEngine(const EngineSpec &spec)
 {
-    panicIf(spec.peakFlops <= 0.0 || spec.memBps <= 0.0,
-            "operatorTime: engine '" + spec.name +
-                "' has no compute or bandwidth");
-    if (flops <= 0.0 && bytes == 0)
-        return 0;
-    const double compute_sec = flops / spec.effectiveFlops();
-    const double memory_sec =
-        static_cast<double>(bytes) / spec.memBps;
-    const double sec = std::max(compute_sec, memory_sec);
-    const auto ps = static_cast<PicoSec>(
-        sec * static_cast<double>(kPsPerSec) + 0.5);
-    return std::max<PicoSec>(ps, 1);
-}
-
-PicoSec
-operatorTime(const EngineSpec &spec, Flops flops, Bytes bytes)
-{
-    if (flops <= 0.0 && bytes == 0)
-        return 0;
-    return operatorTimeNoOverhead(spec, flops, bytes) +
-           spec.dispatchOverhead;
+    panic("operatorTime: engine '" + spec.name +
+          "' has no compute or bandwidth");
 }
 
 PicoSec

@@ -51,21 +51,48 @@ struct EngineSpec
     }
 };
 
+/** Internal: report an unconfigured engine (never on the hot path). */
+[[noreturn]] void reportUnconfiguredEngine(const EngineSpec &spec);
+
+/**
+ * Time without the dispatch overhead; used when several operators
+ * are fused into one dispatch (e.g. a fused expert FFN). Inline:
+ * the MoE layers call this once or twice per expert per stage, so
+ * it must not allocate or leave the instruction cache.
+ */
+inline PicoSec
+operatorTimeNoOverhead(const EngineSpec &spec, Flops flops,
+                       Bytes bytes)
+{
+    if (spec.peakFlops <= 0.0 || spec.memBps <= 0.0)
+        reportUnconfiguredEngine(spec);
+    if (flops <= 0.0 && bytes == 0)
+        return 0;
+    const double compute_sec = flops / spec.effectiveFlops();
+    const double memory_sec =
+        static_cast<double>(bytes) / spec.memBps;
+    const double sec =
+        compute_sec > memory_sec ? compute_sec : memory_sec;
+    const auto ps = static_cast<PicoSec>(
+        sec * static_cast<double>(kPsPerSec) + 0.5);
+    return ps > 1 ? ps : 1;
+}
+
 /**
  * Calibrated-roofline time for an operator with the given FLOPs and
  * DRAM traffic on @p spec, including dispatch overhead.
  */
-PicoSec operatorTime(const EngineSpec &spec, Flops flops, Bytes bytes);
+inline PicoSec
+operatorTime(const EngineSpec &spec, Flops flops, Bytes bytes)
+{
+    if (flops <= 0.0 && bytes == 0)
+        return 0;
+    return operatorTimeNoOverhead(spec, flops, bytes) +
+           spec.dispatchOverhead;
+}
 
 /** Convenience wrapper for a GEMM shape. */
 PicoSec gemmTime(const EngineSpec &spec, const GemmShape &shape);
-
-/**
- * Time without the dispatch overhead; used when several operators
- * are fused into one dispatch (e.g. a fused expert FFN).
- */
-PicoSec operatorTimeNoOverhead(const EngineSpec &spec, Flops flops,
-                               Bytes bytes);
 
 } // namespace duplex
 

@@ -1,5 +1,7 @@
 #include "core/duplex_device.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace duplex
@@ -116,54 +118,50 @@ DeviceTiming
 HybridDevice::runMoe(const std::vector<ExpertWork> &experts)
 {
     lastExpertsOnLow_ = 0;
-    // Aggregate the active experts once for the non-co-processing
-    // paths.
-    std::vector<const ExpertWork *> active;
-    active.reserve(experts.size());
+    int num_active = 0;
     for (const auto &e : experts)
         if (e.tokens > 0)
-            active.push_back(&e);
-    if (active.empty())
+            ++num_active;
+    if (num_active == 0)
         return {};
 
     if (!spec_.coProcessing || lut_ == nullptr) {
         // Engine selection for the whole layer by total time.
         PicoSec t_xpu = spec_.xpu.dispatchOverhead;
         PicoSec t_low = spec_.low.dispatchOverhead;
-        for (const auto *e : active) {
-            t_xpu += operatorTimeNoOverhead(spec_.xpu, e->cost.flops,
-                                            e->cost.bytes);
-            t_low += operatorTimeNoOverhead(spec_.low, e->cost.flops,
-                                            e->cost.bytes);
+        for (const auto &e : experts) {
+            if (e.tokens == 0)
+                continue;
+            t_xpu += operatorTimeNoOverhead(spec_.xpu, e.cost.flops,
+                                            e.cost.bytes);
+            t_low += operatorTimeNoOverhead(spec_.low, e.cost.flops,
+                                            e.cost.bytes);
         }
         const bool use_low = t_low < t_xpu;
         DeviceTiming total;
         total.time = use_low ? t_low : t_xpu;
         if (use_low)
-            lastExpertsOnLow_ = static_cast<int>(active.size());
-        for (const auto *e : active) {
-            if (use_low) {
-                total.energy.dramJ += energy_.dramEnergyJ(
-                    spec_.lowPath, e->cost.bytes);
-                total.energy.computeJ += energy_.computeEnergyJ(
-                    spec_.lowCls, e->cost.flops);
-            } else {
-                total.energy.dramJ += energy_.dramEnergyJ(
-                    spec_.xpuPath, e->cost.bytes);
-                total.energy.computeJ += energy_.computeEnergyJ(
-                    spec_.xpuCls, e->cost.flops);
-            }
+            lastExpertsOnLow_ = num_active;
+        const DramPath path = use_low ? spec_.lowPath : spec_.xpuPath;
+        const ComputeClass cls = use_low ? spec_.lowCls : spec_.xpuCls;
+        for (const auto &e : experts) {
+            if (e.tokens == 0)
+                continue;
+            total.energy.dramJ +=
+                energy_.dramEnergyJ(path, e.cost.bytes);
+            total.energy.computeJ +=
+                energy_.computeEnergyJ(cls, e.cost.flops);
         }
         return total;
     }
 
-    // Expert co-processing: lookup-table prefix search.
-    std::vector<ExpertWork> work;
-    work.reserve(active.size());
-    for (const auto *e : active)
-        work.push_back(*e);
-    const ExpertPartition part =
-        partitionExperts(work, *lut_, spec_.xpu, spec_.low);
+    // Expert co-processing: lookup-table prefix search, run in the
+    // reused scratch partition (zero-token experts are dropped by
+    // the partitioner itself).
+    partitionExpertsInto(experts, *lut_, spec_.xpu, spec_.low,
+                         partScratch_, prefixScratch_,
+                         suffixScratch_);
+    const ExpertPartition &part = partScratch_;
     lastExpertsOnLow_ = part.numOnLow;
 
     DeviceTiming total;
@@ -181,6 +179,132 @@ HybridDevice::runMoe(const std::vector<ExpertWork> &experts)
             total.energy.computeJ +=
                 energy_.computeEnergyJ(spec_.xpuCls, e.cost.flops);
         }
+    }
+    return total;
+}
+
+DeviceTiming
+HybridDevice::runMoeGroups(const std::vector<ExpertWork> &experts,
+                           int group_size, double energy_scale)
+{
+    // Same composition as runMoe per contiguous group (makespan
+    // over groups, per-group energy scaling, engine selection per
+    // group); one call per layer shares the per-token-count memo
+    // across every group.
+    const int num_groups =
+        static_cast<int>(experts.size()) / group_size;
+    DeviceTiming total;
+
+    if (spec_.coProcessing && lut_ != nullptr) {
+        for (int g = 0; g < num_groups; ++g) {
+            const ExpertWork *begin = experts.data() + g * group_size;
+            bool group_active = false;
+            for (int i = 0; i < group_size; ++i) {
+                if (begin[i].tokens > 0) {
+                    group_active = true;
+                    break;
+                }
+            }
+            if (!group_active) {
+                lastExpertsOnLow_ = 0;
+                continue;
+            }
+            partitionExpertsRange(begin, begin + group_size, *lut_,
+                                  spec_.xpu, spec_.low, partScratch_,
+                                  prefixScratch_, suffixScratch_);
+            const ExpertPartition &part = partScratch_;
+            lastExpertsOnLow_ = part.numOnLow;
+            DeviceTiming group;
+            group.time = part.makespan();
+            for (int i = 0;
+                 i < static_cast<int>(part.sorted.size()); ++i) {
+                const auto &e = part.sorted[i];
+                if (i < part.numOnLow) {
+                    group.energy.dramJ += energy_.dramEnergyJ(
+                        spec_.lowPath, e.cost.bytes);
+                    group.energy.computeJ += energy_.computeEnergyJ(
+                        spec_.lowCls, e.cost.flops);
+                } else {
+                    group.energy.dramJ += energy_.dramEnergyJ(
+                        spec_.xpuPath, e.cost.bytes);
+                    group.energy.computeJ += energy_.computeEnergyJ(
+                        spec_.xpuCls, e.cost.flops);
+                }
+            }
+            total.time = std::max(total.time, group.time);
+            total.energy.dramJ += group.energy.dramJ * energy_scale;
+            total.energy.computeJ +=
+                group.energy.computeJ * energy_scale;
+        }
+        return total;
+    }
+
+    // Direct-mapped per-token-count cache: decode stages repeat
+    // small counts heavily; a collision just recomputes. The sums
+    // see the same values in the same order as the uncached path.
+    struct Memo
+    {
+        std::int64_t tokens = -1;
+        PicoSec xpu;
+        PicoSec low;
+        EnergyBreakdown xpuE;
+        EnergyBreakdown lowE;
+    };
+    Memo memo[64];
+    auto lookup = [&](const ExpertWork &e) -> const Memo & {
+        Memo &m = memo[e.tokens & 63];
+        if (m.tokens != e.tokens) {
+            m.tokens = e.tokens;
+            m.xpu = operatorTimeNoOverhead(spec_.xpu, e.cost.flops,
+                                           e.cost.bytes);
+            m.low = operatorTimeNoOverhead(spec_.low, e.cost.flops,
+                                           e.cost.bytes);
+            m.xpuE = {energy_.dramEnergyJ(spec_.xpuPath,
+                                          e.cost.bytes),
+                      energy_.computeEnergyJ(spec_.xpuCls,
+                                             e.cost.flops)};
+            m.lowE = {energy_.dramEnergyJ(spec_.lowPath,
+                                          e.cost.bytes),
+                      energy_.computeEnergyJ(spec_.lowCls,
+                                             e.cost.flops)};
+        }
+        return m;
+    };
+
+    for (int g = 0; g < num_groups; ++g) {
+        lastExpertsOnLow_ = 0;
+        int num_active = 0;
+        PicoSec t_xpu = spec_.xpu.dispatchOverhead;
+        PicoSec t_low = spec_.low.dispatchOverhead;
+        for (int i = g * group_size; i < (g + 1) * group_size;
+             ++i) {
+            const ExpertWork &e = experts[i];
+            if (e.tokens == 0)
+                continue;
+            ++num_active;
+            const Memo &m = lookup(e);
+            t_xpu += m.xpu;
+            t_low += m.low;
+        }
+        if (num_active == 0)
+            continue;
+        const bool use_low = t_low < t_xpu;
+        if (use_low)
+            lastExpertsOnLow_ = num_active;
+        DeviceTiming group;
+        group.time = use_low ? t_low : t_xpu;
+        for (int i = g * group_size; i < (g + 1) * group_size;
+             ++i) {
+            const ExpertWork &e = experts[i];
+            if (e.tokens == 0)
+                continue;
+            const Memo &m = lookup(e);
+            group.energy += use_low ? m.lowE : m.xpuE;
+        }
+        total.time = std::max(total.time, group.time);
+        total.energy.dramJ += group.energy.dramJ * energy_scale;
+        total.energy.computeJ +=
+            group.energy.computeJ * energy_scale;
     }
     return total;
 }

@@ -53,6 +53,9 @@ class HybridDevice : public Device
                                  const OpCost &prefill) override;
     DeviceTiming
     runMoe(const std::vector<ExpertWork> &experts) override;
+    DeviceTiming
+    runMoeGroups(const std::vector<ExpertWork> &experts,
+                 int group_size, double energy_scale) override;
 
     void setExpertLut(const ExpertTimeLut *lut) override
     {
@@ -67,6 +70,11 @@ class HybridDevice : public Device
     EnergyModel energy_;
     const ExpertTimeLut *lut_ = nullptr;
     int lastExpertsOnLow_ = 0;
+
+    // Reused across runMoe calls (one per MoE layer per stage).
+    ExpertPartition partScratch_;
+    std::vector<PicoSec> prefixScratch_;
+    std::vector<PicoSec> suffixScratch_;
 
     DeviceTiming onXpu(const OpCost &cost);
     DeviceTiming onLow(const OpCost &cost);

@@ -46,23 +46,15 @@ ExpertTimeLut::expertCost(std::int64_t tokens) const
 }
 
 PicoSec
-ExpertTimeLut::xpuTime(std::int64_t tokens) const
+ExpertTimeLut::xpuTimeBeyondTable(std::int64_t tokens) const
 {
-    if (tokens <= 0)
-        return 0;
-    if (tokens <= maxTokens())
-        return xpuTable_[tokens];
     const OpCost c = expertCost(tokens);
     return operatorTimeNoOverhead(xpu_, c.flops, c.bytes);
 }
 
 PicoSec
-ExpertTimeLut::lowTime(std::int64_t tokens) const
+ExpertTimeLut::lowTimeBeyondTable(std::int64_t tokens) const
 {
-    if (tokens <= 0)
-        return 0;
-    if (tokens <= maxTokens())
-        return lowTable_[tokens];
     const OpCost c = expertCost(tokens);
     return operatorTimeNoOverhead(low_, c.flops, c.bytes);
 }

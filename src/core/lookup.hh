@@ -42,11 +42,29 @@ class ExpertTimeLut
     /** Expert cost model: affine reconstruction. */
     OpCost expertCost(std::int64_t tokens) const;
 
-    /** Time on the high-Op/B engine, no dispatch overhead. */
-    PicoSec xpuTime(std::int64_t tokens) const;
+    /**
+     * Time on the high-Op/B engine, no dispatch overhead. Inline:
+     * the co-processing partition search probes this per expert
+     * per MoE layer.
+     */
+    PicoSec xpuTime(std::int64_t tokens) const
+    {
+        if (tokens <= 0)
+            return 0;
+        if (tokens <= maxTokens())
+            return xpuTable_[tokens];
+        return xpuTimeBeyondTable(tokens);
+    }
 
     /** Time on the low-Op/B engine, no dispatch overhead. */
-    PicoSec lowTime(std::int64_t tokens) const;
+    PicoSec lowTime(std::int64_t tokens) const
+    {
+        if (tokens <= 0)
+            return 0;
+        if (tokens <= maxTokens())
+            return lowTable_[tokens];
+        return lowTimeBeyondTable(tokens);
+    }
 
     std::int64_t maxTokens() const
     {
@@ -60,6 +78,9 @@ class ExpertTimeLut
     OpCost perToken_; //!< marginal cost per token
     std::vector<PicoSec> xpuTable_;
     std::vector<PicoSec> lowTable_;
+
+    PicoSec xpuTimeBeyondTable(std::int64_t tokens) const;
+    PicoSec lowTimeBeyondTable(std::int64_t tokens) const;
 };
 
 } // namespace duplex

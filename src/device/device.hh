@@ -110,6 +110,19 @@ class Device
     virtual DeviceTiming runMoe(const std::vector<ExpertWork> &experts)
         = 0;
 
+    /**
+     * Whole MoE layer over contiguous groups of @p group_size
+     * experts (one group per expert-parallel device / ET shard).
+     * Equivalent to calling runMoe per group and combining: time is
+     * the makespan (max group time) and each group's energy is
+     * scaled by @p energy_scale before summing. One call per layer
+     * lets devices share per-token-count memoization across groups;
+     * the default implementation just loops runMoe.
+     */
+    virtual DeviceTiming
+    runMoeGroups(const std::vector<ExpertWork> &experts,
+                 int group_size, double energy_scale);
+
     /** Install the expert-time lookup table (hybrid devices). */
     virtual void setExpertLut(const ExpertTimeLut *lut) { (void)lut; }
 };

@@ -1,5 +1,7 @@
 #include "device/gpu.hh"
 
+#include <algorithm>
+
 namespace duplex
 {
 
@@ -74,6 +76,56 @@ GpuDevice::runMoe(const std::vector<ExpertWork> &experts)
     }
     if (any)
         total.time += spec_.xpu.dispatchOverhead;
+    return total;
+}
+
+DeviceTiming
+GpuDevice::runMoeGroups(const std::vector<ExpertWork> &experts,
+                        int group_size, double energy_scale)
+{
+    // Same composition as the base implementation (runMoe per
+    // contiguous group, makespan over groups, per-group energy
+    // scaling), with a direct-mapped per-token-count cache shared
+    // across the layer: decode stages repeat small counts heavily,
+    // while a collision just recomputes — O(1) either way, and the
+    // accumulation sees the same values in the same order.
+    struct Memo
+    {
+        std::int64_t tokens = -1;
+        DeviceTiming t;
+    };
+    Memo memo[64];
+    DeviceTiming total;
+    const int num_groups =
+        static_cast<int>(experts.size()) / group_size;
+    for (int g = 0; g < num_groups; ++g) {
+        DeviceTiming group;
+        bool any = false;
+        for (int i = g * group_size; i < (g + 1) * group_size;
+             ++i) {
+            const ExpertWork &e = experts[i];
+            if (e.tokens == 0)
+                continue;
+            any = true;
+            Memo &m = memo[e.tokens & 63];
+            if (m.tokens != e.tokens) {
+                m.tokens = e.tokens;
+                m.t.time = operatorTimeNoOverhead(
+                    spec_.xpu, e.cost.flops, e.cost.bytes);
+                m.t.energy.dramJ =
+                    energy_.dramEnergyJ(spec_.xpuPath, e.cost.bytes);
+                m.t.energy.computeJ = energy_.computeEnergyJ(
+                    spec_.xpuCls, e.cost.flops);
+            }
+            group += m.t;
+        }
+        if (any)
+            group.time += spec_.xpu.dispatchOverhead;
+        total.time = std::max(total.time, group.time);
+        total.energy.dramJ += group.energy.dramJ * energy_scale;
+        total.energy.computeJ +=
+            group.energy.computeJ * energy_scale;
+    }
     return total;
 }
 

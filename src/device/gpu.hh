@@ -37,6 +37,9 @@ class GpuDevice : public Device
                                  const OpCost &prefill) override;
     DeviceTiming
     runMoe(const std::vector<ExpertWork> &experts) override;
+    DeviceTiming
+    runMoeGroups(const std::vector<ExpertWork> &experts,
+                 int group_size, double energy_scale) override;
 
   private:
     HybridDeviceSpec spec_;

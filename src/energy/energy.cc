@@ -51,16 +51,4 @@ EnergyModel::computePjPerFlop(ComputeClass cls) const
     }
 }
 
-double
-EnergyModel::dramEnergyJ(DramPath path, Bytes bytes) const
-{
-    return dramPjPerByte(path) * static_cast<double>(bytes) * 1e-12;
-}
-
-double
-EnergyModel::computeEnergyJ(ComputeClass cls, Flops flops) const
-{
-    return computePjPerFlop(cls) * flops * 1e-12;
-}
-
 } // namespace duplex

@@ -77,10 +77,17 @@ class EnergyModel
     double computePjPerFlop(ComputeClass cls) const;
 
     /** Total DRAM energy (joules) for @p bytes on @p path. */
-    double dramEnergyJ(DramPath path, Bytes bytes) const;
+    double dramEnergyJ(DramPath path, Bytes bytes) const
+    {
+        return dramPjPerByte(path) * static_cast<double>(bytes) *
+               1e-12;
+    }
 
     /** Total compute energy (joules) for @p flops on @p cls. */
-    double computeEnergyJ(ComputeClass cls, Flops flops) const;
+    double computeEnergyJ(ComputeClass cls, Flops flops) const
+    {
+        return computePjPerFlop(cls) * flops * 1e-12;
+    }
 
   private:
     EnergyParams params_;

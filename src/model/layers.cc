@@ -24,9 +24,22 @@ layerClassName(LayerClass cls)
     }
 }
 
+StageAggregates
+aggregatesOf(const StageShape &stage)
+{
+    StageAggregates agg;
+    for (auto ctx : stage.decodeContexts)
+        agg.addDecode(ctx);
+    for (auto len : stage.prefillLengths)
+        agg.addPrefill(len);
+    return agg;
+}
+
 std::int64_t
 StageShape::prefillTokens() const
 {
+    if (aggValid)
+        return agg.prefillSum;
     std::int64_t total = 0;
     for (auto len : prefillLengths)
         total += len;
@@ -36,6 +49,8 @@ StageShape::prefillTokens() const
 std::int64_t
 StageShape::contextTokens() const
 {
+    if (aggValid)
+        return agg.contextTokens();
     std::int64_t total = 0;
     for (auto ctx : decodeContexts)
         total += ctx;
@@ -114,8 +129,93 @@ LayerCosts::expertFfn(std::int64_t tokens) const
     return denseFfn(tokens);
 }
 
+AffineOpCost
+LayerCosts::expertFfnAffine() const
+{
+    // denseFfn is affine in the token count with integer-valued
+    // coefficients (GEMM flops/traffic are linear in m, weights are
+    // the intercept), so two samples recover it exactly.
+    const OpCost c1 = expertFfn(1);
+    const OpCost c2 = expertFfn(2);
+    AffineOpCost model;
+    model.slope = {c2.flops - c1.flops, c2.bytes - c1.bytes};
+    model.base = {c1.flops - model.slope.flops,
+                  c1.bytes - model.slope.bytes};
+    return model;
+}
+
 OpCost
-LayerCosts::attentionDecode(const StageShape &stage) const
+LayerCosts::attentionDecode(const StageAggregates &agg) const
+{
+    // Every per-sequence term of the reference loop is affine in the
+    // attended context (ctx + 1), so the whole stage collapses to the
+    // sums below. All intermediate values are integer-valued doubles
+    // well under 2^53, so the result is bit-identical to summing
+    // sequence by sequence.
+    OpCost cost;
+    const auto head_dim = static_cast<double>(model_.headDim());
+    const auto kv_heads = static_cast<double>(model_.kvHeads());
+    const auto heads = static_cast<double>(model_.numHeads);
+    const auto num = static_cast<double>(agg.numDecode);
+    // Sum over sequences of the attended context (ctx + self).
+    const auto attended =
+        static_cast<double>(agg.contextSum + agg.numDecode);
+
+    // Per KV head: (degGrp x headDim) x (headDim x ctx) and
+    // (degGrp x ctx) x (ctx x headDim).
+    cost.flops += 4.0 * heads * head_dim * attended;
+    // KV matrices are read once per group; Q/output are tiny.
+    const double kv_bytes = 2.0 * kv_heads * head_dim * attended *
+                            static_cast<double>(kFp16Bytes);
+    const double qo_bytes = 2.0 * heads * head_dim * num *
+                            static_cast<double>(kFp16Bytes);
+    cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
+    // Softmax over heads x ctx scores.
+    const double scores = heads * attended;
+    cost.flops += 5.0 * scores;
+    cost.bytes += static_cast<Bytes>(
+        2.0 * scores * static_cast<double>(kFp16Bytes));
+    // KV append for this stage's new tokens.
+    cost.bytes += static_cast<Bytes>(agg.numDecode) * 2 *
+                  model_.kvHeads() * model_.headDim() * kFp16Bytes;
+    return cost;
+}
+
+OpCost
+LayerCosts::attentionPrefill(const StageAggregates &agg) const
+{
+    // Causal pairs sum to (prefillSqSum + prefillSum) / 2 and the
+    // streaming terms are linear in prefillSum; like the decode
+    // path, exact-integer doubles make this bit-identical to the
+    // per-sequence reference loop.
+    OpCost cost;
+    const auto head_dim = static_cast<double>(model_.headDim());
+    const auto kv_heads = static_cast<double>(model_.kvHeads());
+    const auto heads = static_cast<double>(model_.numHeads);
+    const auto tokens = static_cast<double>(agg.prefillSum);
+    // Causal self-attention: half of the full score matrix,
+    // summed over sequences: sum of len * (len + 1) / 2.
+    const double pairs = static_cast<double>(
+        (agg.prefillSqSum + agg.prefillSum) / 2);
+
+    cost.flops += 4.0 * heads * head_dim * pairs;
+    // Flash-style tiling: K and V streamed once per KV head,
+    // Q streamed once; the score matrix never hits DRAM.
+    const double kv_bytes = 2.0 * kv_heads * head_dim * tokens *
+                            static_cast<double>(kFp16Bytes);
+    const double qo_bytes = 2.0 * heads * head_dim * tokens *
+                            static_cast<double>(kFp16Bytes);
+    cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
+    cost.flops += 5.0 * heads * pairs; // online softmax
+    // KV append for the whole prompt.
+    cost.bytes += static_cast<Bytes>(
+        2.0 * kv_heads * head_dim * tokens *
+        static_cast<double>(kFp16Bytes));
+    return cost;
+}
+
+OpCost
+LayerCosts::attentionDecodeReference(const StageShape &stage) const
 {
     OpCost cost;
     const auto head_dim = static_cast<double>(model_.headDim());
@@ -124,29 +224,24 @@ LayerCosts::attentionDecode(const StageShape &stage) const
 
     for (auto ctx_in : stage.decodeContexts) {
         const auto ctx = static_cast<double>(ctx_in) + 1.0; // + self
-        // Per KV head: (degGrp x headDim) x (headDim x ctx) and
-        // (degGrp x ctx) x (ctx x headDim).
         cost.flops += 4.0 * heads * head_dim * ctx;
-        // KV matrices are read once per group; Q/output are tiny.
         const double kv_bytes = 2.0 * kv_heads * head_dim * ctx *
                                 static_cast<double>(kFp16Bytes);
         const double qo_bytes = 2.0 * heads * head_dim *
                                 static_cast<double>(kFp16Bytes);
         cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
-        // Softmax over heads x ctx scores.
         const double scores = heads * ctx;
         cost.flops += 5.0 * scores;
         cost.bytes += static_cast<Bytes>(
             2.0 * scores * static_cast<double>(kFp16Bytes));
     }
-    // KV append for this stage's new tokens.
     cost.bytes += static_cast<Bytes>(stage.decodeTokens()) * 2 *
                   model_.kvHeads() * model_.headDim() * kFp16Bytes;
     return cost;
 }
 
 OpCost
-LayerCosts::attentionPrefill(const StageShape &stage) const
+LayerCosts::attentionPrefillReference(const StageShape &stage) const
 {
     OpCost cost;
     const auto head_dim = static_cast<double>(model_.headDim());
@@ -155,18 +250,14 @@ LayerCosts::attentionPrefill(const StageShape &stage) const
 
     for (auto len_in : stage.prefillLengths) {
         const auto len = static_cast<double>(len_in);
-        // Causal self-attention: half of the full score matrix.
         const double pairs = len * (len + 1.0) / 2.0;
         cost.flops += 4.0 * heads * head_dim * pairs;
-        // Flash-style tiling: K and V streamed once per KV head,
-        // Q streamed once; the score matrix never hits DRAM.
         const double kv_bytes = 2.0 * kv_heads * head_dim * len *
                                 static_cast<double>(kFp16Bytes);
         const double qo_bytes = 2.0 * heads * head_dim * len *
                                 static_cast<double>(kFp16Bytes);
         cost.bytes += static_cast<Bytes>(kv_bytes + qo_bytes);
         cost.flops += 5.0 * heads * pairs; // online softmax
-        // KV append for the whole prompt.
         cost.bytes += static_cast<Bytes>(
             2.0 * kv_heads * head_dim * len *
             static_cast<double>(kFp16Bytes));

@@ -64,6 +64,87 @@ struct OpCost
     }
 };
 
+struct StageShape;
+
+/**
+ * Closed-form stage aggregates: everything the analytic cost models
+ * need to price a stage in O(1), independent of batch size.
+ *
+ * Decode-attention cost is affine in (numDecode, contextSum) and
+ * prefill-attention cost is a polynomial in (numPrefill, prefillSum,
+ * prefillSqSum), so these five sums replace the per-context loops.
+ * The ContinuousBatcher maintains them incrementally across
+ * admissions, token advances and retirements; aggregatesOf() rebuilds
+ * them from a shape's vectors for hand-built stages and for the
+ * equivalence tests.
+ */
+struct StageAggregates
+{
+    std::int64_t numDecode = 0;    //!< decode sequences
+    std::int64_t contextSum = 0;   //!< sum of decode contexts
+    std::int64_t numPrefill = 0;   //!< prefill sequences
+    std::int64_t prefillSum = 0;   //!< sum of prefill lengths
+    std::int64_t prefillSqSum = 0; //!< sum of squared lengths
+
+    void addDecode(std::int64_t ctx)
+    {
+        ++numDecode;
+        contextSum += ctx;
+    }
+
+    void removeDecode(std::int64_t ctx)
+    {
+        --numDecode;
+        contextSum -= ctx;
+    }
+
+    void addPrefill(std::int64_t len)
+    {
+        ++numPrefill;
+        prefillSum += len;
+        prefillSqSum += len * len;
+    }
+
+    /** All tokens passing the FC / MoE layers this stage. */
+    std::int64_t totalTokens() const
+    {
+        return numDecode + prefillSum;
+    }
+
+    /** Context tokens resident in the KV cache this stage. */
+    std::int64_t contextTokens() const
+    {
+        return contextSum + prefillSum;
+    }
+
+    bool operator==(const StageAggregates &) const = default;
+};
+
+/** Rebuild the aggregates of @p stage from its sequence vectors. */
+StageAggregates aggregatesOf(const StageShape &stage);
+
+/**
+ * Exact affine cost model: at(t) == base + t * slope for t >= 1,
+ * bit-identical to rebuilding the cost (every coefficient is an
+ * integer-valued double far below 2^53). Lets the MoE hot loop
+ * price an expert's tokens without re-deriving GEMM shapes.
+ */
+struct AffineOpCost
+{
+    OpCost base;
+    OpCost slope;
+
+    OpCost at(std::int64_t tokens) const
+    {
+        if (tokens == 0)
+            return {};
+        return {base.flops + static_cast<double>(tokens) *
+                                 slope.flops,
+                base.bytes +
+                    static_cast<Bytes>(tokens) * slope.bytes};
+    }
+};
+
 /** Composition of one batched stage, as the scheduler forms it. */
 struct StageShape
 {
@@ -72,6 +153,22 @@ struct StageShape
 
     /** Input length of each prefill sequence joining this stage. */
     std::vector<std::int64_t> prefillLengths;
+
+    /**
+     * Aggregates matching the vectors above, when aggValid is set.
+     * Schedulers that maintain the sums incrementally (the
+     * ContinuousBatcher) publish them here so per-stage costing
+     * never re-walks the batch; hand-built shapes leave aggValid
+     * false and aggregates() recomputes on demand.
+     */
+    StageAggregates agg;
+    bool aggValid = false;
+
+    /** The aggregates: O(1) when aggValid, one walk otherwise. */
+    StageAggregates aggregates() const
+    {
+        return aggValid ? agg : aggregatesOf(*this);
+    }
 
     /** Decode tokens (one per decode sequence). */
     std::int64_t decodeTokens() const
@@ -122,14 +219,42 @@ class LayerCosts
     OpCost expertFfn(std::int64_t tokens) const;
 
     /**
+     * The expert FFN cost as an exact affine model in the token
+     * count (expertFfnAffine().at(t) == expertFfn(t) bit-for-bit).
+     */
+    AffineOpCost expertFfnAffine() const;
+
+    /**
      * Attention of decode sequences: per sequence a
      * (degGrp x headDim x context) GEMM pair per KV head plus
      * softmax, KV read dominated. Includes this stage's KV append.
+     * O(1): affine in (numDecode, contextSum).
      */
-    OpCost attentionDecode(const StageShape &stage) const;
+    OpCost attentionDecode(const StageAggregates &agg) const;
 
-    /** Attention of prefill sequences (causal self-attention). */
-    OpCost attentionPrefill(const StageShape &stage) const;
+    OpCost attentionDecode(const StageShape &stage) const
+    {
+        return attentionDecode(stage.aggregates());
+    }
+
+    /**
+     * Attention of prefill sequences (causal self-attention).
+     * O(1): polynomial in (numPrefill, prefillSum, prefillSqSum).
+     */
+    OpCost attentionPrefill(const StageAggregates &agg) const;
+
+    OpCost attentionPrefill(const StageShape &stage) const
+    {
+        return attentionPrefill(stage.aggregates());
+    }
+
+    /**
+     * Per-context reference implementations of the attention costs,
+     * retained to pin the closed forms in the equivalence tests.
+     * Not used on any simulation path.
+     */
+    OpCost attentionDecodeReference(const StageShape &stage) const;
+    OpCost attentionPrefillReference(const StageShape &stage) const;
 
     /** LM head for @p tokens (decode + last prefill token each). */
     OpCost lmHead(std::int64_t tokens) const;

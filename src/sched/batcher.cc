@@ -72,6 +72,7 @@ ContinuousBatcher::formStage(PicoSec now)
         kv += admitted.inputLen;
         stagePrefillIds_.push_back(admitted.id);
         stage.prefillLengths.push_back(admitted.inputLen);
+        stage.agg.addPrefill(admitted.inputLen);
         active_.push_back(admitted);
     }
 
@@ -79,6 +80,9 @@ ContinuousBatcher::formStage(PicoSec now)
         if (r.generated > 0)
             stage.decodeContexts.push_back(r.contextLen());
     }
+    stage.agg.numDecode = decodeAgg_.numDecode;
+    stage.agg.contextSum = decodeAgg_.contextSum;
+    stage.aggValid = true;
 
     if (!stage.prefillLengths.empty())
         ++mixed_;
@@ -95,7 +99,8 @@ ContinuousBatcher::completeStage(PicoSec now)
     panicIf(!stageOpen_, "completeStage without a stage in flight");
     stageOpen_ = false;
 
-    std::vector<Request> still_active;
+    std::vector<Request> &still_active = stillActiveScratch_;
+    still_active.clear();
     still_active.reserve(active_.size());
     for (auto &r : active_) {
         const bool was_prefill =
@@ -105,6 +110,9 @@ ContinuousBatcher::completeStage(PicoSec now)
             r.firstToken = now;
             r.generated = 1;
         } else {
+            // Leaves the decode set at its stage-time context; it
+            // rejoins below at the grown context unless retired.
+            decodeAgg_.removeDecode(r.contextLen());
             r.generated += 1;
         }
         r.tokenTimes.push_back(now);
@@ -113,10 +121,11 @@ ContinuousBatcher::completeStage(PicoSec now)
             r.finished = now;
             finished_.push_back(r);
         } else {
+            decodeAgg_.addDecode(r.contextLen());
             still_active.push_back(std::move(r));
         }
     }
-    active_ = std::move(still_active);
+    std::swap(active_, still_active);
     stagePrefillIds_.clear();
 }
 

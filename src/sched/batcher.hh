@@ -99,6 +99,17 @@ class ContinuousBatcher
     std::int64_t decodingOnlyStages() const { return decodeOnly_; }
     std::int64_t mixedStages() const { return mixed_; }
 
+    /**
+     * Incrementally maintained aggregates of the active decode set
+     * (as of the next formStage); formStage publishes them plus the
+     * admitted prefills in StageShape.agg, so stage costing never
+     * re-walks the batch.
+     */
+    const StageAggregates &activeDecodeAggregates() const
+    {
+        return decodeAgg_;
+    }
+
   private:
     BatcherConfig config_;
     std::deque<Request> pending_;
@@ -106,6 +117,8 @@ class ContinuousBatcher
     std::vector<int> stagePrefillIds_; //!< admitted this stage
     bool stageOpen_ = false;
     std::vector<Request> finished_;
+    std::vector<Request> stillActiveScratch_; //!< completeStage reuse
+    StageAggregates decodeAgg_; //!< active decode sequences
     std::int64_t totalGenerated_ = 0;
     std::int64_t decodeOnly_ = 0;
     std::int64_t mixed_ = 0;

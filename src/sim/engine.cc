@@ -115,10 +115,17 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
     while (!batcher.allDone() && stages < config_.maxStages) {
         StageShape stage = batcher.formStage(now);
         if (stage.totalTokens() == 0) {
-            // Open loop and idle: jump to the next arrival.
+            // Open loop and idle: jump exactly to the next arrival;
+            // the one-picosecond bump exists only for stalls where
+            // the clock would not otherwise move (admission blocked
+            // by KV or batch limits with the arrival already in the
+            // past). For an integer clock this is equivalent to the
+            // former max(now + 1, arrival) — spelled out so the
+            // no-drift-ahead-of-arrival invariant is explicit (and
+            // pinned by OpenLoopIdleAdvanceJumpsExactlyToArrival).
             const PicoSec arrival = batcher.nextArrival();
             panicIf(arrival < 0, "idle batcher with no arrivals");
-            now = std::max(now + 1, arrival);
+            now = arrival > now ? arrival : now + 1;
             // The batcher counted no stage; retry at the new time.
             continue;
         }

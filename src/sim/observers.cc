@@ -1,6 +1,7 @@
 #include "sim/observers.hh"
 
 #include <algorithm>
+#include <limits>
 
 namespace duplex
 {
@@ -24,6 +25,40 @@ KvOccupancyTrace::peakKvTokens() const
     for (const Point &p : points_)
         peak = std::max(peak, p.kvTokens);
     return peak;
+}
+
+void
+ExpertRoutingCounts::onStage(const StageObservation &obs)
+{
+    const std::vector<std::int64_t> &stage_tokens =
+        obs.result.expertTokens;
+    if (tokensPerExpert_.size() < stage_tokens.size())
+        tokensPerExpert_.resize(stage_tokens.size(), 0);
+    for (std::size_t e = 0; e < stage_tokens.size(); ++e)
+        tokensPerExpert_[e] += stage_tokens[e];
+}
+
+std::int64_t
+ExpertRoutingCounts::totalRouted() const
+{
+    std::int64_t total = 0;
+    for (auto t : tokensPerExpert_)
+        total += t;
+    return total;
+}
+
+double
+ExpertRoutingCounts::skew() const
+{
+    if (tokensPerExpert_.empty())
+        return 1.0;
+    const auto [lo, hi] = std::minmax_element(
+        tokensPerExpert_.begin(), tokensPerExpert_.end());
+    if (*hi == 0)
+        return 1.0; // nothing routed: trivially uniform
+    if (*lo == 0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(*hi) / static_cast<double>(*lo);
 }
 
 void

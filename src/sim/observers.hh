@@ -4,11 +4,13 @@
  * used to require a bespoke driver loop are now SimObserver
  * implementations attached with SimulationEngine::addObserver.
  *
- *  - StageTimeHistogram: stage-latency distribution over the run.
- *  - KvOccupancyTrace:   KV-resident tokens over time (capacity
- *                        head-room studies, Fig. 5(c)).
- *  - ProgressPrinter:    periodic progress/trace sink for long
- *                        sweeps; prints to any FILE*.
+ *  - StageTimeHistogram:  stage-latency distribution over the run.
+ *  - KvOccupancyTrace:    KV-resident tokens over time (capacity
+ *                         head-room studies, Fig. 5(c)).
+ *  - ExpertRoutingCounts: per-expert token histogram over the run
+ *                         (Section VIII-B skew studies).
+ *  - ProgressPrinter:     periodic progress/trace sink for long
+ *                         sweeps; prints to any FILE*.
  */
 
 #ifndef DUPLEX_SIM_OBSERVERS_HH
@@ -55,6 +57,35 @@ class KvOccupancyTrace : public SimObserver
 
   private:
     std::vector<Point> points_;
+};
+
+/**
+ * Accumulates the per-expert token histogram over a run from the
+ * expertTokens slice each stage result carries (summed across the
+ * stage's MoE layers). Empty for dense models.
+ */
+class ExpertRoutingCounts : public SimObserver
+{
+  public:
+    void onStage(const StageObservation &obs) override;
+
+    /** Tokens routed to each expert over the whole run. */
+    const std::vector<std::int64_t> &tokensPerExpert() const
+    {
+        return tokensPerExpert_;
+    }
+
+    /** Total expert-token assignments (tokens x topK x MoE layers). */
+    std::int64_t totalRouted() const;
+
+    /**
+     * Hottest / coldest expert load ratio: 1.0 when uniform (or
+     * nothing was routed), infinity when some expert got nothing.
+     */
+    double skew() const;
+
+  private:
+    std::vector<std::int64_t> tokensPerExpert_;
 };
 
 /** Prints one progress line every @p every stages. */

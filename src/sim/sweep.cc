@@ -1,0 +1,75 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/engine.hh"
+
+namespace duplex
+{
+
+SweepRunner::SweepRunner(int num_workers)
+    : workers_(num_workers)
+{
+    if (workers_ <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers_ = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SimConfig> &configs) const
+{
+    std::vector<SimResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    const int pool =
+        std::min(workers_, static_cast<int>(configs.size()));
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = SimulationEngine(configs[i]).run();
+        return results;
+    }
+
+    // Registry lookups are concurrent reads; every run owns its
+    // system instance, so workers only share the work queue.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size() ||
+                failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                results[i] = SimulationEngine(configs[i]).run();
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (int t = 0; t < pool; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace duplex

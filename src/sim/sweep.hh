@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallel sweep harness: runs independent SimulationEngine
+ * configurations concurrently on a small worker pool.
+ *
+ * Every run builds its own ServingSystem instance from the registry,
+ * so runs share no mutable state and the sweep is embarrassingly
+ * parallel; results come back in input order, making the figure
+ * benches' normalize-against-baseline loops a drop-in migration.
+ * Observers are not supported on parallel runs — attach them to a
+ * serial SimulationEngine instead.
+ */
+
+#ifndef DUPLEX_SIM_SWEEP_HH
+#define DUPLEX_SIM_SWEEP_HH
+
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace duplex
+{
+
+/** Runs batches of independent simulations on a worker pool. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param num_workers Worker threads; 0 picks the hardware
+     *        concurrency (capped by the batch size per run call).
+     */
+    explicit SweepRunner(int num_workers = 0);
+
+    /** Worker threads a run() call may spawn. */
+    int workers() const { return workers_; }
+
+    /**
+     * Run every configuration, one SimulationEngine each, and
+     * return the results in the same order. The first exception
+     * thrown by any run is rethrown after all workers finish.
+     */
+    std::vector<SimResult>
+    run(const std::vector<SimConfig> &configs) const;
+
+  private:
+    int workers_;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_SIM_SWEEP_HH

@@ -32,8 +32,25 @@ ExpertSelector::sampleOneToken(Rng &rng,
                                std::vector<std::int64_t> &hist) const
 {
     if (policy_ == GatePolicy::Uniform) {
-        for (int e : rng.chooseDistinct(numExperts_, topK_))
-            ++hist[e];
+        if (topK_ == 2) {
+            // Floyd's algorithm unrolled for the paper models'
+            // top-2 gate: identical draws to chooseDistinct(n, 2).
+            const int t1 = static_cast<int>(
+                rng.uniformInt(0, numExperts_ - 2));
+            const int t2 = static_cast<int>(
+                rng.uniformInt(0, numExperts_ - 1));
+            ++hist[t1];
+            ++hist[t2 == t1 ? numExperts_ - 1 : t2];
+        } else if (topK_ <= 8) {
+            // Stack buffer, no allocation per token.
+            int chosen[8];
+            rng.chooseDistinctInto(numExperts_, topK_, chosen);
+            for (int i = 0; i < topK_; ++i)
+                ++hist[chosen[i]];
+        } else {
+            for (int e : rng.chooseDistinct(numExperts_, topK_))
+                ++hist[e];
+        }
         return;
     }
     // Zipf: rejection-sample distinct experts by CDF inversion.
@@ -59,10 +76,34 @@ ExpertSelector::sampleOneToken(Rng &rng,
 std::vector<std::int64_t>
 ExpertSelector::sample(Rng &rng, std::int64_t tokens) const
 {
-    std::vector<std::int64_t> hist(numExperts_, 0);
+    std::vector<std::int64_t> hist;
+    sampleInto(rng, tokens, hist);
+    return hist;
+}
+
+void
+ExpertSelector::sampleInto(Rng &rng, std::int64_t tokens,
+                           std::vector<std::int64_t> &hist) const
+{
+    hist.assign(numExperts_, 0);
+    if (policy_ == GatePolicy::Uniform && topK_ == 2) {
+        // The paper models all gate top-2: run the unrolled Floyd
+        // draw (identical stream to sampleOneToken) as one tight
+        // loop over the layer's tokens.
+        const int n = numExperts_;
+        std::int64_t *h = hist.data();
+        for (std::int64_t t = 0; t < tokens; ++t) {
+            const int t1 =
+                static_cast<int>(rng.uniformInt(0, n - 2));
+            const int t2 =
+                static_cast<int>(rng.uniformInt(0, n - 1));
+            ++h[t1];
+            ++h[t2 == t1 ? n - 1 : t2];
+        }
+        return;
+    }
     for (std::int64_t t = 0; t < tokens; ++t)
         sampleOneToken(rng, hist);
-    return hist;
 }
 
 } // namespace duplex

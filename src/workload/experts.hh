@@ -50,6 +50,15 @@ class ExpertSelector
     std::vector<std::int64_t> sample(Rng &rng,
                                      std::int64_t tokens) const;
 
+    /**
+     * Allocation-free sample(): resets and fills @p hist (resized
+     * to numExperts). Same draws as sample(), so the two can be
+     * mixed without perturbing the stream; the simulators call this
+     * once per MoE layer with a reused scratch histogram.
+     */
+    void sampleInto(Rng &rng, std::int64_t tokens,
+                    std::vector<std::int64_t> &hist) const;
+
   private:
     int numExperts_;
     int topK_;

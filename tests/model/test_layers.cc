@@ -6,12 +6,30 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "model/layers.hh"
 
 namespace duplex
 {
 namespace
 {
+
+/** Random stage with up to @p max_batch sequences of each kind. */
+StageShape
+randomStage(Rng &rng, int max_batch, std::int64_t max_len)
+{
+    StageShape s;
+    const auto n_decode =
+        static_cast<int>(rng.next() % (max_batch + 1));
+    const auto n_prefill = static_cast<int>(rng.next() % 9);
+    for (int i = 0; i < n_decode; ++i)
+        s.decodeContexts.push_back(
+            1 + static_cast<std::int64_t>(rng.next() % max_len));
+    for (int i = 0; i < n_prefill; ++i)
+        s.prefillLengths.push_back(
+            1 + static_cast<std::int64_t>(rng.next() % max_len));
+    return s;
+}
 
 TEST(StageShape, TokenCounts)
 {
@@ -168,6 +186,99 @@ TEST(LayerCosts, ScaledHalvesEverything)
     const OpCost half = full.scaled(0.5);
     EXPECT_DOUBLE_EQ(half.flops, full.flops / 2.0);
     EXPECT_EQ(half.bytes, full.bytes / 2);
+}
+
+TEST(StageAggregates, MatchesVectorRecomputation)
+{
+    StageShape s;
+    s.decodeContexts = {100, 200, 300};
+    s.prefillLengths = {512, 1024};
+    const StageAggregates agg = aggregatesOf(s);
+    EXPECT_EQ(agg.numDecode, 3);
+    EXPECT_EQ(agg.contextSum, 600);
+    EXPECT_EQ(agg.numPrefill, 2);
+    EXPECT_EQ(agg.prefillSum, 1536);
+    EXPECT_EQ(agg.prefillSqSum, 512 * 512 + 1024 * 1024);
+    EXPECT_EQ(agg.totalTokens(), s.totalTokens());
+    EXPECT_EQ(agg.contextTokens(), s.contextTokens());
+}
+
+TEST(StageAggregates, AddRemoveRoundTrip)
+{
+    StageAggregates agg;
+    agg.addDecode(100);
+    agg.addDecode(250);
+    agg.removeDecode(100);
+    StageAggregates expect;
+    expect.addDecode(250);
+    EXPECT_EQ(agg, expect);
+}
+
+TEST(StageShape, PublishedAggregatesShortCircuitTokenCounts)
+{
+    StageShape s;
+    s.decodeContexts = {100, 200};
+    s.prefillLengths = {64};
+    s.agg = aggregatesOf(s);
+    s.aggValid = true;
+    EXPECT_EQ(s.totalTokens(), 66);
+    EXPECT_EQ(s.contextTokens(), 364);
+    EXPECT_EQ(s.aggregates(), aggregatesOf(s));
+}
+
+// The closed-form O(1) attention costs must reproduce the retained
+// per-context reference loops exactly: every per-sequence term is an
+// integer-valued double far below 2^53, so reassociating the sums is
+// exact and the equality below is bit-for-bit, not approximate.
+TEST(LayerCosts, ClosedFormDecodeMatchesReferenceProperty)
+{
+    Rng rng(2024);
+    for (const ModelConfig &model :
+         {mixtralConfig(), llama3Config(), optConfig()}) {
+        LayerCosts c(model);
+        for (int trial = 0; trial < 50; ++trial) {
+            const StageShape s = randomStage(rng, 256, 8192);
+            const OpCost ref = c.attentionDecodeReference(s);
+            const OpCost fast = c.attentionDecode(aggregatesOf(s));
+            EXPECT_EQ(fast.flops, ref.flops);
+            EXPECT_EQ(fast.bytes, ref.bytes);
+        }
+    }
+}
+
+TEST(LayerCosts, ClosedFormPrefillMatchesReferenceProperty)
+{
+    Rng rng(7777);
+    for (const ModelConfig &model :
+         {mixtralConfig(), glamConfig(), grok1Config()}) {
+        LayerCosts c(model);
+        for (int trial = 0; trial < 50; ++trial) {
+            const StageShape s = randomStage(rng, 256, 8192);
+            const OpCost ref = c.attentionPrefillReference(s);
+            const OpCost fast = c.attentionPrefill(aggregatesOf(s));
+            EXPECT_EQ(fast.flops, ref.flops);
+            EXPECT_EQ(fast.bytes, ref.bytes);
+        }
+    }
+}
+
+TEST(LayerCosts, ClosedFormMatchesReferenceAtBatch256)
+{
+    // The acceptance bound from the issue: batch sizes up to 256.
+    LayerCosts c(mixtralConfig());
+    StageShape s;
+    for (int i = 0; i < 256; ++i)
+        s.decodeContexts.push_back(17 + 31 * i);
+    for (int i = 0; i < 8; ++i)
+        s.prefillLengths.push_back(4096 + i);
+    const OpCost dec_ref = c.attentionDecodeReference(s);
+    const OpCost dec = c.attentionDecode(s);
+    EXPECT_EQ(dec.flops, dec_ref.flops);
+    EXPECT_EQ(dec.bytes, dec_ref.bytes);
+    const OpCost pre_ref = c.attentionPrefillReference(s);
+    const OpCost pre = c.attentionPrefill(s);
+    EXPECT_EQ(pre.flops, pre_ref.flops);
+    EXPECT_EQ(pre.bytes, pre_ref.bytes);
 }
 
 TEST(LayerClassNames, AllNamed)

@@ -186,6 +186,54 @@ TEST(ContinuousBatcher, MaxBatchHonored)
     }
 }
 
+TEST(ContinuousBatcher, StagePublishesValidAggregates)
+{
+    BatcherConfig cfg;
+    cfg.maxBatch = 4;
+    ContinuousBatcher b(cfg, makeRequests(8, 64, 4));
+    PicoSec now = 0;
+    while (!b.allDone()) {
+        const StageShape s = b.formStage(now);
+        ASSERT_TRUE(s.aggValid);
+        EXPECT_EQ(s.agg, aggregatesOf(s));
+        now += 100;
+        b.completeStage(now);
+    }
+}
+
+TEST(ContinuousBatcher, IncrementalAggregatesSurviveChurn)
+{
+    // Mixed lifetimes force staggered admissions and retirements;
+    // the incrementally maintained sums must match a recomputation
+    // from the stage vectors at every stage.
+    BatcherConfig cfg;
+    cfg.maxBatch = 6;
+    cfg.maxPrefillsPerStage = 2;
+    std::vector<Request> reqs;
+    for (int i = 0; i < 24; ++i) {
+        Request r;
+        r.id = i;
+        r.inputLen = 16 + 13 * (i % 7);
+        r.outputLen = 1 + i % 5; // some retire after one token
+        reqs.push_back(r);
+    }
+    ContinuousBatcher b(cfg, std::move(reqs));
+    PicoSec now = 0;
+    std::int64_t stages = 0;
+    while (!b.allDone()) {
+        const StageShape s = b.formStage(now);
+        ASSERT_TRUE(s.aggValid);
+        EXPECT_EQ(s.agg, aggregatesOf(s))
+            << "aggregates diverged at stage " << stages;
+        now += 50;
+        b.completeStage(now);
+        ++stages;
+    }
+    EXPECT_EQ(b.finished().size(), 24u);
+    // Every request retired: the decode set must be empty again.
+    EXPECT_EQ(b.activeDecodeAggregates(), StageAggregates{});
+}
+
 TEST(ContinuousBatcher, ContextGrowsEachStage)
 {
     BatcherConfig cfg;

@@ -226,6 +226,88 @@ TEST(Engine, DropInObserversCollectMetrics)
     EXPECT_LE(kv.peakKvTokens(), system->maxKvTokens());
 }
 
+TEST(Engine, ExpertRoutingCountsHistogramMatchesRouting)
+{
+    // Every stage routes totalTokens x topK assignments per MoE
+    // layer; the observer's run histogram must account for exactly
+    // that, across every expert.
+    SimConfig c = goldenConfig("duplex");
+    SimulationEngine engine(c);
+    ExpertRoutingCounts routing;
+
+    class TokenCounter : public SimObserver
+    {
+      public:
+        std::int64_t stageTokens = 0;
+        void onStage(const StageObservation &obs) override
+        {
+            stageTokens += obs.shape.totalTokens();
+        }
+    } counter;
+
+    engine.addObserver(&routing);
+    engine.addObserver(&counter);
+    engine.run();
+
+    const ModelConfig m = c.model;
+    ASSERT_EQ(routing.tokensPerExpert().size(),
+              static_cast<std::size_t>(m.numExperts));
+    EXPECT_EQ(routing.totalRouted(),
+              counter.stageTokens * m.topK * m.numMoeLayers());
+    for (auto tokens : routing.tokensPerExpert())
+        EXPECT_GT(tokens, 0);
+    // The paper-default uniform gate cannot be pathologically skewed
+    // over a run this long.
+    EXPECT_GE(routing.skew(), 1.0);
+    EXPECT_LT(routing.skew(), 2.0);
+}
+
+TEST(Engine, ExpertRoutingCountsEmptyForDenseModels)
+{
+    SimConfig c = goldenConfig("gpu");
+    c.model = llama3Config();
+    c.numRequests = 8;
+    c.maxStages = 120;
+    SimulationEngine engine(c);
+    ExpertRoutingCounts routing;
+    engine.addObserver(&routing);
+    engine.run();
+    EXPECT_TRUE(routing.tokensPerExpert().empty());
+    EXPECT_EQ(routing.totalRouted(), 0);
+}
+
+TEST(Engine, OpenLoopIdleAdvanceJumpsExactlyToArrival)
+{
+    // With Poisson arrivals and an idle batcher, the clock must
+    // land exactly on the next arrival — the one-picosecond bump is
+    // reserved for stalls where the clock would not otherwise move.
+    SimConfig c = goldenConfig("gpu");
+    c.workload.qps = 2.0; // open loop
+    c.numRequests = 6;
+    c.maxStages = 4000;
+
+    // Reproduce the generator stream to learn the arrival times.
+    RequestGenerator gen(c.workload);
+    const std::vector<Request> requests = gen.take(c.numRequests);
+    ASSERT_GT(requests.front().arrival, 0);
+
+    class FirstStage : public SimObserver
+    {
+      public:
+        PicoSec firstStart = -1;
+        void onStage(const StageObservation &obs) override
+        {
+            if (firstStart < 0)
+                firstStart = obs.start;
+        }
+    } first;
+
+    SimulationEngine engine(c);
+    engine.addObserver(&first);
+    engine.run();
+    EXPECT_EQ(first.firstStart, requests.front().arrival);
+}
+
 TEST(Engine, RunOnExistingInstanceMatchesRegistryRun)
 {
     const SimConfig c = goldenConfig("duplex");

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SweepRunner tests: parity with serial SimulationEngine runs,
+ * input-order results, worker-pool sizing and error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/sweep.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+smallConfig(const std::string &system, int batch, std::uint64_t seed)
+{
+    SimConfig c;
+    c.systemName = system;
+    c.model = mixtralConfig();
+    c.maxBatch = batch;
+    c.workload.meanInputLen = 128;
+    c.workload.meanOutputLen = 16;
+    c.numRequests = 12;
+    c.warmupRequests = 2;
+    c.maxStages = 400;
+    c.seed = seed;
+    return c;
+}
+
+TEST(SweepRunner, EmptyBatchYieldsNoResults)
+{
+    EXPECT_TRUE(SweepRunner().run({}).empty());
+}
+
+TEST(SweepRunner, DefaultsToHardwareConcurrency)
+{
+    EXPECT_GE(SweepRunner().workers(), 1);
+    EXPECT_EQ(SweepRunner(3).workers(), 3);
+}
+
+TEST(SweepRunner, MatchesSerialEngineInOrder)
+{
+    // Each run owns its system instance, so the parallel sweep must
+    // reproduce the serial engine bit-for-bit, in input order.
+    const std::vector<SimConfig> configs = {
+        smallConfig("gpu", 8, 1),
+        smallConfig("duplex", 8, 2),
+        smallConfig("duplex-pe-et", 4, 3),
+        smallConfig("gpu", 16, 4),
+        smallConfig("duplex-split", 8, 5),
+    };
+    const std::vector<SimResult> parallel =
+        SweepRunner(4).run(configs);
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const SimResult serial =
+            SimulationEngine(configs[i]).run();
+        EXPECT_EQ(parallel[i].metrics.elapsed,
+                  serial.metrics.elapsed)
+            << "config " << i;
+        EXPECT_EQ(parallel[i].generatedTokens,
+                  serial.generatedTokens)
+            << "config " << i;
+        EXPECT_EQ(parallel[i].totals.time, serial.totals.time)
+            << "config " << i;
+        EXPECT_DOUBLE_EQ(parallel[i].totals.totalEnergyJ(),
+                         serial.totals.totalEnergyJ())
+            << "config " << i;
+    }
+}
+
+TEST(SweepRunner, SingleWorkerFallsBackToSerial)
+{
+    const std::vector<SimConfig> configs = {
+        smallConfig("gpu", 8, 1), smallConfig("duplex", 8, 2)};
+    const std::vector<SimResult> results =
+        SweepRunner(1).run(configs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].generatedTokens, 0);
+    EXPECT_GT(results[1].generatedTokens, 0);
+}
+
+TEST(SweepRunner, DrainsBatchesLargerThanThePool)
+{
+    // 9 runs over 2 workers: the queue must drain completely and
+    // keep input order.
+    std::vector<SimConfig> configs;
+    for (int i = 0; i < 9; ++i)
+        configs.push_back(
+            smallConfig(i % 2 ? "duplex" : "gpu", 4 + i, 100 + i));
+    const std::vector<SimResult> results =
+        SweepRunner(2).run(configs);
+    ASSERT_EQ(results.size(), 9u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_GT(results[i].generatedTokens, 0) << "config " << i;
+        EXPECT_EQ(results[i].metrics.elapsed,
+                  SimulationEngine(configs[i]).run().metrics.elapsed)
+            << "config " << i;
+    }
+}
+
+} // namespace
+} // namespace duplex
