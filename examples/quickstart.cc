@@ -5,10 +5,13 @@
  *
  *   ./quickstart --model=mixtral --batch=64 --lin=1024 --lout=1024
  *   ./quickstart --system=bank-pim        # any registered system
+ *   ./quickstart --system=duplex-split --qps=6   # open-loop arrivals
  *   ./quickstart --list-systems
  *
  * Also demonstrates the observer API: a StageTimeHistogram rides
- * along with every run and reports the stage-latency tail.
+ * along with every run and reports the stage-latency tail, and a
+ * GroupUtilization observer prints the per-device-group breakdown
+ * (busy/link-wait time) for disaggregated systems.
  */
 
 #include <cstdio>
@@ -39,6 +42,9 @@ main(int argc, char **argv)
     args.addFlag("lin", "mean prompt length", "1024");
     args.addFlag("lout", "mean generation length", "256");
     args.addFlag("stages", "stages to simulate", "1500");
+    args.addFlag("qps",
+                 "Poisson arrival rate; 0 runs the closed loop",
+                 "0");
     args.parse(argc, argv);
 
     if (args.getBool("list-systems")) {
@@ -79,19 +85,23 @@ main(int argc, char **argv)
     Table t({"System", "tokens/s", "vs GPU", "TBT p50 ms",
              "stage p99 ms", "J/token"});
     double gpu_thr = 0.0;
-    for (const std::string &system : systems) {
+    std::vector<GroupUtilization> utilizations(systems.size());
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        const std::string &system = systems[i];
         SimConfig c;
         c.systemName = system;
         c.model = model;
         c.maxBatch = static_cast<int>(args.getInt("batch"));
         c.workload.meanInputLen = args.getInt("lin");
         c.workload.meanOutputLen = args.getInt("lout");
+        c.workload.qps = args.getDouble("qps");
         c.numRequests = 4 * c.maxBatch;
         c.warmupRequests = defaultWarmupRequests(c.maxBatch);
         c.maxStages = args.getInt("stages");
         SimulationEngine engine(c);
         StageTimeHistogram stage_times;
         engine.addObserver(&stage_times);
+        engine.addObserver(&utilizations[i]);
         const SimResult r = engine.run();
         const double thr = r.metrics.throughputTokensPerSec();
         if (system == "gpu")
@@ -105,5 +115,26 @@ main(int argc, char **argv)
         t.cell(r.energyPerTokenJ(), 3);
     }
     t.print();
+
+    // Disaggregated systems report a per-device-group breakdown.
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        const GroupUtilization &util = utilizations[i];
+        if (util.groups().empty())
+            continue;
+        std::printf("\n%s device groups:\n",
+                    SystemRegistry::instance()
+                        .displayName(systems[i])
+                        .c_str());
+        for (const GroupUtilization::Group &g : util.groups()) {
+            std::printf("  %-8s %d device(s): busy %8.1f ms "
+                        "(%.0f%% of run), KV-link wait %6.1f ms, "
+                        "%lld stages\n",
+                        g.name.c_str(), g.devices,
+                        psToMs(g.busyTime),
+                        100.0 * util.busyFraction(g.name),
+                        psToMs(g.linkWaitTime),
+                        static_cast<long long>(g.stages));
+        }
+    }
     return 0;
 }

@@ -42,6 +42,15 @@ p2pTime(Bytes bytes, const LinkSpec &link)
 }
 
 PicoSec
+LinkQueue::transfer(PicoSec start, Bytes bytes)
+{
+    panicIf(start < 0, "LinkQueue: negative transfer start");
+    const PicoSec begin = start > freeAt_ ? start : freeAt_;
+    freeAt_ = begin + p2pTime(bytes, link_);
+    return freeAt_;
+}
+
+PicoSec
 hierarchicalAllReduceTime(Bytes bytes, int devices_per_node,
                           int num_nodes, const LinkSpec &intra,
                           const LinkSpec &inter)

@@ -37,6 +37,35 @@ PicoSec hierarchicalAllReduceTime(Bytes bytes, int devices_per_node,
                                   const LinkSpec &intra,
                                   const LinkSpec &inter);
 
+/**
+ * A point-to-point link with FIFO occupancy: each transfer holds
+ * the link for p2pTime(bytes, link); transfers issued while the
+ * link is busy queue behind it. This is the KV-migration contention
+ * model of the disaggregated split system — concurrent prompt-KV
+ * migrations serialize instead of copying for free in parallel.
+ */
+class LinkQueue
+{
+  public:
+    explicit LinkQueue(const LinkSpec &link) : link_(link) {}
+
+    /**
+     * Enqueue a transfer of @p bytes issued at @p start; returns
+     * its completion time. Transfers must be issued in
+     * non-decreasing start order (FIFO).
+     */
+    PicoSec transfer(PicoSec start, Bytes bytes);
+
+    /** When the link next falls idle (0 if never used). */
+    PicoSec freeAt() const { return freeAt_; }
+
+    const LinkSpec &link() const { return link_; }
+
+  private:
+    LinkSpec link_;
+    PicoSec freeAt_ = 0;
+};
+
 } // namespace duplex
 
 #endif // DUPLEX_PARALLEL_COLLECTIVES_HH

@@ -1,0 +1,58 @@
+#include "sched/arrivals.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+ArrivalQueue::ArrivalQueue(std::vector<Request> requests,
+                           bool closed_loop)
+    : pending_(requests.begin(), requests.end()),
+      closedLoop_(closed_loop)
+{
+}
+
+ArrivalQueue::ArrivalQueue(const WorkloadConfig &workload,
+                           int num_requests)
+    : closedLoop_(!workload.openLoop())
+{
+    RequestGenerator gen(workload);
+    for (const Request &r : gen.take(num_requests))
+        pending_.push_back(r);
+}
+
+const Request &
+ArrivalQueue::front() const
+{
+    panicIf(pending_.empty(), "ArrivalQueue::front on empty queue");
+    return pending_.front();
+}
+
+bool
+ArrivalQueue::hasAdmissible(PicoSec now) const
+{
+    if (pending_.empty())
+        return false;
+    return closedLoop_ || pending_.front().arrival <= now;
+}
+
+Request
+ArrivalQueue::pop(PicoSec now)
+{
+    panicIf(pending_.empty(), "ArrivalQueue::pop on empty queue");
+    Request r = pending_.front();
+    pending_.pop_front();
+    if (closedLoop_)
+        r.arrival = now;
+    return r;
+}
+
+PicoSec
+ArrivalQueue::nextArrival() const
+{
+    if (pending_.empty())
+        return -1;
+    return pending_.front().arrival;
+}
+
+} // namespace duplex

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Request-arrival semantics shared by every driver loop.
+ *
+ * The engine's continuous-batching loop and the split system's
+ * custom loop consume the same request stream under the same two
+ * admission disciplines: closed loop (a finished request is
+ * replaced immediately; arrival timestamps are overwritten at
+ * admission) and open loop (Poisson arrivals at workload.qps; a
+ * request is admissible only once its arrival time has passed).
+ * ArrivalQueue owns that discipline in one place, so a new driver
+ * loop cannot fork the arrival contract; idleAdvance owns the
+ * matching no-drift clock rule for idle gaps.
+ */
+
+#ifndef DUPLEX_SCHED_ARRIVALS_HH
+#define DUPLEX_SCHED_ARRIVALS_HH
+
+#include <deque>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace duplex
+{
+
+/** FIFO request queue with closed/open-loop admission gating. */
+class ArrivalQueue
+{
+  public:
+    /** Wrap a pre-generated stream (the batcher's entry point). */
+    ArrivalQueue(std::vector<Request> requests, bool closed_loop);
+
+    /**
+     * Generate the stream a SimConfig describes: @p num_requests
+     * drawn from @p workload, open loop iff workload.qps > 0. This
+     * is the arrival stream the engine loop consumes; custom loops
+     * construct it the same way so both see identical requests.
+     */
+    ArrivalQueue(const WorkloadConfig &workload, int num_requests);
+
+    bool empty() const { return pending_.empty(); }
+    std::size_t size() const { return pending_.size(); }
+    bool closedLoop() const { return closedLoop_; }
+
+    /** Next request in arrival order; queue must be non-empty. */
+    const Request &front() const;
+
+    /**
+     * True when the front request may be admitted at @p now: always
+     * in closed loop, only once its arrival has passed in open loop.
+     */
+    bool hasAdmissible(PicoSec now) const;
+
+    /**
+     * Pop the front request. Closed-loop admission overwrites the
+     * arrival timestamp with @p now (the request conceptually enters
+     * the queue the moment a slot frees).
+     */
+    Request pop(PicoSec now);
+
+    /**
+     * Earliest arrival among pending requests (open loop); used to
+     * advance an idle clock across arrival gaps. -1 when empty.
+     */
+    PicoSec nextArrival() const;
+
+  private:
+    std::deque<Request> pending_;
+    bool closedLoop_ = true;
+};
+
+/**
+ * Idle-clock advance rule shared by the driver loops: jump exactly
+ * to the next arrival; the one-picosecond bump exists only for
+ * stalls where the clock would not otherwise move (admission blocked
+ * with the arrival already in the past). For an integer clock this
+ * is equivalent to max(now + 1, arrival) — spelled out so the
+ * no-drift-ahead-of-arrival invariant is explicit (pinned by
+ * Engine.OpenLoopIdleAdvanceJumpsExactlyToArrival).
+ */
+inline PicoSec
+idleAdvance(PicoSec now, PicoSec next_arrival)
+{
+    return next_arrival > now ? next_arrival : now + 1;
+}
+
+} // namespace duplex
+
+#endif // DUPLEX_SCHED_ARRIVALS_HH

@@ -10,8 +10,15 @@ namespace duplex
 
 ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
                                      std::vector<Request> requests)
-    : config_(config),
-      pending_(requests.begin(), requests.end())
+    : ContinuousBatcher(
+          config,
+          ArrivalQueue(std::move(requests), config.closedLoop))
+{
+}
+
+ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
+                                     ArrivalQueue arrivals)
+    : config_(config), arrivals_(std::move(arrivals))
 {
     fatalIf(config_.maxBatch <= 0, "maxBatch must be positive");
 }
@@ -19,7 +26,7 @@ ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
 bool
 ContinuousBatcher::allDone() const
 {
-    return pending_.empty() && active_.empty();
+    return arrivals_.empty() && active_.empty();
 }
 
 std::int64_t
@@ -36,9 +43,7 @@ ContinuousBatcher::activeKvTokens() const
 PicoSec
 ContinuousBatcher::nextArrival() const
 {
-    if (pending_.empty())
-        return -1;
-    return pending_.front().arrival;
+    return arrivals_.nextArrival();
 }
 
 StageShape
@@ -50,13 +55,11 @@ ContinuousBatcher::formStage(PicoSec now)
 
     // Admit new requests while a slot and KV room exist.
     std::int64_t kv = activeKvTokens();
-    while (!pending_.empty() &&
+    while (arrivals_.hasAdmissible(now) &&
            static_cast<int>(stagePrefillIds_.size()) <
                config_.maxPrefillsPerStage &&
            active_.size() < static_cast<std::size_t>(config_.maxBatch)) {
-        Request &cand = pending_.front();
-        if (!config_.closedLoop && cand.arrival > now)
-            break;
+        const Request &cand = arrivals_.front();
         // Budget the request's full KV lifetime (prompt plus the
         // tokens it will generate) so admitted requests never
         // overflow the cache mid-generation.
@@ -65,10 +68,7 @@ ContinuousBatcher::formStage(PicoSec now)
             static_cast<std::int64_t>(active_.size()) + 1;
         if (need > config_.maxKvTokens)
             break;
-        Request admitted = cand;
-        pending_.pop_front();
-        if (config_.closedLoop)
-            admitted.arrival = now;
+        Request admitted = arrivals_.pop(now);
         kv += admitted.inputLen;
         stagePrefillIds_.push_back(admitted.id);
         stage.prefillLengths.push_back(admitted.inputLen);

@@ -13,11 +13,11 @@
 #ifndef DUPLEX_SCHED_BATCHER_HH
 #define DUPLEX_SCHED_BATCHER_HH
 
-#include <deque>
 #include <limits>
 #include <vector>
 
 #include "model/layers.hh"
+#include "sched/arrivals.hh"
 #include "workload/generator.hh"
 #include "workload/request.hh"
 
@@ -55,16 +55,27 @@ class ContinuousBatcher
   public:
     /**
      * @param config    Admission limits.
-     * @param requests  The request stream (pre-generated).
+     * @param requests  The request stream (pre-generated); gated
+     *                  per config.closedLoop.
      */
     ContinuousBatcher(const BatcherConfig &config,
                       std::vector<Request> requests);
+
+    /**
+     * @param config    Admission limits (closedLoop ignored — the
+     *                  queue carries the discipline).
+     * @param arrivals  The shared arrival stream; build it with
+     *                  ArrivalQueue(workload, numRequests) so every
+     *                  driver loop sees the identical contract.
+     */
+    ContinuousBatcher(const BatcherConfig &config,
+                      ArrivalQueue arrivals);
 
     /** True when every request has finished. */
     bool allDone() const;
 
     /** Requests still unadmitted. */
-    std::size_t pendingCount() const { return pending_.size(); }
+    std::size_t pendingCount() const { return arrivals_.size(); }
 
     /** Requests currently being served. */
     std::size_t activeCount() const { return active_.size(); }
@@ -112,7 +123,7 @@ class ContinuousBatcher
 
   private:
     BatcherConfig config_;
-    std::deque<Request> pending_;
+    ArrivalQueue arrivals_; //!< shared closed/open-loop gating
     std::vector<Request> active_;
     std::vector<int> stagePrefillIds_; //!< admitted this stage
     bool stageOpen_ = false;

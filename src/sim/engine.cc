@@ -98,14 +98,16 @@ SimResult
 SimulationEngine::runBatcherLoop(ServingSystem &system,
                                  SimObserver &observer)
 {
-    RequestGenerator gen(config_.workload);
     BatcherConfig bcfg;
     bcfg.maxBatch = config_.maxBatch;
     bcfg.maxPrefillsPerStage = config_.maxPrefillsPerStage;
     bcfg.maxKvTokens = system.maxKvTokens();
-    bcfg.closedLoop = config_.workload.qps <= 0.0;
-    ContinuousBatcher batcher(bcfg,
-                              gen.take(config_.numRequests));
+    // The same shared arrival stream every driver loop consumes
+    // (sched/arrivals.hh): generation and the closed/open-loop
+    // discipline live in one place.
+    ContinuousBatcher batcher(
+        bcfg,
+        ArrivalQueue(config_.workload, config_.numRequests));
 
     SimResult result;
     PicoSec now = 0;
@@ -115,17 +117,17 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
     while (!batcher.allDone() && stages < config_.maxStages) {
         StageShape stage = batcher.formStage(now);
         if (stage.totalTokens() == 0) {
-            // Open loop and idle: jump exactly to the next arrival;
-            // the one-picosecond bump exists only for stalls where
-            // the clock would not otherwise move (admission blocked
-            // by KV or batch limits with the arrival already in the
-            // past). For an integer clock this is equivalent to the
-            // former max(now + 1, arrival) — spelled out so the
-            // no-drift-ahead-of-arrival invariant is explicit (and
-            // pinned by OpenLoopIdleAdvanceJumpsExactlyToArrival).
+            // Open loop and idle: idleAdvance (sched/arrivals.hh)
+            // jumps exactly to the next arrival, with the
+            // one-picosecond bump reserved for stalls where the
+            // clock would not otherwise move (admission blocked by
+            // KV or batch limits with the arrival already in the
+            // past) — the no-drift rule is shared with every custom
+            // driver loop and pinned by
+            // OpenLoopIdleAdvanceJumpsExactlyToArrival.
             const PicoSec arrival = batcher.nextArrival();
             panicIf(arrival < 0, "idle batcher with no arrivals");
-            now = arrival > now ? arrival : now + 1;
+            now = idleAdvance(now, arrival);
             // The batcher counted no stage; retry at the new time.
             continue;
         }

@@ -31,11 +31,25 @@ namespace duplex
 {
 
 /**
+ * One device group's slice of a stage, reported by disaggregated
+ * systems (prefill/decode split): which group ran the stage, how
+ * many devices it spans, how long they computed and how long
+ * admission stalled on KV-transfer link waits ahead of the stage.
+ */
+struct GroupObservation
+{
+    const char *group = "";    //!< group id ("prefill", "decode")
+    int devices = 0;           //!< devices in the group
+    PicoSec busy = 0;          //!< group compute time in this stage
+    PicoSec linkWait = 0;      //!< admission stall on KV transfers
+};
+
+/**
  * What the engine saw while executing one stage.
  *
- * @warning shape and result are borrowed from the driver loop and
- * are valid only for the duration of the onStage callback. An
- * observer that needs them later must copy the fields it uses
+ * @warning shape, result and groups are borrowed from the driver
+ * loop and are valid only for the duration of the onStage callback.
+ * An observer that needs them later must copy the fields it uses
  * (as KvOccupancyTrace does), never the whole observation.
  */
 struct StageObservation
@@ -46,6 +60,20 @@ struct StageObservation
     const StageShape &shape;   //!< batched stage composition
     const StageResult &result; //!< time/energy breakdown
     std::int64_t kvTokens;     //!< context tokens resident in KV
+
+    /**
+     * Per-device-group breakdown, when the driving system is
+     * disaggregated; nullptr from the engine's homogeneous loop.
+     * Use groupBreakdown() for uniform access.
+     */
+    const std::vector<GroupObservation> *groups = nullptr;
+
+    /** The per-group slices of this stage (empty if homogeneous). */
+    const std::vector<GroupObservation> &groupBreakdown() const
+    {
+        static const std::vector<GroupObservation> kNone;
+        return groups != nullptr ? *groups : kNone;
+    }
 };
 
 /**

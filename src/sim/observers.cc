@@ -62,6 +62,52 @@ ExpertRoutingCounts::skew() const
 }
 
 void
+GroupUtilization::onStage(const StageObservation &obs)
+{
+    for (const GroupObservation &g : obs.groupBreakdown()) {
+        Group *slot = nullptr;
+        for (Group &have : groups_) {
+            if (have.name == g.group) {
+                slot = &have;
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            groups_.push_back({g.group, g.devices, 0, 0, 0});
+            slot = &groups_.back();
+        }
+        slot->busyTime += g.busy;
+        slot->linkWaitTime += g.linkWait;
+        ++slot->stages;
+    }
+}
+
+void
+GroupUtilization::onSimEnd(const SimResult &result)
+{
+    elapsed_ = result.metrics.elapsed;
+}
+
+const GroupUtilization::Group *
+GroupUtilization::find(std::string_view name) const
+{
+    for (const Group &g : groups_)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+double
+GroupUtilization::busyFraction(std::string_view name) const
+{
+    const Group *g = find(name);
+    if (g == nullptr || elapsed_ <= 0)
+        return 0.0;
+    return static_cast<double>(g->busyTime) /
+           static_cast<double>(elapsed_);
+}
+
+void
 ProgressPrinter::onSimBegin(const ServingSystem &system,
                             const SimConfig &config)
 {

@@ -9,6 +9,8 @@
  *                         head-room studies, Fig. 5(c)).
  *  - ExpertRoutingCounts: per-expert token histogram over the run
  *                         (Section VIII-B skew studies).
+ *  - GroupUtilization:    per-device-group busy/link-wait totals
+ *                         for disaggregated systems (Fig. 16).
  *  - ProgressPrinter:     periodic progress/trace sink for long
  *                         sweeps; prints to any FILE*.
  */
@@ -17,6 +19,8 @@
 #define DUPLEX_SIM_OBSERVERS_HH
 
 #include <cstdio>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hh"
@@ -86,6 +90,41 @@ class ExpertRoutingCounts : public SimObserver
 
   private:
     std::vector<std::int64_t> tokensPerExpert_;
+};
+
+/**
+ * Per-device-group utilization over a run, fed by the
+ * GroupObservation breakdown disaggregated systems attach to each
+ * StageObservation. Homogeneous systems report no groups, so the
+ * observer stays empty for them.
+ */
+class GroupUtilization : public SimObserver
+{
+  public:
+    struct Group
+    {
+        std::string name;         //!< group id ("prefill", ...)
+        int devices = 0;          //!< devices in the group
+        PicoSec busyTime = 0;     //!< total compute time
+        PicoSec linkWaitTime = 0; //!< total KV-transfer stalls
+        std::int64_t stages = 0;  //!< stages the group executed
+    };
+
+    void onStage(const StageObservation &obs) override;
+    void onSimEnd(const SimResult &result) override;
+
+    /** Groups seen over the run, in first-seen order. */
+    const std::vector<Group> &groups() const { return groups_; }
+
+    /** Lookup by group id; nullptr when the group never ran. */
+    const Group *find(std::string_view name) const;
+
+    /** Fraction of the run's elapsed time the group computed. */
+    double busyFraction(std::string_view name) const;
+
+  private:
+    std::vector<Group> groups_;
+    PicoSec elapsed_ = 0;
 };
 
 /** Prints one progress line every @p every stages. */

@@ -21,6 +21,18 @@ clusterFactory(SystemKind kind)
     };
 }
 
+/** Factory for the Splitwise-style disaggregated variants. */
+SystemFactory
+splitFactory(std::string display, SplitSpec spec)
+{
+    return [display = std::move(display),
+            spec](const ModelConfig &model,
+                  const SystemOptions &opts) {
+        return std::make_unique<SplitSystem>(display, model,
+                                             opts.seed, spec);
+    };
+}
+
 void
 registerPaperSystems(SystemRegistry &registry)
 {
@@ -63,6 +75,21 @@ registerPaperSystems(SystemRegistry &registry)
                 systemName(SystemKind::DuplexSplit), model,
                 opts.seed);
         });
+    registry.add(
+        "duplex-split-contended", "Duplex-Split-C",
+        "symmetric split, KV migrations contend FIFO for NVLink",
+        splitFactory("Duplex-Split-C",
+                     SplitSpec{0, 0, /*contendedKvTransfer=*/true}));
+    registry.add(
+        "duplex-split-2p6d", "Duplex-Split-2P6D",
+        "prefill-light split: 2 prefill + 6 decode devices, "
+        "contended KV link",
+        splitFactory("Duplex-Split-2P6D", SplitSpec{2, 6, true}));
+    registry.add(
+        "duplex-split-6p2d", "Duplex-Split-6P2D",
+        "prefill-heavy split: 6 prefill + 2 decode devices, "
+        "contended KV link",
+        splitFactory("Duplex-Split-6P2D", SplitSpec{6, 2, true}));
 }
 
 } // namespace

@@ -1,47 +1,88 @@
 #include "sim/split_system.hh"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
+#include <vector>
 
 #include "common/log.hh"
+#include "sched/arrivals.hh"
 #include "sim/engine.hh"
 
 namespace duplex
 {
 
+int
+SplitSystem::defaultGroupDevices(const ModelConfig &model)
+{
+    // The paper's symmetric split: half the devices per group.
+    const int half = defaultTopology(model, false).devicesPerNode / 2;
+    fatalIf(half < 1, "split system needs at least two devices");
+    return half;
+}
+
 ClusterConfig
 SplitSystem::groupConfig(const ModelConfig &model,
-                         std::uint64_t seed)
+                         std::uint64_t seed, int devices)
 {
-    // Each group gets half the devices and a full copy of the
+    // Each group gets its device count and a full copy of the
     // (sharded) weights.
-    const SystemTopology full = defaultTopology(model, false);
-    fatalIf(full.numNodes != 1,
+    fatalIf(defaultTopology(model, false).numNodes != 1,
             "split system modeled for single-node configurations");
-    const int half = full.devicesPerNode / 2;
-    fatalIf(half < 1, "split system needs at least two devices");
-
+    fatalIf(devices < 1, "split group needs at least one device");
     ClusterConfig group =
         makeClusterConfig(SystemKind::DuplexPEET, model, seed);
-    group.topo.devicesPerNode = half;
-    if (model.numExperts > 0 && model.numExperts % half != 0) {
+    group.topo.numNodes = 1;
+    group.topo.devicesPerNode = devices;
+    if (model.numExperts > 0 && model.numExperts % devices != 0) {
         group.expertPlacement = ExpertPlacement::ExpertTensorParallel;
     }
     return group;
 }
 
 SplitSystem::SplitSystem(std::string name, const ModelConfig &model,
-                         std::uint64_t seed)
-    : name_(std::move(name)), model_(model),
-      prefill_(groupConfig(model, seed)),
+                         std::uint64_t seed, const SplitSpec &spec)
+    : name_(std::move(name)), model_(model), spec_(spec),
+      prefill_(groupConfig(model, seed,
+                           spec.prefillDevices > 0
+                               ? spec.prefillDevices
+                               : defaultGroupDevices(model))),
       decode_([&] {
-          ClusterConfig decode_group = groupConfig(model, seed);
+          ClusterConfig decode_group = groupConfig(
+              model, seed,
+              spec.decodeDevices > 0 ? spec.decodeDevices
+                                     : defaultGroupDevices(model));
           decode_group.seed = seed + 1;
           return decode_group;
       }()),
       nvlink_(SystemTopology{}.intraNode)
 {
+    // Both groups duplicate the full weights, and both need KV
+    // headroom: the decode group holds every active context, the
+    // prefill group holds a batch's prompt KV until it migrates.
+    fatalIf(prefill_.maxKvTokens() <= 0,
+            "split system '" + name_ + "': a prefill group of " +
+                std::to_string(prefillDevices()) +
+                " device(s) cannot hold the duplicated weights "
+                "plus prompt KV for " +
+                model.name);
+    fatalIf(decode_.maxKvTokens() <= 0,
+            "split system '" + name_ + "': a decode group of " +
+                std::to_string(decodeDevices()) +
+                " device(s) cannot hold the duplicated weights "
+                "plus any KV cache for " +
+                model.name);
+}
+
+int
+SplitSystem::prefillDevices() const
+{
+    return prefill_.config().topo.devicesPerNode;
+}
+
+int
+SplitSystem::decodeDevices() const
+{
+    return decode_.config().topo.devicesPerNode;
 }
 
 StageResult
@@ -75,12 +116,13 @@ SplitSystem::maxKvTokens() const
 std::string
 SplitSystem::describe() const
 {
-    const ClusterConfig &cfg = prefill_.config();
     std::ostringstream out;
-    out << name_ << ": " << cfg.topo.devicesPerNode
-        << " prefill + " << cfg.topo.devicesPerNode
+    out << name_ << ": " << prefillDevices() << " prefill + "
+        << decodeDevices()
         << " decode device(s), duplicated weights, KV migrates "
            "over NVLink";
+    if (spec_.contendedKvTransfer)
+        out << " (FIFO link contention)";
     return out.str();
 }
 
@@ -88,8 +130,10 @@ std::optional<SimResult>
 SplitSystem::runCustomLoop(const SimConfig &config,
                            SimObserver &observer)
 {
-    RequestGenerator gen(config.workload);
-    std::vector<Request> requests = gen.take(config.numRequests);
+    // The same arrival stream the engine loop would consume:
+    // closed loop when workload.qps <= 0, Poisson arrivals
+    // otherwise (sched/arrivals.hh).
+    ArrivalQueue waiting(config.workload, config.numRequests);
 
     // KV capacity of the decode group only.
     const std::int64_t kv_limit = decode_.maxKvTokens();
@@ -97,21 +141,26 @@ SplitSystem::runCustomLoop(const SimConfig &config,
     struct PendingDecode
     {
         Request req;
-        PicoSec readyAt;
+        PicoSec issuedAt; //!< when the KV migration was issued
+        PicoSec readyAt;  //!< when it lands on the decode group
     };
 
-    std::deque<Request> waiting(requests.begin(), requests.end());
     std::vector<PendingDecode> transferred;
     std::vector<Request> active;
     std::vector<Request> finished;
 
+    LinkQueue link(nvlink_);
+
     PicoSec prefill_now = 0;
     PicoSec decode_now = 0;
+    PicoSec decode_link_wait = 0; //!< stalls since last decode stage
     std::int64_t total_generated = 0;
     SimResult result;
     std::int64_t stages = 0;
 
-    const int max_prefill_batch = 4;
+    const int max_prefill_batch = config.maxPrefillsPerStage;
+
+    std::vector<GroupObservation> group_scratch;
 
     auto kv_tokens_active = [&]() {
         // Full-lifetime budget, matching the batcher's admission.
@@ -129,14 +178,18 @@ SplitSystem::runCustomLoop(const SimConfig &config,
         while (!waiting.empty() &&
                static_cast<int>(transferred.size() + active.size()) <
                    config.maxBatch + max_prefill_batch) {
+            if (!waiting.hasAdmissible(prefill_now)) {
+                // Open loop, prefill group idle: sit until the next
+                // arrival (shared no-drift rule with the engine).
+                prefill_now =
+                    idleAdvance(prefill_now, waiting.nextArrival());
+            }
             StageShape stage;
             std::vector<Request> batch;
-            while (!waiting.empty() &&
+            while (waiting.hasAdmissible(prefill_now) &&
                    static_cast<int>(batch.size()) <
                        max_prefill_batch) {
-                Request r = waiting.front();
-                waiting.pop_front();
-                r.arrival = prefill_now; // closed-loop admission
+                Request r = waiting.pop(prefill_now);
                 stage.prefillLengths.push_back(r.inputLen);
                 batch.push_back(std::move(r));
             }
@@ -144,21 +197,29 @@ SplitSystem::runCustomLoop(const SimConfig &config,
             const StageResult sr = prefill_.executeStage(stage);
             prefill_now += sr.time;
             result.totals += sr;
+            group_scratch.clear();
+            group_scratch.push_back(
+                {"prefill", prefillDevices(), sr.time, 0});
             observer.onStage({stages, stage_start, prefill_now,
-                              stage, sr, stage.contextTokens()});
+                              stage, sr, stage.contextTokens(),
+                              &group_scratch});
             ++stages;
             for (auto &r : batch) {
                 r.firstToken = prefill_now;
                 r.generated = 1;
                 r.tokenTimes.push_back(prefill_now);
                 ++total_generated;
-                // Migrate the prompt KV to the decode group.
+                // Migrate the prompt KV to the decode group: a free
+                // parallel copy in the seed model, a FIFO-serialized
+                // link occupancy when contention is enabled.
                 const Bytes kv_bytes =
                     static_cast<Bytes>(r.inputLen) *
                     model_.kvBytesPerToken();
                 const PicoSec ready =
-                    prefill_now + p2pTime(kv_bytes, nvlink_);
-                transferred.push_back({r, ready});
+                    spec_.contendedKvTransfer
+                        ? link.transfer(prefill_now, kv_bytes)
+                        : prefill_now + p2pTime(kv_bytes, nvlink_);
+                transferred.push_back({r, prefill_now, ready});
             }
         }
 
@@ -174,7 +235,14 @@ SplitSystem::runCustomLoop(const SimConfig &config,
                 break;
             if (it->readyAt > decode_now) {
                 if (active.empty()) {
-                    decode_now = it->readyAt; // idle jump
+                    // Idle jump; the slice of the stall overlapping
+                    // the KV migration itself is link-wait time.
+                    const PicoSec migration_start =
+                        std::max(decode_now, it->issuedAt);
+                    if (it->readyAt > migration_start)
+                        decode_link_wait +=
+                            it->readyAt - migration_start;
+                    decode_now = it->readyAt;
                 } else {
                     break;
                 }
@@ -207,8 +275,13 @@ SplitSystem::runCustomLoop(const SimConfig &config,
         const StageResult sr = decode_.executeStage(stage);
         decode_now += sr.time;
         result.totals += sr;
+        group_scratch.clear();
+        group_scratch.push_back(
+            {"decode", decodeDevices(), sr.time, decode_link_wait});
+        decode_link_wait = 0;
         observer.onStage({stages, stage_start, decode_now, stage,
-                          sr, stage.contextTokens()});
+                          sr, stage.contextTokens(),
+                          &group_scratch});
         ++stages;
 
         std::vector<Request> still;

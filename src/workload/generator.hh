@@ -35,6 +35,9 @@ struct WorkloadConfig
     double qps = 0.0;
 
     std::uint64_t seed = 12345;
+
+    /** True when the stream carries Poisson arrival timestamps. */
+    bool openLoop() const { return qps > 0.0; }
 };
 
 /** Draws requests per WorkloadConfig. */

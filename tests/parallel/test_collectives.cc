@@ -81,5 +81,39 @@ TEST(Collectives, HierarchicalAddsInterNodeLeg)
     EXPECT_GT(two_node, flat);
 }
 
+TEST(Collectives, LinkQueueIdleTransferMatchesP2p)
+{
+    LinkQueue link(kNvlink);
+    const Bytes bytes = 64 * kMiB;
+    EXPECT_EQ(link.transfer(1000, bytes),
+              1000 + p2pTime(bytes, kNvlink));
+    EXPECT_EQ(link.freeAt(), 1000 + p2pTime(bytes, kNvlink));
+}
+
+TEST(Collectives, LinkQueueSerializesConcurrentTransfers)
+{
+    // Two transfers issued at the same instant: the second queues
+    // FIFO behind the first instead of copying in parallel.
+    LinkQueue link(kNvlink);
+    const Bytes bytes = 64 * kMiB;
+    const PicoSec each = p2pTime(bytes, kNvlink);
+    const PicoSec first = link.transfer(0, bytes);
+    const PicoSec second = link.transfer(0, bytes);
+    EXPECT_EQ(first, each);
+    EXPECT_EQ(second, 2 * each);
+}
+
+TEST(Collectives, LinkQueueIdleGapDoesNotAccumulate)
+{
+    // A transfer issued after the link fell idle starts at its
+    // issue time, not at the previous completion.
+    LinkQueue link(kNvlink);
+    const Bytes bytes = 16 * kMiB;
+    const PicoSec each = p2pTime(bytes, kNvlink);
+    link.transfer(0, bytes);
+    const PicoSec late = link.transfer(10 * each, bytes);
+    EXPECT_EQ(late, 11 * each);
+}
+
 } // namespace
 } // namespace duplex

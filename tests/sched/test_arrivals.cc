@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ArrivalQueue tests: the closed/open-loop admission discipline
+ * shared by the engine's batcher loop and the split system's
+ * custom loop, plus the idleAdvance no-drift rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/arrivals.hh"
+
+namespace duplex
+{
+namespace
+{
+
+Request
+requestAt(int id, PicoSec arrival)
+{
+    Request r;
+    r.id = id;
+    r.inputLen = 128;
+    r.outputLen = 32;
+    r.arrival = arrival;
+    return r;
+}
+
+TEST(Arrivals, ClosedLoopIsAlwaysAdmissible)
+{
+    ArrivalQueue q({requestAt(0, 500), requestAt(1, 900)},
+                   /*closed_loop=*/true);
+    EXPECT_TRUE(q.closedLoop());
+    EXPECT_TRUE(q.hasAdmissible(0));
+    // Closed-loop admission overwrites the arrival stamp: the
+    // request enters the queue the moment a slot frees.
+    const Request r = q.pop(1234);
+    EXPECT_EQ(r.id, 0);
+    EXPECT_EQ(r.arrival, 1234);
+}
+
+TEST(Arrivals, OpenLoopGatesOnArrivalTime)
+{
+    ArrivalQueue q({requestAt(0, 500), requestAt(1, 900)},
+                   /*closed_loop=*/false);
+    EXPECT_FALSE(q.hasAdmissible(499));
+    EXPECT_TRUE(q.hasAdmissible(500));
+    // Open-loop admission preserves the Poisson arrival stamp, so
+    // T2FT keeps the queueing delay.
+    const Request r = q.pop(750);
+    EXPECT_EQ(r.arrival, 500);
+    EXPECT_FALSE(q.hasAdmissible(750));
+    EXPECT_TRUE(q.hasAdmissible(900));
+}
+
+TEST(Arrivals, NextArrivalTracksTheFront)
+{
+    ArrivalQueue q({requestAt(0, 500), requestAt(1, 900)},
+                   /*closed_loop=*/false);
+    EXPECT_EQ(q.nextArrival(), 500);
+    q.pop(600);
+    EXPECT_EQ(q.nextArrival(), 900);
+    q.pop(900);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextArrival(), -1);
+}
+
+TEST(Arrivals, GeneratedStreamMatchesEngineGenerator)
+{
+    // The SimConfig-style constructor must draw exactly the stream
+    // RequestGenerator produces — both loops see the same requests.
+    WorkloadConfig w;
+    w.meanInputLen = 256;
+    w.meanOutputLen = 64;
+    w.qps = 3.0;
+    RequestGenerator gen(w);
+    const std::vector<Request> expected = gen.take(16);
+
+    ArrivalQueue q(w, 16);
+    EXPECT_FALSE(q.closedLoop());
+    ASSERT_EQ(q.size(), 16u);
+    for (const Request &e : expected) {
+        EXPECT_EQ(q.front().arrival, e.arrival);
+        const Request got = q.pop(e.arrival);
+        EXPECT_EQ(got.id, e.id);
+        EXPECT_EQ(got.inputLen, e.inputLen);
+        EXPECT_EQ(got.outputLen, e.outputLen);
+    }
+}
+
+TEST(Arrivals, ClosedLoopFromNonPositiveQps)
+{
+    WorkloadConfig w;
+    w.qps = 0.0;
+    EXPECT_FALSE(w.openLoop());
+    EXPECT_TRUE(ArrivalQueue(w, 4).closedLoop());
+    w.qps = 2.5;
+    EXPECT_TRUE(w.openLoop());
+    EXPECT_FALSE(ArrivalQueue(w, 4).closedLoop());
+}
+
+TEST(Arrivals, IdleAdvanceJumpsExactlyToFutureArrival)
+{
+    EXPECT_EQ(idleAdvance(100, 5000), 5000);
+}
+
+TEST(Arrivals, IdleAdvanceBumpsWhenArrivalPassed)
+{
+    // Stalled with the arrival already in the past: the clock must
+    // still move, by exactly one picosecond.
+    EXPECT_EQ(idleAdvance(100, 100), 101);
+    EXPECT_EQ(idleAdvance(100, 50), 101);
+}
+
+} // namespace
+} // namespace duplex

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_perf.json.
+
+Compares the tracked throughput metrics of a fresh bench_perf run
+against the committed baseline (bench/perf_baseline.json) and fails
+when any metric regresses beyond the tolerance. All tracked metrics
+are higher-is-better, so the gate is:
+
+    current >= baseline * (1 - tolerance)
+
+Usage:
+    tools/check_perf.py BENCH_perf.json bench/perf_baseline.json
+    tools/check_perf.py BENCH_perf.json bench/perf_baseline.json \
+        --tolerance 0.25
+    tools/check_perf.py BENCH_perf.json bench/perf_baseline.json \
+        --update   # rewrite the baseline from the current run
+
+Reproduce the CI perf job locally:
+    cmake -B build-release -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release --target bench_perf
+    (cd build-release && ./bench_perf)
+    python3 tools/check_perf.py build-release/BENCH_perf.json \
+        bench/perf_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def tracked_metrics(perf):
+    """Flatten the higher-is-better metrics of a BENCH_perf dict."""
+    metrics = {"cost_model.speedup": perf["cost_model"]["speedup"]}
+    for name, value in perf["stage_exec"].items():
+        metrics[f"stage_exec.{name}"] = value
+    for sweep in perf["figure_sweeps"]:
+        key = f"figure_sweeps.{sweep['name']}.stages_per_sec"
+        metrics[key] = sweep["stages_per_sec"]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="perf regression gate over BENCH_perf.json")
+    parser.add_argument("current", help="BENCH_perf.json from bench_perf")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional regression (default: the "
+             "baseline's own tolerance field, else 0.25)")
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline's metrics from the current run "
+             "instead of checking")
+    args = parser.parse_args()
+
+    with open(args.current, encoding="utf-8") as f:
+        current = tracked_metrics(json.load(f))
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    if args.update:
+        baseline["metrics"] = {k: round(v, 3)
+                               for k, v in current.items()}
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance", 0.25)
+
+    failures = []
+    width = max(len(k) for k in baseline["metrics"])
+    print(f"perf gate: tolerance {tolerance:.0%}")
+    for key, floor in sorted(baseline["metrics"].items()):
+        have = current.get(key)
+        if have is None:
+            failures.append(key)
+            print(f"  {key:<{width}}  MISSING from current run")
+            continue
+        allowed = floor * (1.0 - tolerance)
+        ok = have >= allowed
+        status = "ok" if ok else "REGRESSED"
+        print(f"  {key:<{width}}  baseline {floor:12.3f}  "
+              f"current {have:12.3f}  ({have / floor:6.2f}x)  "
+              f"{status}")
+        if not ok:
+            failures.append(key)
+
+    extra = sorted(set(current) - set(baseline["metrics"]))
+    for key in extra:
+        print(f"  {key:<{width}}  untracked (add to baseline "
+              f"via --update)")
+
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed more "
+              f"than {tolerance:.0%} below baseline")
+        return 1
+    print("PASS: no tracked metric regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
