@@ -40,7 +40,7 @@ enginePolicyAblation()
     // Always-xPU == the plain GPU device.
     {
         ClusterConfig cfg =
-            makeClusterConfig(SystemKind::Gpu, model);
+            makeClusterConfig("gpu", model);
         Cluster c(cfg);
         base_ms = psToMs(c.executeStage(stage).time);
         t.startRow();
@@ -54,7 +54,7 @@ enginePolicyAblation()
     // unattractive for attention/MoE via a huge dispatch cost.
     {
         ClusterConfig cfg =
-            makeClusterConfig(SystemKind::Duplex, model);
+            makeClusterConfig("duplex", model);
         // A huge xPU dispatch cost forces every selectable group
         // (attention, MoE) onto the Logic-PIM engine.
         cfg.deviceSpec.xpu.dispatchOverhead = 50 * kPsPerMs;
@@ -67,7 +67,7 @@ enginePolicyAblation()
     }
     // Op/B-driven selection (base Duplex).
     {
-        Cluster c(makeClusterConfig(SystemKind::Duplex, model));
+        Cluster c(makeClusterConfig("duplex", model));
         const double ms = psToMs(c.executeStage(stage).time);
         t.startRow();
         t.cell("Op/B selection (Duplex)");
@@ -76,7 +76,7 @@ enginePolicyAblation()
     }
     // Selection + co-processing + expert tensor parallelism.
     {
-        Cluster c(makeClusterConfig(SystemKind::DuplexPEET, model));
+        Cluster c(makeClusterConfig("duplex-pe-et", model));
         const double ms = psToMs(c.executeStage(stage).time);
         t.startRow();
         t.cell("+PE+ET");
@@ -97,7 +97,7 @@ tsvMultiplierAblation()
     Table t({"TSV multiplier", "PIM GB/s per stack", "stage ms"});
     for (double mult : {2.0, 4.0, 8.0}) {
         ClusterConfig cfg =
-            makeClusterConfig(SystemKind::DuplexPEET, model);
+            makeClusterConfig("duplex-pe-et", model);
         // The calibrated spec is built for 4x; rescale.
         cfg.deviceSpec.low.memBps *= mult / 4.0;
         // Compute-to-bandwidth ratio of 8 Op/B is kept fixed.
@@ -126,11 +126,11 @@ expertSkewAblation()
              {"zipf s=0.8", GatePolicy::Zipf, 0.8},
              {"zipf s=1.5", GatePolicy::Zipf, 1.5}}) {
         ClusterConfig base =
-            makeClusterConfig(SystemKind::Duplex, model);
+            makeClusterConfig("duplex", model);
         base.gatePolicy = policy;
         base.zipfS = s;
         ClusterConfig co =
-            makeClusterConfig(SystemKind::DuplexPEET, model);
+            makeClusterConfig("duplex-pe-et", model);
         co.gatePolicy = policy;
         co.zipfS = s;
         Cluster cb(base);

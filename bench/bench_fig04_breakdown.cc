@@ -69,7 +69,7 @@ main()
         for (int batch : {32, 64, 128}) {
             for (std::int64_t lout : {256, 1024, 4096}) {
                 Cluster cluster(
-                    makeClusterConfig(SystemKind::Gpu, model));
+                    makeClusterConfig("gpu", model));
                 printRow(t, model.name, batch, lout, "decode-only",
                          cluster.executeStage(
                              makeStage(batch, 2048, lout, false)));

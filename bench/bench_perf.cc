@@ -12,13 +12,17 @@
  *  - figure sweeps: wall-clock of the Fig. 11 throughput sweep
  *    (the paper's headline figure, 135 simulations) and the
  *    Fig. 12 GLaM latency sweep through the SweepRunner, with
- *    stages/sec and requests/sec.
+ *    stages/sec and requests/sec;
+ *  - workload generation: requests/sec drawn from the registered
+ *    workload sources (the streaming ArrivalQueue puts source
+ *    draws on the driver loop's critical path).
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/registry.hh"
 
 using namespace duplex;
 
@@ -126,6 +130,25 @@ timeSweep(const char *name, const std::vector<SimConfig> &configs)
 // (bench_util's fig11SweepConfigs / fig12SweepConfigs), so the
 // tracked numbers stay in lockstep with the figures.
 
+/** Requests/sec one workload source sustains. */
+double
+probeWorkloadGen(const std::string &id)
+{
+    WorkloadSpec spec;
+    spec.qps = 8.0;
+    spec.diurnalPeriodSec = 30.0;
+    const std::unique_ptr<WorkloadSource> source =
+        makeWorkload(id, spec);
+    // Warm up once (lookahead buffer, first-state draws).
+    std::int64_t sink = source->next().inputLen;
+    const int iters = 200000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i)
+        sink += source->next().inputLen;
+    const double sec = secondsSince(t0);
+    return sink > 0 && sec > 0.0 ? iters / sec : 0.0;
+}
+
 } // namespace
 
 int
@@ -161,6 +184,21 @@ main()
         std::printf("stage exec %-16s %10.0f stages/s\n", p.name,
                     p.stagesPerSec);
 
+    struct WorkloadGenProbe
+    {
+        const char *name;
+        double requestsPerSec;
+    };
+    const WorkloadGenProbe workload_probes[] = {
+        {"synthetic", probeWorkloadGen("synthetic")},
+        {"bursty", probeWorkloadGen("bursty")},
+        {"diurnal", probeWorkloadGen("diurnal")},
+        {"mixed", probeWorkloadGen("mixed")},
+    };
+    for (const WorkloadGenProbe &p : workload_probes)
+        std::printf("workload gen %-12s %12.0f requests/s\n",
+                    p.name, p.requestsPerSec);
+
     const SweepProbe sweeps[] = {
         timeSweep("fig11-throughput", fig11SweepConfigs()),
         timeSweep("fig12-glam-latency", fig12SweepConfigs())};
@@ -191,6 +229,12 @@ main()
         std::fprintf(json, "%s\"%s\": %.3f", i ? ", " : "",
                      stage_probes[i].name,
                      stage_probes[i].stagesPerSec);
+    std::fprintf(json, "},\n");
+    std::fprintf(json, "  \"workload_gen\": {");
+    for (std::size_t i = 0; i < std::size(workload_probes); ++i)
+        std::fprintf(json, "%s\"%s\": %.3f", i ? ", " : "",
+                     workload_probes[i].name,
+                     workload_probes[i].requestsPerSec);
     std::fprintf(json, "},\n");
     std::fprintf(json, "  \"figure_sweeps\": [");
     for (std::size_t i = 0; i < std::size(sweeps); ++i) {

@@ -12,7 +12,8 @@
 
 #include "common/argparse.hh"
 #include "common/table.hh"
-#include "sim/simulator.hh"
+#include "sim/presets.hh"
+#include "sim/registry.hh"
 
 using namespace duplex;
 
@@ -42,12 +43,11 @@ main(int argc, char **argv)
              {"uniform", GatePolicy::Uniform, 0.0},
              {"zipf s=0.8", GatePolicy::Zipf, 0.8},
              {"zipf s=1.5", GatePolicy::Zipf, 1.5}}) {
-        for (SystemKind kind :
-             {SystemKind::Gpu, SystemKind::Duplex,
-              SystemKind::DuplexPEET}) {
+        for (const std::string system :
+             {"gpu", "duplex", "duplex-pe-et"}) {
             // Build the cluster directly so the gate policy can be
             // overridden.
-            ClusterConfig cfg = makeClusterConfig(kind, model);
+            ClusterConfig cfg = makeClusterConfig(system, model);
             cfg.gatePolicy = policy;
             cfg.zipfS = skew;
             Cluster cluster(cfg);
@@ -64,11 +64,11 @@ main(int argc, char **argv)
             const double thr =
                 static_cast<double>(batch) * reps /
                 psToSec(total);
-            if (kind == SystemKind::Gpu && gate_name == "uniform")
+            if (system == "gpu" && gate_name == "uniform")
                 uniform_gpu = thr;
             t.startRow();
             t.cell(gate_name);
-            t.cell(systemName(kind));
+            t.cell(SystemRegistry::instance().displayName(system));
             t.cell(thr, 0);
             t.cell(thr / uniform_gpu, 2);
             t.cell(static_cast<std::int64_t>(

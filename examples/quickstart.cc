@@ -1,17 +1,24 @@
 /**
  * @file
- * Quickstart: simulate Mixtral serving on a chosen set of systems,
- * print throughput, latency and energy.
+ * Quickstart: simulate Mixtral serving on a chosen set of systems
+ * and workloads, print throughput, latency, SLO attainment and
+ * energy.
  *
  *   ./quickstart --model=mixtral --batch=64 --lin=1024 --lout=1024
  *   ./quickstart --system=bank-pim        # any registered system
  *   ./quickstart --system=duplex-split --qps=6   # open-loop arrivals
+ *   ./quickstart --workload=bursty        # any registered workload
+ *   ./quickstart --workload=mixed --qps=8 # scenario mix, open loop
+ *   ./quickstart --save-trace=run.csv     # dump the request stream
+ *   ./quickstart --trace=run.csv          # ... and replay it
  *   ./quickstart --list-systems
+ *   ./quickstart --list-workloads
  *
- * Also demonstrates the observer API: a StageTimeHistogram rides
- * along with every run and reports the stage-latency tail, and a
- * GroupUtilization observer prints the per-device-group breakdown
- * (busy/link-wait time) for disaggregated systems.
+ * Also demonstrates the observer API: a StageTimeHistogram and an
+ * SloAttainment observer ride along with every run (stage-latency
+ * tail, TTFT/TBT attainment and goodput), and a GroupUtilization
+ * observer prints the per-device-group breakdown (busy/link-wait
+ * time) for disaggregated systems.
  */
 
 #include <cstdio>
@@ -21,6 +28,8 @@
 #include "sim/engine.hh"
 #include "sim/observers.hh"
 #include "sim/registry.hh"
+#include "workload/registry.hh"
+#include "workload/trace.hh"
 
 using namespace duplex;
 
@@ -38,6 +47,22 @@ main(int argc, char **argv)
     args.addFlag("list-systems",
                  "list every registered serving system and exit",
                  "false");
+    args.addFlag("workload",
+                 "registered workload id to stream (see "
+                 "--list-workloads); empty runs the synthetic "
+                 "default",
+                 "");
+    args.addFlag("list-workloads",
+                 "list every registered workload and exit",
+                 "false");
+    args.addFlag("trace",
+                 "replay a recorded arrival,in,out CSV (implies "
+                 "--workload=trace)",
+                 "");
+    args.addFlag("save-trace",
+                 "dump the configured request stream to a CSV "
+                 "before running",
+                 "");
     args.addFlag("batch", "stage-level batch size", "64");
     args.addFlag("lin", "mean prompt length", "1024");
     args.addFlag("lout", "mean generation length", "256");
@@ -45,10 +70,27 @@ main(int argc, char **argv)
     args.addFlag("qps",
                  "Poisson arrival rate; 0 runs the closed loop",
                  "0");
+    args.addFlag("tbt-slo", "TBT SLO in ms (attainment column)",
+                 "40");
+    args.addFlag("ttft-slo", "TTFT SLO in ms (attainment column)",
+                 "1500");
     args.parse(argc, argv);
 
     if (args.getBool("list-systems")) {
         const SystemRegistry &registry = SystemRegistry::instance();
+        Table t({"id", "name", "summary"});
+        for (const std::string &id : registry.ids()) {
+            t.startRow();
+            t.cell(id);
+            t.cell(registry.displayName(id));
+            t.cell(registry.summary(id));
+        }
+        t.print();
+        return 0;
+    }
+    if (args.getBool("list-workloads")) {
+        const WorkloadRegistry &registry =
+            WorkloadRegistry::instance();
         Table t({"id", "name", "summary"});
         for (const std::string &id : registry.ids()) {
             t.startRow();
@@ -68,8 +110,42 @@ main(int argc, char **argv)
                 static_cast<double>(model.kvBytesPerToken()) /
                     1024.0);
     const SystemTopology topo = defaultTopology(model);
-    std::printf("System: %d node(s) x %d devices\n\n",
+    std::printf("System: %d node(s) x %d devices\n",
                 topo.numNodes, topo.devicesPerNode);
+
+    // The workload every run streams; --trace wins over --workload.
+    std::string workload = args.getString("workload");
+    WorkloadSpec spec;
+    spec.meanInputLen = args.getInt("lin");
+    spec.meanOutputLen = args.getInt("lout");
+    spec.qps = args.getDouble("qps");
+    spec.tracePath = args.getString("trace");
+    if (!spec.tracePath.empty())
+        workload = "trace";
+    const std::string workload_id =
+        workload.empty() ? "synthetic" : workload;
+    // One throwaway source serves both the banner and --save-trace;
+    // each run below builds its own fresh source through the
+    // registry, so their RNG streams stay untouched.
+    const std::unique_ptr<WorkloadSource> source =
+        makeWorkload(workload_id, spec);
+    std::printf("Workload: %s\n\n", source->describe().c_str());
+
+    const int batch = static_cast<int>(args.getInt("batch"));
+    const int num_requests = 4 * batch;
+
+    // --save-trace materializes the stream a run would consume and
+    // dumps it in the workload/trace.hh CSV format.
+    const std::string save_path = args.getString("save-trace");
+    if (!save_path.empty()) {
+        std::vector<Request> requests;
+        for (std::int64_t i = 0;
+             i < num_requests && source->remaining() > 0; ++i)
+            requests.push_back(source->next());
+        saveTrace(save_path, requests);
+        std::printf("Saved %zu request(s) to %s\n\n",
+                    requests.size(), save_path.c_str());
+    }
 
     std::vector<std::string> systems = {"gpu", "duplex",
                                         "duplex-pe",
@@ -82,8 +158,10 @@ main(int argc, char **argv)
             systems.push_back(requested);
     }
 
+    const SloSpec slo{args.getDouble("ttft-slo"),
+                      args.getDouble("tbt-slo")};
     Table t({"System", "tokens/s", "vs GPU", "TBT p50 ms",
-             "stage p99 ms", "J/token"});
+             "stage p99 ms", "SLO att", "goodput/s", "J/token"});
     double gpu_thr = 0.0;
     std::vector<GroupUtilization> utilizations(systems.size());
     for (std::size_t i = 0; i < systems.size(); ++i) {
@@ -91,16 +169,17 @@ main(int argc, char **argv)
         SimConfig c;
         c.systemName = system;
         c.model = model;
-        c.maxBatch = static_cast<int>(args.getInt("batch"));
-        c.workload.meanInputLen = args.getInt("lin");
-        c.workload.meanOutputLen = args.getInt("lout");
-        c.workload.qps = args.getDouble("qps");
-        c.numRequests = 4 * c.maxBatch;
+        c.workloadName = workload;
+        c.maxBatch = batch;
+        c.workload = spec;
+        c.numRequests = num_requests;
         c.warmupRequests = defaultWarmupRequests(c.maxBatch);
         c.maxStages = args.getInt("stages");
         SimulationEngine engine(c);
         StageTimeHistogram stage_times;
+        SloAttainment attainment(slo);
         engine.addObserver(&stage_times);
+        engine.addObserver(&attainment);
         engine.addObserver(&utilizations[i]);
         const SimResult r = engine.run();
         const double thr = r.metrics.throughputTokensPerSec();
@@ -112,9 +191,16 @@ main(int argc, char **argv)
         t.cell(thr / gpu_thr, 2);
         t.cell(r.metrics.tbtMs.percentile(50), 2);
         t.cell(stage_times.stageMs().percentile(99), 2);
+        t.cell(attainment.attainment(), 2);
+        t.cell(attainment.goodputTokensPerSec(), 0);
         t.cell(r.energyPerTokenJ(), 3);
     }
     t.print();
+    std::printf("SLO: TTFT < %.0f ms and every TBT < %.0f ms; "
+                "goodput counts only attaining requests. "
+                "Attainment covers every retired request (incl. "
+                "warm-up); tokens/s and TBT p50 are post-warm-up.\n",
+                slo.t2ftMs, slo.tbtMs);
 
     // Disaggregated systems report a per-device-group breakdown.
     for (std::size_t i = 0; i < systems.size(); ++i) {

@@ -77,6 +77,19 @@ SampleStats::percentile(double p) const
     return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
 }
 
+double
+SampleStats::fractionAtMost(double v) const
+{
+    if (samples_.empty())
+        return 1.0;
+    ensureSorted();
+    const auto at_most = std::upper_bound(samples_.begin(),
+                                          samples_.end(), v) -
+                         samples_.begin();
+    return static_cast<double>(at_most) /
+           static_cast<double>(samples_.size());
+}
+
 void
 SampleStats::clear()
 {

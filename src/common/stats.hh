@@ -51,6 +51,13 @@ class SampleStats
     /** Shorthand for percentile(50). */
     double median() const { return percentile(50.0); }
 
+    /**
+     * Fraction of samples <= @p v (SLO attainment against a
+     * threshold); 1.0 when empty — an objective over no
+     * observations is vacuously met.
+     */
+    double fractionAtMost(double v) const;
+
     /** Drop all samples. */
     void clear();
 

@@ -1,5 +1,7 @@
 #include "sched/arrivals.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace duplex
@@ -14,16 +16,36 @@ ArrivalQueue::ArrivalQueue(std::vector<Request> requests,
 
 ArrivalQueue::ArrivalQueue(const WorkloadConfig &workload,
                            int num_requests)
-    : closedLoop_(!workload.openLoop())
+    : ArrivalQueue(
+          std::make_unique<SyntheticSource>("synthetic", workload),
+          num_requests)
 {
-    RequestGenerator gen(workload);
-    for (const Request &r : gen.take(num_requests))
-        pending_.push_back(r);
+}
+
+ArrivalQueue::ArrivalQueue(std::unique_ptr<WorkloadSource> source,
+                           std::int64_t num_requests)
+{
+    fatalIf(source == nullptr, "ArrivalQueue: null workload source");
+    fatalIf(num_requests < 0,
+            "ArrivalQueue: negative request count");
+    closedLoop_ = !source->openLoop();
+    budget_ = std::min(num_requests, source->remaining());
+    source_ = std::move(source);
+}
+
+void
+ArrivalQueue::refill() const
+{
+    if (pending_.empty() && budget_ > 0) {
+        pending_.push_back(source_->next());
+        --budget_;
+    }
 }
 
 const Request &
 ArrivalQueue::front() const
 {
+    refill();
     panicIf(pending_.empty(), "ArrivalQueue::front on empty queue");
     return pending_.front();
 }
@@ -31,14 +53,15 @@ ArrivalQueue::front() const
 bool
 ArrivalQueue::hasAdmissible(PicoSec now) const
 {
-    if (pending_.empty())
+    if (empty())
         return false;
-    return closedLoop_ || pending_.front().arrival <= now;
+    return closedLoop_ || front().arrival <= now;
 }
 
 Request
 ArrivalQueue::pop(PicoSec now)
 {
+    refill();
     panicIf(pending_.empty(), "ArrivalQueue::pop on empty queue");
     Request r = pending_.front();
     pending_.pop_front();
@@ -50,9 +73,9 @@ ArrivalQueue::pop(PicoSec now)
 PicoSec
 ArrivalQueue::nextArrival() const
 {
-    if (pending_.empty())
+    if (empty())
         return -1;
-    return pending_.front().arrival;
+    return front().arrival;
 }
 
 } // namespace duplex

@@ -6,20 +6,29 @@
  * custom loop consume the same request stream under the same two
  * admission disciplines: closed loop (a finished request is
  * replaced immediately; arrival timestamps are overwritten at
- * admission) and open loop (Poisson arrivals at workload.qps; a
- * request is admissible only once its arrival time has passed).
- * ArrivalQueue owns that discipline in one place, so a new driver
- * loop cannot fork the arrival contract; idleAdvance owns the
- * matching no-drift clock rule for idle gaps.
+ * admission) and open loop (arrivals stamped by the workload
+ * source; a request is admissible only once its arrival time has
+ * passed). ArrivalQueue owns that discipline in one place, so a new
+ * driver loop cannot fork the arrival contract; idleAdvance owns
+ * the matching no-drift clock rule for idle gaps.
+ *
+ * The queue streams: when constructed over a WorkloadSource it
+ * buffers exactly one lookahead request and draws the rest on
+ * demand, so a million-request run never materializes the stream.
+ * The pre-generated-vector constructor remains for callers that
+ * already hold a request vector (trace snippets, tests); both paths
+ * behave bit-for-bit identically (pinned in
+ * tests/sched/test_arrivals.cc).
  */
 
 #ifndef DUPLEX_SCHED_ARRIVALS_HH
 #define DUPLEX_SCHED_ARRIVALS_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
-#include "workload/generator.hh"
+#include "workload/source.hh"
 
 namespace duplex
 {
@@ -28,19 +37,36 @@ namespace duplex
 class ArrivalQueue
 {
   public:
-    /** Wrap a pre-generated stream (the batcher's entry point). */
+    /** Wrap a pre-generated stream (vector callers, tests). */
     ArrivalQueue(std::vector<Request> requests, bool closed_loop);
 
     /**
-     * Generate the stream a SimConfig describes: @p num_requests
-     * drawn from @p workload, open loop iff workload.qps > 0. This
-     * is the arrival stream the engine loop consumes; custom loops
-     * construct it the same way so both see identical requests.
+     * Stream the synthetic stream a WorkloadConfig describes:
+     * @p num_requests drawn lazily from the config's
+     * RequestGenerator, open loop iff workload.qps > 0. Kept for
+     * old call sites; identical to wrapping a SyntheticSource.
      */
     ArrivalQueue(const WorkloadConfig &workload, int num_requests);
 
-    bool empty() const { return pending_.empty(); }
-    std::size_t size() const { return pending_.size(); }
+    /**
+     * Stream @p num_requests from a workload source built by the
+     * WorkloadRegistry (capped by the source's own remaining()
+     * count — a short trace ends the run early). This is the
+     * arrival stream every driver loop consumes; the engine and
+     * custom loops construct it the same way so both see identical
+     * requests.
+     */
+    ArrivalQueue(std::unique_ptr<WorkloadSource> source,
+                 std::int64_t num_requests);
+
+    bool empty() const { return size() == 0; }
+
+    /** Requests still pending (buffered plus undrawn). */
+    std::size_t size() const
+    {
+        return pending_.size() + static_cast<std::size_t>(budget_);
+    }
+
     bool closedLoop() const { return closedLoop_; }
 
     /** Next request in arrival order; queue must be non-empty. */
@@ -66,8 +92,20 @@ class ArrivalQueue
     PicoSec nextArrival() const;
 
   private:
-    std::deque<Request> pending_;
+    /** Buffered requests: the whole stream in vector mode, at most
+     *  one lookahead draw in streaming mode. */
+    mutable std::deque<Request> pending_;
+
+    /** Streaming generator; null in vector mode. */
+    mutable std::unique_ptr<WorkloadSource> source_;
+
+    /** Requests still to draw from source_. */
+    mutable std::int64_t budget_ = 0;
+
     bool closedLoop_ = true;
+
+    /** Pull the next request into pending_ when it runs dry. */
+    void refill() const;
 };
 
 /**

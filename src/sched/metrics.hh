@@ -7,6 +7,10 @@
  *  - T2FT (time-to-first-token): arrival to first token.
  *  - E2E  : arrival to last token.
  *  - Throughput: generated tokens per second (Figs. 11/14).
+ *  - SLO attainment: fraction of T2FT / TBT observations under a
+ *    latency objective (SloSpec); the per-request view — and
+ *    goodput, tokens from SLO-attaining requests only — comes from
+ *    the SloAttainment observer (sim/observers.hh).
  */
 
 #ifndef DUPLEX_SCHED_METRICS_HH
@@ -20,6 +24,17 @@
 
 namespace duplex
 {
+
+/**
+ * A latency service-level objective: the time-to-first-token a
+ * user will wait and the steady token cadence they expect. The
+ * defaults are interactive-chat-shaped; sweeps override them.
+ */
+struct SloSpec
+{
+    double t2ftMs = 1500.0; //!< time to first token (TTFT)
+    double tbtMs = 40.0;    //!< gap between consecutive tokens
+};
 
 /** Aggregated serving metrics over a run. */
 struct ServingMetrics
@@ -38,6 +53,18 @@ struct ServingMetrics
         const double sec = psToSec(elapsed);
         return sec > 0.0 ? static_cast<double>(totalTokens) / sec
                          : 0.0;
+    }
+
+    /** Fraction of T2FT observations meeting the objective. */
+    double t2ftAttainment(const SloSpec &slo) const
+    {
+        return t2ftMs.fractionAtMost(slo.t2ftMs);
+    }
+
+    /** Fraction of token gaps meeting the objective. */
+    double tbtAttainment(const SloSpec &slo) const
+    {
+        return tbtMs.fractionAtMost(slo.tbtMs);
     }
 
     /** Fraction of stages that were decoding-only (Fig. 5(a)). */

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "sched/batcher.hh"
 #include "sim/registry.hh"
+#include "workload/registry.hh"
 
 namespace duplex
 {
@@ -103,11 +104,13 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
     bcfg.maxPrefillsPerStage = config_.maxPrefillsPerStage;
     bcfg.maxKvTokens = system.maxKvTokens();
     // The same shared arrival stream every driver loop consumes
-    // (sched/arrivals.hh): generation and the closed/open-loop
-    // discipline live in one place.
+    // (sched/arrivals.hh): the workload registry builds the source
+    // by name, and the closed/open-loop discipline lives in one
+    // place. Streaming: only one lookahead request is ever buffered.
     ContinuousBatcher batcher(
-        bcfg,
-        ArrivalQueue(config_.workload, config_.numRequests));
+        bcfg, ArrivalQueue(makeWorkload(config_.workloadIdOrDefault(),
+                                        config_.workload),
+                           config_.numRequests));
 
     SimResult result;
     PicoSec now = 0;

@@ -11,7 +11,7 @@
 #include "cluster/cluster.hh"
 #include "sched/metrics.hh"
 #include "sim/presets.hh"
-#include "workload/generator.hh"
+#include "workload/source.hh"
 
 namespace duplex
 {
@@ -30,7 +30,29 @@ struct SimConfig
     SystemKind system = SystemKind::Gpu;
 
     ModelConfig model;
-    WorkloadConfig workload;
+
+    /**
+     * Registry id of the workload to stream ("synthetic", "trace",
+     * "bursty", ... — see workload/registry.hh). Empty runs the
+     * default "synthetic" source, which is bit-identical to the
+     * pre-registry RequestGenerator stream.
+     */
+    std::string workloadName;
+
+    /**
+     * The workload parameters. Its WorkloadConfig base is the old
+     * synthetic spec (mean lengths, CV, qps, seed), so existing
+     * `workload.meanInputLen = ...` call sites are untouched; the
+     * extra fields parameterize trace/bursty/diurnal sources.
+     */
+    WorkloadSpec workload;
+
+    /** The workload id the driver loops should build. */
+    const std::string &workloadIdOrDefault() const
+    {
+        static const std::string kDefault = "synthetic";
+        return workloadName.empty() ? kDefault : workloadName;
+    }
 
     /** Stage-level batch limit. */
     int maxBatch = 32;

@@ -108,6 +108,66 @@ GroupUtilization::busyFraction(std::string_view name) const
 }
 
 void
+SloAttainment::onRequestRetired(const Request &request,
+                                PicoSec now)
+{
+    ++total_;
+    const bool t2ft_ok =
+        request.firstToken >= 0 &&
+        psToMs(request.firstToken - request.arrival) <= slo_.t2ftMs;
+    bool tbt_ok = true;
+    for (std::size_t t = 1; t < request.tokenTimes.size(); ++t) {
+        if (psToMs(request.tokenTimes[t] -
+                   request.tokenTimes[t - 1]) > slo_.tbtMs) {
+            tbt_ok = false;
+            break;
+        }
+    }
+    t2ftOk_ += t2ft_ok ? 1 : 0;
+    tbtOk_ += tbt_ok ? 1 : 0;
+    if (t2ft_ok && tbt_ok) {
+        ++attained_;
+        goodTokens_ += request.generated;
+    }
+    if (spanStart_ < 0 || request.arrival < spanStart_)
+        spanStart_ = request.arrival;
+    spanEnd_ = std::max(spanEnd_, now);
+}
+
+double
+SloAttainment::t2ftAttainment() const
+{
+    return total_ > 0 ? static_cast<double>(t2ftOk_) /
+                            static_cast<double>(total_)
+                      : 1.0;
+}
+
+double
+SloAttainment::tbtAttainment() const
+{
+    return total_ > 0 ? static_cast<double>(tbtOk_) /
+                            static_cast<double>(total_)
+                      : 1.0;
+}
+
+double
+SloAttainment::attainment() const
+{
+    return total_ > 0 ? static_cast<double>(attained_) /
+                            static_cast<double>(total_)
+                      : 1.0;
+}
+
+double
+SloAttainment::goodputTokensPerSec() const
+{
+    const PicoSec span = spanEnd_ - spanStart_;
+    if (total_ == 0 || span <= 0)
+        return 0.0;
+    return static_cast<double>(goodTokens_) / psToSec(span);
+}
+
+void
 ProgressPrinter::onSimBegin(const ServingSystem &system,
                             const SimConfig &config)
 {

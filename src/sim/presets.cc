@@ -1,5 +1,7 @@
 #include "sim/presets.hh"
 
+#include <utility>
+
 #include "common/log.hh"
 
 namespace duplex
@@ -96,6 +98,26 @@ makeClusterConfig(SystemKind kind, const ModelConfig &model,
         fatal("makeClusterConfig: system needs a dedicated builder");
     }
     return cfg;
+}
+
+ClusterConfig
+makeClusterConfig(const std::string &system_id,
+                  const ModelConfig &model, std::uint64_t seed)
+{
+    static const std::pair<const char *, SystemKind> kIdToKind[] = {
+        {"gpu", SystemKind::Gpu},
+        {"gpu-2x", SystemKind::Gpu2x},
+        {"duplex", SystemKind::Duplex},
+        {"duplex-pe", SystemKind::DuplexPE},
+        {"duplex-pe-et", SystemKind::DuplexPEET},
+        {"bank-pim", SystemKind::BankPim},
+        {"bankgroup-pim", SystemKind::BankGroupPim},
+    };
+    for (const auto &[id, kind] : kIdToKind)
+        if (system_id == id)
+            return makeClusterConfig(kind, model, seed);
+    fatal("makeClusterConfig: no homogeneous cluster config for '" +
+          system_id + "'");
 }
 
 HeteroConfig

@@ -19,6 +19,8 @@
 #ifndef DUPLEX_SIM_PRESETS_HH
 #define DUPLEX_SIM_PRESETS_HH
 
+#include <string>
+
 #include "cluster/cluster.hh"
 
 namespace duplex
@@ -50,6 +52,17 @@ SystemTopology defaultTopology(const ModelConfig &model,
  * Hetero / DuplexSplit (those have dedicated builders).
  */
 ClusterConfig makeClusterConfig(SystemKind kind,
+                                const ModelConfig &model,
+                                std::uint64_t seed = 7);
+
+/**
+ * Registry-id flavor of makeClusterConfig ("gpu", "duplex-pe-et",
+ * ...) for callers that tweak config fields (gate policy, ablation
+ * studies) before building the Cluster themselves — everything
+ * else should go through makeSystem. Fatal for ids without a
+ * homogeneous cluster config (hetero, the split variants).
+ */
+ClusterConfig makeClusterConfig(const std::string &system_id,
                                 const ModelConfig &model,
                                 std::uint64_t seed = 7);
 

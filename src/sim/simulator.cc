@@ -1,11 +1,34 @@
 #include "sim/simulator.hh"
 
+#include "common/log.hh"
+
 namespace duplex
 {
+
+namespace
+{
+
+/** One deprecation notice per shim per process, not per call —
+ *  sweeps through the shims would otherwise flood stderr. */
+void
+warnDeprecatedOnce(bool &warned, const char *old_name,
+                   const char *replacement)
+{
+    if (!warned) {
+        warned = true;
+        warn(std::string(old_name) +
+             " is deprecated; use " + replacement);
+    }
+}
+
+} // namespace
 
 SimResult
 runSimulation(const SimConfig &config)
 {
+    static bool warned = false;
+    warnDeprecatedOnce(warned, "runSimulation",
+                       "SimulationEngine(config).run()");
     // The engine already falls back to the legacy enum when
     // systemName is empty.
     return SimulationEngine(config).run();
@@ -14,6 +37,10 @@ runSimulation(const SimConfig &config)
 SimResult
 runSplitSimulation(const SimConfig &config)
 {
+    static bool warned = false;
+    warnDeprecatedOnce(warned, "runSplitSimulation",
+                       "SimulationEngine with systemName "
+                       "\"duplex-split\"");
     SimConfig c = config;
     c.systemName = "duplex-split";
     return SimulationEngine(c).run();

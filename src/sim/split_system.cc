@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "sched/arrivals.hh"
 #include "sim/engine.hh"
+#include "workload/registry.hh"
 
 namespace duplex
 {
@@ -130,10 +131,13 @@ std::optional<SimResult>
 SplitSystem::runCustomLoop(const SimConfig &config,
                            SimObserver &observer)
 {
-    // The same arrival stream the engine loop would consume:
-    // closed loop when workload.qps <= 0, Poisson arrivals
-    // otherwise (sched/arrivals.hh).
-    ArrivalQueue waiting(config.workload, config.numRequests);
+    // The same arrival stream the engine loop would consume,
+    // built through the workload registry: closed loop when the
+    // source carries no arrival stamps, arrival-gated otherwise
+    // (sched/arrivals.hh).
+    ArrivalQueue waiting(makeWorkload(config.workloadIdOrDefault(),
+                                      config.workload),
+                         config.numRequests);
 
     // KV capacity of the decode group only.
     const std::int64_t kv_limit = decode_.maxKvTokens();

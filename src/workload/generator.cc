@@ -17,14 +17,9 @@ RequestGenerator::next()
 {
     Request r;
     r.id = nextId_++;
-    r.inputLen = rng_.truncatedGaussianInt(
-        static_cast<double>(config_.meanInputLen),
-        config_.lengthCv * static_cast<double>(config_.meanInputLen),
-        config_.minLen);
-    r.outputLen = rng_.truncatedGaussianInt(
-        static_cast<double>(config_.meanOutputLen),
-        config_.lengthCv * static_cast<double>(config_.meanOutputLen),
-        config_.minLen);
+    drawLengths(rng_, r, config_.meanInputLen,
+                config_.meanOutputLen, config_.lengthCv,
+                config_.minLen);
     if (config_.qps > 0.0) {
         clock_ += secToPs(rng_.exponential(config_.qps));
         r.arrival = clock_;

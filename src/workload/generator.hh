@@ -40,6 +40,25 @@ struct WorkloadConfig
     bool openLoop() const { return qps > 0.0; }
 };
 
+/**
+ * Draw a request's (Lin, Lout) pair from the Section VI truncated
+ * Gaussians: input length first, then output length — that order
+ * is part of the golden RNG-stream contract, so every source
+ * (RequestGenerator, bursty, diurnal, mixture) must draw through
+ * this one helper.
+ */
+inline void
+drawLengths(Rng &rng, Request &r, std::int64_t mean_in,
+            std::int64_t mean_out, double cv, std::int64_t min_len)
+{
+    r.inputLen = rng.truncatedGaussianInt(
+        static_cast<double>(mean_in),
+        cv * static_cast<double>(mean_in), min_len);
+    r.outputLen = rng.truncatedGaussianInt(
+        static_cast<double>(mean_out),
+        cv * static_cast<double>(mean_out), min_len);
+}
+
 /** Draws requests per WorkloadConfig. */
 class RequestGenerator
 {

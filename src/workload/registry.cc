@@ -1,0 +1,204 @@
+#include "workload/registry.hh"
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+/** Factory for a single-class scenario preset: the synthetic
+ *  generator with the preset's length profile; arrival discipline
+ *  (qps), seed and minLen still come from the caller's spec. */
+WorkloadFactory
+scenarioFactory(std::string id, std::int64_t mean_in,
+                std::int64_t mean_out, double cv,
+                std::string summary)
+{
+    return [id = std::move(id), mean_in, mean_out, cv,
+            summary =
+                std::move(summary)](const WorkloadSpec &spec) {
+        WorkloadConfig cfg = spec;
+        cfg.meanInputLen = mean_in;
+        cfg.meanOutputLen = mean_out;
+        cfg.lengthCv = cv;
+        return std::make_unique<SyntheticSource>(id, cfg, summary);
+    };
+}
+
+// The scenario length profiles. Chat turns are prompt- and
+// answer-sized; summarization is prefill-dominated (a document in,
+// a short abstract out); code generation is decode-dominated (a
+// short instruction in, a long completion out). "mixed" serves all
+// three from one fleet, the ROADMAP's million-user shape.
+constexpr std::int64_t kChatIn = 512, kChatOut = 256;
+constexpr std::int64_t kSummarizeIn = 8192, kSummarizeOut = 256;
+constexpr std::int64_t kCodegenIn = 512, kCodegenOut = 4096;
+
+void
+registerStockWorkloads(WorkloadRegistry &registry)
+{
+    registry.add(
+        "synthetic", "Synthetic",
+        "Section VI truncated-Gaussian stream (the paper's "
+        "default; closed loop, or Poisson at spec.qps)",
+        [](const WorkloadSpec &spec) {
+            // Slice to the WorkloadConfig base: bit-identical to
+            // the old RequestGenerator stream by construction.
+            return std::make_unique<SyntheticSource>("synthetic",
+                                                     spec);
+        });
+    registry.add(
+        "trace", "Trace",
+        "replay a recorded arrival,in,out CSV (spec.tracePath)",
+        [](const WorkloadSpec &spec) {
+            fatalIf(spec.tracePath.empty(),
+                    "workload 'trace' needs spec.tracePath (CLI: "
+                    "--trace=<path>)");
+            return std::make_unique<TraceSource>(spec.tracePath);
+        });
+    registry.add(
+        "bursty", "Bursty",
+        "on/off modulated Poisson: burst QPS over an idle floor, "
+        "exponential state durations",
+        [](const WorkloadSpec &spec) {
+            return std::make_unique<BurstySource>(spec);
+        });
+    registry.add(
+        "diurnal", "Diurnal",
+        "piecewise-linear periodic QPS ramp (low -> peak -> low)",
+        [](const WorkloadSpec &spec) {
+            return std::make_unique<DiurnalSource>(spec);
+        });
+    registry.add("chat", "Chat",
+                 "conversational turns: Lin ~ 512, Lout ~ 256",
+                 scenarioFactory("chat", kChatIn, kChatOut, 0.35,
+                                 "conversational turns"));
+    registry.add(
+        "long-prefill-summarize", "Summarize",
+        "prefill-heavy summarization: Lin ~ 8192, Lout ~ 256",
+        scenarioFactory("long-prefill-summarize", kSummarizeIn,
+                        kSummarizeOut, 0.25,
+                        "document-in, abstract-out"));
+    registry.add(
+        "long-decode-codegen", "Codegen",
+        "decode-heavy code generation: Lin ~ 512, Lout ~ 4096",
+        scenarioFactory("long-decode-codegen", kCodegenIn,
+                        kCodegenOut, 0.35,
+                        "short instruction, long completion"));
+    registry.add(
+        "mixed", "Mixed",
+        "weighted mix: 50% chat, 25% summarize, 25% codegen",
+        [](const WorkloadSpec &spec) {
+            return std::make_unique<MixtureSource>(
+                "mixed", spec,
+                std::vector<ScenarioClass>{
+                    {"chat", 0.50, kChatIn, kChatOut, 0.35},
+                    {"summarize", 0.25, kSummarizeIn,
+                     kSummarizeOut, 0.25},
+                    {"codegen", 0.25, kCodegenIn, kCodegenOut,
+                     0.35}});
+        });
+}
+
+} // namespace
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry *registry = [] {
+        auto *r = new WorkloadRegistry;
+        registerStockWorkloads(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+WorkloadRegistry::add(const std::string &id,
+                      const std::string &display,
+                      const std::string &summary,
+                      WorkloadFactory factory)
+{
+    fatalIf(contains(id),
+            "WorkloadRegistry: duplicate workload id '" + id + "'");
+    fatalIf(!factory,
+            "WorkloadRegistry: null factory for '" + id + "'");
+    entries_.push_back({id, display, summary, std::move(factory)});
+}
+
+bool
+WorkloadRegistry::contains(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return true;
+    return false;
+}
+
+const WorkloadRegistry::Entry &
+WorkloadRegistry::find(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return e;
+    std::string known;
+    for (const Entry &e : entries_)
+        known += (known.empty() ? "" : ", ") + e.id;
+    fatal("WorkloadRegistry: unknown workload '" + id +
+          "' (known: " + known + ")");
+}
+
+std::unique_ptr<WorkloadSource>
+WorkloadRegistry::make(const std::string &id,
+                       const WorkloadSpec &spec) const
+{
+    return find(id).factory(spec);
+}
+
+std::vector<std::string>
+WorkloadRegistry::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.id);
+    return out;
+}
+
+const std::string &
+WorkloadRegistry::displayName(const std::string &id) const
+{
+    return find(id).display;
+}
+
+const std::string &
+WorkloadRegistry::summary(const std::string &id) const
+{
+    return find(id).summary;
+}
+
+std::unique_ptr<WorkloadSource>
+makeWorkload(const std::string &id, const WorkloadSpec &spec)
+{
+    return WorkloadRegistry::instance().make(id, spec);
+}
+
+std::vector<std::string>
+registeredWorkloads()
+{
+    return WorkloadRegistry::instance().ids();
+}
+
+void
+registerWorkloadSource(const std::string &id,
+                       const std::string &display,
+                       const std::string &summary,
+                       WorkloadFactory factory)
+{
+    WorkloadRegistry::instance().add(id, display, summary,
+                                     std::move(factory));
+}
+
+} // namespace duplex

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * String-keyed workload registry and factory — the workload-side
+ * mirror of sim/registry.hh.
+ *
+ * Workloads register an id ("bursty"), a display name, a one-line
+ * summary and a factory over WorkloadSpec; callers build sources
+ * with makeWorkload(id, spec) and enumerate everything registered
+ * with registeredWorkloads(). Pre-registered: "synthetic" (the
+ * paper's Section VI stream, bit-identical to the old
+ * RequestGenerator), "trace", "bursty", "diurnal", and the named
+ * scenario presets "chat", "long-prefill-summarize",
+ * "long-decode-codegen", "mixed". A new workload is one
+ * registerWorkloadSource call — no enum edits, no new entry points,
+ * and every registered id is swept automatically by the tests and
+ * bench_scenarios.
+ */
+
+#ifndef DUPLEX_WORKLOAD_REGISTRY_HH
+#define DUPLEX_WORKLOAD_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/source.hh"
+
+namespace duplex
+{
+
+/** Builds one workload source from a spec. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<WorkloadSource>(
+        const WorkloadSpec &spec)>;
+
+/** Registry of every workload the simulator can build. */
+class WorkloadRegistry
+{
+  public:
+    /** The process-wide registry, with the stock workloads loaded. */
+    static WorkloadRegistry &instance();
+
+    /** Register a workload; re-registering an id is fatal. */
+    void add(const std::string &id, const std::string &display,
+             const std::string &summary, WorkloadFactory factory);
+
+    /** True when @p id is registered. */
+    bool contains(const std::string &id) const;
+
+    /** Build a source; fatal on an unknown id. */
+    std::unique_ptr<WorkloadSource>
+    make(const std::string &id, const WorkloadSpec &spec) const;
+
+    /** Registered ids, in registration order. */
+    std::vector<std::string> ids() const;
+
+    /** Display name for tables ("Bursty"). */
+    const std::string &displayName(const std::string &id) const;
+
+    /** One-line summary for --list-workloads style output. */
+    const std::string &summary(const std::string &id) const;
+
+  private:
+    struct Entry
+    {
+        std::string id;
+        std::string display;
+        std::string summary;
+        WorkloadFactory factory;
+    };
+
+    std::vector<Entry> entries_;
+
+    const Entry &find(const std::string &id) const;
+};
+
+/** Build a registered workload (shorthand for the registry). */
+std::unique_ptr<WorkloadSource>
+makeWorkload(const std::string &id, const WorkloadSpec &spec = {});
+
+/** Ids of every registered workload. */
+std::vector<std::string> registeredWorkloads();
+
+/** Register a workload with the process-wide registry. */
+void registerWorkloadSource(const std::string &id,
+                            const std::string &display,
+                            const std::string &summary,
+                            WorkloadFactory factory);
+
+} // namespace duplex
+
+#endif // DUPLEX_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The polymorphic workload-source interface.
+ *
+ * PR 1 put every evaluated serving system behind one ServingSystem
+ * contract; this is the same move for the other half of an
+ * experiment. A WorkloadSource produces the request stream a driver
+ * loop consumes — synthetic truncated-Gaussian draws (the paper's
+ * Section VI workload), recorded-trace replay, on/off bursty
+ * arrivals, diurnal QPS ramps, or named scenario mixes — behind one
+ * contract: next() / peekArrival() / remaining() / name() /
+ * describe(). Sources are created by name through the
+ * WorkloadRegistry (workload/registry.hh); new workloads implement
+ * this interface and register a factory, nothing else.
+ *
+ * Sources stream: a million-request run draws requests one at a
+ * time instead of materializing the whole vector up front
+ * (sched/arrivals.hh buffers exactly one lookahead request).
+ */
+
+#ifndef DUPLEX_WORKLOAD_SOURCE_HH
+#define DUPLEX_WORKLOAD_SOURCE_HH
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace duplex
+{
+
+/** One (time, QPS) breakpoint of a piecewise-linear arrival ramp. */
+struct QpsPoint
+{
+    double timeSec = 0.0;
+    double qps = 0.0;
+};
+
+/**
+ * Everything a workload factory may consume. The WorkloadConfig
+ * base is the synthetic spec (mean lengths, CV, QPS, seed) — kept
+ * verbatim so every existing `config.workload.meanInputLen = ...`
+ * call site still compiles and the default "synthetic" source is
+ * bit-identical to the old RequestGenerator stream. The extra
+ * fields parameterize the non-synthetic sources; each source reads
+ * only what it documents and ignores the rest.
+ */
+struct WorkloadSpec : WorkloadConfig
+{
+    /** Trace file replayed by the "trace" source. */
+    std::string tracePath;
+
+    // --- "bursty": on/off modulated Poisson -----------------------
+    double burstQps = 8.0;    //!< arrival rate inside a burst
+    double idleQps = 0.25;    //!< rate between bursts (0 = silent)
+    double meanBurstSec = 2.0; //!< mean burst duration
+    double meanIdleSec = 6.0;  //!< mean idle-gap duration
+
+    // --- "diurnal": piecewise-linear QPS ramp ---------------------
+    /**
+     * Breakpoints of one period, times in [0, diurnalPeriodSec).
+     * Empty builds the default triangle ramp low -> high -> low
+     * from the three scalars below.
+     */
+    std::vector<QpsPoint> qpsRamp;
+    double diurnalLowQps = 1.0;
+    double diurnalHighQps = 8.0;
+    double diurnalPeriodSec = 60.0;
+};
+
+/**
+ * A request stream the driver loops can consume. Arrivals are
+ * non-decreasing; closed-loop sources carry arrival = 0 (requests
+ * are admitted whenever a slot frees, see sched/arrivals.hh).
+ *
+ * Subclasses implement generate() (draw one request) and
+ * generatorRemaining(); the base class owns the one-request
+ * lookahead that makes peekArrival() possible for generative
+ * sources without perturbing the draw stream.
+ */
+class WorkloadSource
+{
+  public:
+    /** remaining() of a generative (never-exhausted) source. */
+    static constexpr std::int64_t kUnbounded =
+        std::numeric_limits<std::int64_t>::max();
+
+    virtual ~WorkloadSource() = default;
+
+    /** Next request in arrival order; source must not be exhausted. */
+    Request next();
+
+    /**
+     * Arrival timestamp of the request next() would return, without
+     * consuming it; -1 when the source is exhausted. Generative
+     * sources draw (and buffer) the request to answer this.
+     */
+    PicoSec peekArrival();
+
+    /** Requests the source can still produce (kUnbounded if endless). */
+    std::int64_t remaining() const;
+
+    /** True when the stream carries real arrival timestamps. */
+    virtual bool openLoop() const = 0;
+
+    /** Registry id / display handle ("synthetic", "bursty", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** One-line description of the modeled request mix. */
+    virtual std::string describe() const = 0;
+
+  protected:
+    /** Draw the next request; called only while remaining() > 0. */
+    virtual Request generate() = 0;
+
+    /** Requests left to generate, excluding the lookahead buffer. */
+    virtual std::int64_t generatorRemaining() const = 0;
+
+  private:
+    std::optional<Request> lookahead_;
+};
+
+/**
+ * The paper's Section VI synthetic workload behind the source
+ * interface: a verbatim RequestGenerator wrap, so the draw stream
+ * is bit-identical to the pre-registry code (pinned by
+ * WorkloadSource.SyntheticMatchesRequestGeneratorExactly) and every
+ * engine/split/figure golden holds. Scenario presets reuse this
+ * class with overridden mean lengths.
+ */
+class SyntheticSource : public WorkloadSource
+{
+  public:
+    SyntheticSource(std::string name, const WorkloadConfig &config,
+                    std::string summary = "");
+
+    bool openLoop() const override;
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+  protected:
+    Request generate() override { return gen_.next(); }
+    std::int64_t generatorRemaining() const override
+    {
+        return kUnbounded;
+    }
+
+  private:
+    std::string name_;
+    std::string summary_;
+    RequestGenerator gen_;
+};
+
+/**
+ * Replays a recorded trace (workload/trace.hh CSV): the recorded
+ * `arrival,in,out` timestamps drive the engine as-is, so a
+ * production trace and a synthetic stream run through the same
+ * simulator. Always open loop — the stamps are the workload.
+ */
+class TraceSource : public WorkloadSource
+{
+  public:
+    /** Load @p path (fatal if unreadable / malformed). */
+    explicit TraceSource(const std::string &path);
+
+    /** Replay an in-memory request vector (tests, round-trips). */
+    TraceSource(std::string label, std::vector<Request> requests);
+
+    bool openLoop() const override { return true; }
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+  protected:
+    Request generate() override;
+    std::int64_t generatorRemaining() const override
+    {
+        return static_cast<std::int64_t>(requests_.size()) - next_;
+    }
+
+  private:
+    std::string name_;
+    std::string label_;
+    std::vector<Request> requests_;
+    std::int64_t next_ = 0;
+};
+
+/**
+ * On/off modulated Poisson arrivals (a two-state MMPP): bursts at
+ * burstQps alternate with idle gaps at idleQps, both with
+ * exponentially distributed durations. Request lengths come from
+ * the synthetic spec's truncated Gaussians. Models the traffic
+ * spikes a latency SLO actually has to survive.
+ */
+class BurstySource : public WorkloadSource
+{
+  public:
+    explicit BurstySource(const WorkloadSpec &spec);
+
+    bool openLoop() const override { return true; }
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+  protected:
+    Request generate() override;
+    std::int64_t generatorRemaining() const override
+    {
+        return kUnbounded;
+    }
+
+  private:
+    std::string name_;
+    WorkloadSpec spec_;
+    Rng rng_;
+    int nextId_ = 0;
+    PicoSec clock_ = 0;
+    bool inBurst_ = true;
+    PicoSec stateEnd_ = 0;
+};
+
+/**
+ * Non-homogeneous Poisson arrivals whose rate follows a
+ * piecewise-linear periodic ramp (default: a low -> high -> low
+ * triangle over diurnalPeriodSec), sampled by thinning against the
+ * ramp's peak rate. Request lengths come from the synthetic spec.
+ */
+class DiurnalSource : public WorkloadSource
+{
+  public:
+    explicit DiurnalSource(const WorkloadSpec &spec);
+
+    bool openLoop() const override { return true; }
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+    /** Ramp rate at @p t (wrapped into the period); for tests. */
+    double qpsAt(PicoSec t) const;
+
+  protected:
+    Request generate() override;
+    std::int64_t generatorRemaining() const override
+    {
+        return kUnbounded;
+    }
+
+  private:
+    std::string name_;
+    WorkloadSpec spec_;
+    std::vector<QpsPoint> ramp_;
+    double peakQps_ = 0.0;
+    Rng rng_;
+    int nextId_ = 0;
+    PicoSec clock_ = 0;
+};
+
+/** One component of a request-mix scenario. */
+struct ScenarioClass
+{
+    std::string label;        //!< e.g. "chat"
+    double weight = 1.0;      //!< relative draw probability
+    std::int64_t meanInputLen = 1024;
+    std::int64_t meanOutputLen = 1024;
+    double lengthCv = 0.25;
+};
+
+/**
+ * Draws each request from a weighted mix of length classes (the
+ * "mixed" scenario: chat turns, long-prefill summarization and
+ * long-decode code generation sharing one serving fleet). Arrivals
+ * follow the synthetic spec: closed loop, or Poisson at spec.qps.
+ */
+class MixtureSource : public WorkloadSource
+{
+  public:
+    MixtureSource(std::string name, const WorkloadConfig &base,
+                  std::vector<ScenarioClass> classes);
+
+    bool openLoop() const override;
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+
+    const std::vector<ScenarioClass> &classes() const
+    {
+        return classes_;
+    }
+
+  protected:
+    Request generate() override;
+    std::int64_t generatorRemaining() const override
+    {
+        return kUnbounded;
+    }
+
+  private:
+    std::string name_;
+    WorkloadConfig base_;
+    std::vector<ScenarioClass> classes_;
+    double totalWeight_ = 0.0;
+    Rng rng_;
+    int nextId_ = 0;
+    PicoSec clock_ = 0;
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_WORKLOAD_SOURCE_HH

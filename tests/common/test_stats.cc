@@ -109,6 +109,24 @@ TEST(SampleStats, Merge)
     EXPECT_DOUBLE_EQ(a.max(), 4.0);
 }
 
+TEST(SampleStats, FractionAtMost)
+{
+    SampleStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(9.0), 1.0);
+}
+
+TEST(SampleStats, FractionAtMostVacuouslyOneWhenEmpty)
+{
+    SampleStats s;
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(0.0), 1.0);
+}
+
 TEST(SampleStats, Clear)
 {
     SampleStats s;

@@ -2,10 +2,14 @@
  * @file
  * ArrivalQueue tests: the closed/open-loop admission discipline
  * shared by the engine's batcher loop and the split system's
- * custom loop, plus the idleAdvance no-drift rule.
+ * custom loop, the idleAdvance no-drift rule, and the streaming
+ * contract — a queue drawing lazily from a WorkloadSource behaves
+ * bit-for-bit like one wrapping the same requests pre-generated.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "sched/arrivals.hh"
 
@@ -109,6 +113,98 @@ TEST(Arrivals, IdleAdvanceBumpsWhenArrivalPassed)
     // still move, by exactly one picosecond.
     EXPECT_EQ(idleAdvance(100, 100), 101);
     EXPECT_EQ(idleAdvance(100, 50), 101);
+}
+
+/** Drain @p streaming and @p vector identically, comparing every
+ *  observable along the way (bit-for-bit contract). */
+void
+expectQueuesMatch(ArrivalQueue &streaming, ArrivalQueue &vector_q)
+{
+    EXPECT_EQ(streaming.closedLoop(), vector_q.closedLoop());
+    ASSERT_EQ(streaming.size(), vector_q.size());
+    PicoSec now = 0;
+    while (!vector_q.empty()) {
+        EXPECT_EQ(streaming.nextArrival(), vector_q.nextArrival());
+        EXPECT_EQ(streaming.hasAdmissible(now),
+                  vector_q.hasAdmissible(now));
+        // Admission times walk forward like a driver loop's clock.
+        now = std::max(now + 137, vector_q.nextArrival());
+        const Request a = streaming.pop(now);
+        const Request b = vector_q.pop(now);
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.inputLen, b.inputLen);
+        EXPECT_EQ(a.outputLen, b.outputLen);
+        EXPECT_EQ(a.arrival, b.arrival);
+    }
+    EXPECT_TRUE(streaming.empty());
+    EXPECT_EQ(streaming.nextArrival(), -1);
+}
+
+TEST(Arrivals, StreamingMatchesPreGeneratedClosedLoop)
+{
+    WorkloadConfig w;
+    w.meanInputLen = 384;
+    w.meanOutputLen = 96;
+    RequestGenerator gen(w);
+    ArrivalQueue vector_q(gen.take(32), /*closed_loop=*/true);
+    ArrivalQueue streaming(w, 32);
+    expectQueuesMatch(streaming, vector_q);
+}
+
+TEST(Arrivals, StreamingMatchesPreGeneratedOpenLoop)
+{
+    WorkloadConfig w;
+    w.meanInputLen = 384;
+    w.meanOutputLen = 96;
+    w.qps = 5.0;
+    RequestGenerator gen(w);
+    ArrivalQueue vector_q(gen.take(32), /*closed_loop=*/false);
+    ArrivalQueue streaming(w, 32);
+    expectQueuesMatch(streaming, vector_q);
+}
+
+TEST(Arrivals, StreamingMatchesPreGeneratedTraceStamps)
+{
+    // Trace-stamped timestamps through a TraceSource behave exactly
+    // like the same requests handed over as a vector.
+    WorkloadConfig w;
+    w.qps = 9.0;
+    RequestGenerator gen(w);
+    const std::vector<Request> recorded = gen.take(24);
+    ArrivalQueue vector_q(recorded, /*closed_loop=*/false);
+    ArrivalQueue streaming(
+        std::make_unique<TraceSource>("in-memory", recorded), 24);
+    expectQueuesMatch(streaming, vector_q);
+}
+
+TEST(Arrivals, StreamingCapsAtTheSourcesRemaining)
+{
+    // A 6-request trace satisfies at most 6 of a 100-request
+    // budget; the queue must report exhaustion, not hang.
+    WorkloadConfig w;
+    w.qps = 2.0;
+    RequestGenerator gen(w);
+    ArrivalQueue q(
+        std::make_unique<TraceSource>("short", gen.take(6)), 100);
+    EXPECT_EQ(q.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        q.pop(q.nextArrival());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Arrivals, StreamingBuffersOnlyOneLookahead)
+{
+    // The streaming queue must not materialize the stream: size()
+    // counts budgeted-but-undrawn requests without drawing them.
+    WorkloadConfig w;
+    w.qps = 1.0;
+    ArrivalQueue q(w, 1000000);
+    EXPECT_EQ(q.size(), 1000000u);
+    // Touching the front draws exactly one request.
+    EXPECT_GT(q.nextArrival(), 0);
+    EXPECT_EQ(q.size(), 1000000u);
+    q.pop(q.nextArrival());
+    EXPECT_EQ(q.size(), 999999u);
 }
 
 } // namespace

@@ -90,6 +90,27 @@ TEST(Metrics, SingleTokenRequestHasNoTbt)
     EXPECT_EQ(m.t2ftMs.count(), 1u);
 }
 
+TEST(Metrics, SloAttainmentFractions)
+{
+    std::vector<Request> reqs{
+        makeFinished(0, {kPsPerMs, 3 * kPsPerMs}),      // T2FT 1 ms
+        makeFinished(0, {10 * kPsPerMs, 12 * kPsPerMs}), // T2FT 10 ms
+    };
+    const ServingMetrics m = collectMetrics(reqs);
+    // TBT gaps are 2 ms each; T2FT samples are 1 and 10 ms.
+    EXPECT_DOUBLE_EQ(m.t2ftAttainment({5.0, 1.0}), 0.5);
+    EXPECT_DOUBLE_EQ(m.t2ftAttainment({10.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(m.tbtAttainment({1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(m.tbtAttainment({1.0, 1.9}), 0.0);
+}
+
+TEST(Metrics, SloAttainmentVacuouslyMetWhenEmpty)
+{
+    const ServingMetrics m = collectMetrics({});
+    EXPECT_DOUBLE_EQ(m.t2ftAttainment({}), 1.0);
+    EXPECT_DOUBLE_EQ(m.tbtAttainment({}), 1.0);
+}
+
 TEST(WarmupWindowTest, ThroughputOverPostWarmupWindow)
 {
     WarmupWindow w(2);

@@ -276,6 +276,61 @@ TEST(Engine, ExpertRoutingCountsEmptyForDenseModels)
     EXPECT_EQ(routing.totalRouted(), 0);
 }
 
+TEST(Engine, SloAttainmentBoundsAndGoodput)
+{
+    // A vacuous SLO admits every request; an impossible one admits
+    // none — and goodput follows the attaining set.
+    SimConfig c = goldenConfig("gpu");
+    SimulationEngine engine(c);
+    SloAttainment lenient({1e9, 1e9});
+    SloAttainment impossible({0.0, 0.0});
+    engine.addObserver(&lenient);
+    engine.addObserver(&impossible);
+    const SimResult r = engine.run();
+
+    EXPECT_EQ(lenient.totalRequests(), 48);
+    EXPECT_EQ(lenient.attainedRequests(), 48);
+    EXPECT_DOUBLE_EQ(lenient.attainment(), 1.0);
+    EXPECT_DOUBLE_EQ(lenient.t2ftAttainment(), 1.0);
+    EXPECT_DOUBLE_EQ(lenient.tbtAttainment(), 1.0);
+    // Every token came from an attaining request, so goodput over
+    // the retire span is within a stage of raw throughput.
+    EXPECT_GT(lenient.goodputTokensPerSec(), 0.0);
+
+    EXPECT_EQ(impossible.totalRequests(), 48);
+    EXPECT_EQ(impossible.attainedRequests(), 0);
+    EXPECT_DOUBLE_EQ(impossible.attainment(), 0.0);
+    EXPECT_DOUBLE_EQ(impossible.goodputTokensPerSec(), 0.0);
+
+    // The aggregate ServingMetrics view agrees at the extremes.
+    EXPECT_DOUBLE_EQ(r.metrics.t2ftAttainment({1e9, 1e9}), 1.0);
+    EXPECT_DOUBLE_EQ(r.metrics.tbtAttainment({0.0, 0.0}), 0.0);
+}
+
+TEST(Engine, SloAttainmentMonotoneInTheObjective)
+{
+    // Loosening an SLO can only admit more requests, and meeting
+    // both objectives can only be rarer than meeting either one.
+    SimConfig c = goldenConfig("duplex");
+    SimulationEngine engine(c);
+    // Thresholds near the median TBT split the population.
+    SloAttainment strict({100.0, 3.0});
+    SloAttainment loose({200.0, 5.0});
+    engine.addObserver(&strict);
+    engine.addObserver(&loose);
+    engine.run();
+    EXPECT_EQ(strict.totalRequests(), loose.totalRequests());
+    EXPECT_GT(strict.totalRequests(), 0);
+    EXPECT_LE(strict.t2ftAttainment(), loose.t2ftAttainment());
+    EXPECT_LE(strict.tbtAttainment(), loose.tbtAttainment());
+    EXPECT_LE(strict.attainment(), loose.attainment());
+    for (const SloAttainment *a : {&strict, &loose}) {
+        EXPECT_LE(a->attainment(), a->t2ftAttainment());
+        EXPECT_LE(a->attainment(), a->tbtAttainment());
+        EXPECT_LE(a->attainedRequests(), a->totalRequests());
+    }
+}
+
 TEST(Engine, OpenLoopIdleAdvanceJumpsExactlyToArrival)
 {
     // With Poisson arrivals and an idle batcher, the clock must

@@ -33,6 +33,8 @@ def tracked_metrics(perf):
     metrics = {"cost_model.speedup": perf["cost_model"]["speedup"]}
     for name, value in perf["stage_exec"].items():
         metrics[f"stage_exec.{name}"] = value
+    for name, value in perf.get("workload_gen", {}).items():
+        metrics[f"workload_gen.{name}"] = value
     for sweep in perf["figure_sweeps"]:
         key = f"figure_sweeps.{sweep['name']}.stages_per_sec"
         metrics[key] = sweep["stages_per_sec"]
