@@ -5,13 +5,22 @@
  * The paper reports p50/p90/p99 token-between-token (TBT) latency,
  * median time-to-first-token (T2FT), and median end-to-end (E2E)
  * latency. SampleStats collects raw samples and answers those
- * queries with linear-interpolated percentiles.
+ * queries with linear-interpolated percentiles; it retains every
+ * sample (O(n) memory) and sorts lazily, once per query burst.
+ *
+ * BoundedStats is the opt-in O(1)-memory alternative for
+ * long-running campaigns (millions of requests): a fixed-bin
+ * streaming histogram whose percentiles interpolate within a bin.
+ * It is deliberately *not* the golden path — percentiles are
+ * approximate to bin resolution — so figure reproductions and the
+ * golden tests stay on SampleStats.
  */
 
 #ifndef DUPLEX_COMMON_STATS_HH
 #define DUPLEX_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace duplex
@@ -24,7 +33,15 @@ class SampleStats
     /** Add one observation. */
     void add(double v);
 
-    /** Append all samples from another accumulator. */
+    /** Pre-size the sample buffer for @p n total observations. */
+    void reserve(std::size_t n);
+
+    /**
+     * Append all samples from another accumulator. Reserves the
+     * destination up front and marks it unsorted exactly once; a
+     * merge followed by a percentile query matches adding the same
+     * samples one at a time (pinned in tests/common/test_stats.cc).
+     */
     void merge(const SampleStats &other);
 
     /** Number of observations so far. */
@@ -67,6 +84,64 @@ class SampleStats
     double sum_ = 0.0;
 
     void ensureSorted() const;
+};
+
+/** Shape of a BoundedStats histogram. */
+struct BoundedSpec
+{
+    /**
+     * Upper edge of the binned range; observations at or beyond it
+     * land in the overflow bin (reported as the exact max).
+     * The default covers latencies up to 100 s in ~49 ms bins.
+     */
+    double maxValue = 100000.0;
+
+    /** Uniform bins across [0, maxValue). */
+    int bins = 2048;
+};
+
+/**
+ * Fixed-bin streaming histogram: O(bins) memory regardless of the
+ * observation count. count/sum/mean/min/max are exact;
+ * percentile/fractionAtMost interpolate within a bin and are
+ * therefore approximate to bin resolution. Use for truly
+ * O(1)-memory campaigns (bench_longrun); NOT the golden path —
+ * figures and golden tests use SampleStats.
+ */
+class BoundedStats
+{
+  public:
+    explicit BoundedStats(BoundedSpec spec = {});
+
+    /** Add one observation (values < 0 clamp into the first bin). */
+    void add(double v);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const; //!< exact; 0 when empty
+    double max() const; //!< exact; 0 when empty
+
+    /**
+     * Approximate percentile in [0, 100]: locates the bin holding
+     * the rank and interpolates linearly inside it. Overflow-bin
+     * ranks report the exact max.
+     */
+    double percentile(double p) const;
+
+    /** Approximate fraction of samples <= @p v; 1.0 when empty. */
+    double fractionAtMost(double v) const;
+
+    const BoundedSpec &spec() const { return spec_; }
+
+  private:
+    BoundedSpec spec_;
+    double binWidth_;
+    std::vector<std::int64_t> counts_; //!< bins + 1 overflow slot
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 } // namespace duplex

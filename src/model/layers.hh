@@ -148,7 +148,16 @@ struct AffineOpCost
 /** Composition of one batched stage, as the scheduler forms it. */
 struct StageShape
 {
-    /** Context length of each decode sequence (before this stage). */
+    /**
+     * Context length of each decode sequence (before this stage).
+     * Schedulers publish this per-context view only on request
+     * (BatcherConfig.exactStageView / ServingSystem::
+     * needsExactStageView) — the default stage is aggregate-only
+     * (aggValid set, this vector empty), which every O(1) cost
+     * path prices bit-identically. Consumers must go through
+     * decodeTokens()/aggregates(), never decodeContexts.size(),
+     * unless they asked for the exact view.
+     */
     std::vector<std::int64_t> decodeContexts;
 
     /** Input length of each prefill sequence joining this stage. */
@@ -173,7 +182,11 @@ struct StageShape
     /** Decode tokens (one per decode sequence). */
     std::int64_t decodeTokens() const
     {
-        return static_cast<std::int64_t>(decodeContexts.size());
+        // Aggregate-only shapes (the scheduler's default stage
+        // view) leave decodeContexts empty; the count lives in agg.
+        return aggValid
+                   ? agg.numDecode
+                   : static_cast<std::int64_t>(decodeContexts.size());
     }
 
     /** Prefill tokens (sum of input lengths). */

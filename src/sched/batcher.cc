@@ -29,17 +29,6 @@ ContinuousBatcher::allDone() const
     return arrivals_.empty() && active_.empty();
 }
 
-std::int64_t
-ContinuousBatcher::activeKvTokens() const
-{
-    // Full-lifetime budget: context already cached plus the tokens
-    // the request will still generate.
-    std::int64_t total = 0;
-    for (const auto &r : active_)
-        total += r.inputLen + r.outputLen;
-    return total;
-}
-
 PicoSec
 ContinuousBatcher::nextArrival() const
 {
@@ -51,18 +40,23 @@ ContinuousBatcher::formStage(PicoSec now)
 {
     panicIf(stageOpen_, "formStage called with a stage in flight");
     StageShape stage;
-    stagePrefillIds_.clear();
 
-    // Admit new requests while a slot and KV room exist.
-    std::int64_t kv = activeKvTokens();
+    // Admit new requests while a slot and KV room exist. The KV
+    // headroom base is the incrementally maintained lifetime sum,
+    // so forming a stage costs O(admissions), not O(batch).
+    std::int64_t kv = activeLifetimeKv_;
     while (arrivals_.hasAdmissible(now) &&
-           static_cast<int>(stagePrefillIds_.size()) <
+           static_cast<int>(stage.prefillLengths.size()) <
                config_.maxPrefillsPerStage &&
            active_.size() < static_cast<std::size_t>(config_.maxBatch)) {
         const Request &cand = arrivals_.front();
-        // Budget the request's full KV lifetime (prompt plus the
-        // tokens it will generate) so admitted requests never
-        // overflow the cache mid-generation.
+        // Budget the candidate's full KV lifetime (prompt plus the
+        // tokens it will generate) against the active set's
+        // lifetime sum. Within one stage, earlier admissions
+        // contribute only their prompt to `kv` — the seed's
+        // admission rule, preserved bit-for-bit (a multi-admit
+        // stage can therefore still overshoot the cap late in
+        // generation, exactly as the original walk allowed).
         const std::int64_t need =
             kv + cand.inputLen + cand.outputLen +
             static_cast<std::int64_t>(active_.size()) + 1;
@@ -70,23 +64,27 @@ ContinuousBatcher::formStage(PicoSec now)
             break;
         Request admitted = arrivals_.pop(now);
         kv += admitted.inputLen;
-        stagePrefillIds_.push_back(admitted.id);
+        activeLifetimeKv_ += admitted.inputLen + admitted.outputLen;
         stage.prefillLengths.push_back(admitted.inputLen);
         stage.agg.addPrefill(admitted.inputLen);
-        active_.push_back(admitted);
+        active_.push_back(std::move(admitted));
     }
 
-    for (const auto &r : active_) {
-        if (r.generated > 0)
-            stage.decodeContexts.push_back(r.contextLen());
+    if (config_.exactStageView) {
+        // Opt-in slow path: per-context values for consumers that
+        // stripe the batch (multi-node nodeShare).
+        for (const auto &r : active_) {
+            if (r.generated > 0)
+                stage.decodeContexts.push_back(r.contextLen());
+        }
     }
     stage.agg.numDecode = decodeAgg_.numDecode;
     stage.agg.contextSum = decodeAgg_.contextSum;
     stage.aggValid = true;
 
-    if (!stage.prefillLengths.empty())
+    if (stage.agg.numPrefill > 0)
         ++mixed_;
-    else if (!stage.decodeContexts.empty())
+    else if (stage.agg.numDecode > 0)
         ++decodeOnly_;
 
     stageOpen_ = stage.totalTokens() > 0;
@@ -103,10 +101,11 @@ ContinuousBatcher::completeStage(PicoSec now)
     still_active.clear();
     still_active.reserve(active_.size());
     for (auto &r : active_) {
-        const bool was_prefill =
-            std::find(stagePrefillIds_.begin(), stagePrefillIds_.end(),
-                      r.id) != stagePrefillIds_.end();
-        if (was_prefill) {
+        // A request admitted by the stage just completed has not
+        // produced a token yet — generated == 0 is the per-request
+        // prefill flag (requests enter active_ only through
+        // admission, which leaves generated untouched).
+        if (r.generated == 0) {
             r.firstToken = now;
             r.generated = 1;
         } else {
@@ -119,14 +118,21 @@ ContinuousBatcher::completeStage(PicoSec now)
         ++totalGenerated_;
         if (r.done()) {
             r.finished = now;
-            finished_.push_back(r);
+            activeLifetimeKv_ -= r.inputLen + r.outputLen;
+            finished_.push_back(std::move(r));
         } else {
             decodeAgg_.addDecode(r.contextLen());
             still_active.push_back(std::move(r));
         }
     }
     std::swap(active_, still_active);
-    stagePrefillIds_.clear();
+}
+
+void
+ContinuousBatcher::drainFinished(std::vector<Request> &out)
+{
+    out.clear();
+    std::swap(out, finished_);
 }
 
 } // namespace duplex

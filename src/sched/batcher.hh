@@ -47,6 +47,17 @@ struct BatcherConfig
      * arrival time (Fig. 13).
      */
     bool closedLoop = true;
+
+    /**
+     * Opt-in exact stage view: fill StageShape.decodeContexts with
+     * the per-sequence context lengths each stage (an O(batch)
+     * walk). The default publishes only the O(1) StageAggregates —
+     * sufficient (and bit-identical) for every single-node cost
+     * path since PR 2. Systems whose executeStage truly consumes
+     * per-context values (multi-node nodeShare striping) request
+     * the walk via ServingSystem::needsExactStageView.
+     */
+    bool exactStageView = false;
 };
 
 /** Stage-level scheduler over a generated request stream. */
@@ -100,8 +111,24 @@ class ContinuousBatcher
      */
     void completeStage(PicoSec now);
 
-    /** Retired requests with full lifecycle timestamps. */
+    /**
+     * Retired requests with full lifecycle timestamps — the
+     * retained view. Grows for the whole run unless the caller
+     * drains it; streaming driver loops use drainFinished()
+     * instead so memory stays flat in the request count.
+     */
     const std::vector<Request> &finished() const { return finished_; }
+
+    /**
+     * Move the requests retired since the last drain into @p out
+     * (clearing it first) and reset the internal finished buffer.
+     * The two buffers swap storage, so a drain-per-stage loop is
+     * allocation-free at steady state. Retirement order — the
+     * observer-contract order — is preserved. Mixing drainFinished
+     * with end-of-run finished() walks sees only the undrained
+     * tail.
+     */
+    void drainFinished(std::vector<Request> &out);
 
     /** Tokens generated so far across all requests. */
     std::int64_t totalGenerated() const { return totalGenerated_; }
@@ -125,16 +152,23 @@ class ContinuousBatcher
     BatcherConfig config_;
     ArrivalQueue arrivals_; //!< shared closed/open-loop gating
     std::vector<Request> active_;
-    std::vector<int> stagePrefillIds_; //!< admitted this stage
     bool stageOpen_ = false;
     std::vector<Request> finished_;
     std::vector<Request> stillActiveScratch_; //!< completeStage reuse
     StageAggregates decodeAgg_; //!< active decode sequences
+
+    /**
+     * Incrementally maintained sum over active_ of
+     * (inputLen + outputLen) — each request's full-lifetime KV
+     * budget. Replaces the former per-stage activeKvTokens() walk:
+     * admission adds the budget, retirement subtracts it, so
+     * formStage's KV headroom check is O(1).
+     */
+    std::int64_t activeLifetimeKv_ = 0;
+
     std::int64_t totalGenerated_ = 0;
     std::int64_t decodeOnly_ = 0;
     std::int64_t mixed_ = 0;
-
-    std::int64_t activeKvTokens() const;
 };
 
 } // namespace duplex

@@ -1,25 +1,67 @@
 #include "sched/metrics.hh"
 
+#include <algorithm>
+
+#include "common/log.hh"
+
 namespace duplex
 {
+
+void
+MetricsAccumulator::ingest(const Request &request)
+{
+    ++ingested_;
+    if (ingested_ <= skip_)
+        return; // warm-up request, excluded by completion order
+    // One copy of the extraction rule, dispatched to either sink
+    // family (SampleStats or BoundedStats — both expose add()).
+    // The order mirrors the retained-vector collectMetrics walk
+    // exactly (T2FT, E2E, then the token gaps), so the exact
+    // mode's SampleStats — including the running float sums — are
+    // bit-identical to the legacy path.
+    const auto extract = [&](auto &t2ft, auto &e2e, auto &tbt,
+                             auto &worst_gap) {
+        if (request.firstToken >= 0)
+            t2ft.add(psToMs(request.firstToken - request.arrival));
+        if (request.finished >= 0)
+            e2e.add(psToMs(request.finished - request.arrival));
+        double worst = -1.0;
+        for (std::size_t t = 1; t < request.tokenTimes.size();
+             ++t) {
+            const double gap = psToMs(request.tokenTimes[t] -
+                                      request.tokenTimes[t - 1]);
+            tbt.add(gap);
+            worst = std::max(worst, gap);
+        }
+        if (worst >= 0.0)
+            worst_gap.add(worst);
+    };
+    if (bounded_)
+        extract(bounded_->t2ftMs, bounded_->e2eMs,
+                bounded_->tbtMs, bounded_->worstGapMs);
+    else
+        extract(metrics_.t2ftMs, metrics_.e2eMs, metrics_.tbtMs,
+                worstGap_);
+}
+
+BoundedLatencyMetrics
+MetricsAccumulator::takeBounded()
+{
+    panicIf(!bounded_,
+            "takeBounded on an exact-mode MetricsAccumulator");
+    BoundedLatencyMetrics out = std::move(*bounded_);
+    bounded_.reset();
+    return out;
+}
 
 ServingMetrics
 collectMetrics(const std::vector<Request> &finished,
                std::size_t skip_requests)
 {
-    ServingMetrics m;
-    for (std::size_t i = skip_requests; i < finished.size(); ++i) {
-        const Request &r = finished[i];
-        if (r.firstToken >= 0)
-            m.t2ftMs.add(psToMs(r.firstToken - r.arrival));
-        if (r.finished >= 0)
-            m.e2eMs.add(psToMs(r.finished - r.arrival));
-        for (std::size_t t = 1; t < r.tokenTimes.size(); ++t) {
-            m.tbtMs.add(
-                psToMs(r.tokenTimes[t] - r.tokenTimes[t - 1]));
-        }
-    }
-    return m;
+    MetricsAccumulator acc(skip_requests);
+    for (const Request &r : finished)
+        acc.ingest(r);
+    return acc.takeMetrics();
 }
 
 void

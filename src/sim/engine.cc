@@ -103,6 +103,10 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
     bcfg.maxBatch = config_.maxBatch;
     bcfg.maxPrefillsPerStage = config_.maxPrefillsPerStage;
     bcfg.maxKvTokens = system.maxKvTokens();
+    // Aggregate-only stages unless the system stripes per-context
+    // values (multi-node nodeShare): forming a stage is then
+    // O(changes-to-the-batch), not O(batch).
+    bcfg.exactStageView = system.needsExactStageView();
     // The same shared arrival stream every driver loop consumes
     // (sched/arrivals.hh): the workload registry builds the source
     // by name, and the closed/open-loop discipline lives in one
@@ -111,6 +115,22 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
         bcfg, ArrivalQueue(makeWorkload(config_.workloadIdOrDefault(),
                                         config_.workload),
                            config_.numRequests));
+
+    // Retirement streaming (the default): finished requests are
+    // drained every stage, their latency samples extracted by the
+    // accumulator, and the Request — tokenTimes vector included —
+    // dropped on the spot. The driver retains no finished
+    // requests; only the extracted sample doubles grow (Bounded
+    // mode replaces even those with fixed-bin histograms for flat
+    // memory). Retained mode keeps the legacy grow-forever vector
+    // as the reference path (bit-identical by property test).
+    const bool retained =
+        config_.metricsMode == MetricsMode::Retained;
+    MetricsAccumulator accumulator = makeMetricsAccumulator(
+        config_.metricsMode,
+        static_cast<std::size_t>(config_.warmupRequests),
+        config_.boundedLatency);
+    std::vector<Request> drained;
 
     SimResult result;
     PicoSec now = 0;
@@ -136,8 +156,8 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
         }
         result.peakBatch = std::max(
             result.peakBatch,
-            static_cast<int>(stage.decodeContexts.size() +
-                             stage.prefillLengths.size()));
+            static_cast<int>(stage.agg.numDecode +
+                             stage.agg.numPrefill));
         const PicoSec stage_start = now;
         const StageResult sr = system.executeStage(stage);
         now += sr.time;
@@ -147,14 +167,28 @@ SimulationEngine::runBatcherLoop(ServingSystem &system,
         observer.onStage({stages, stage_start, now, stage, sr,
                           stage.contextTokens()});
         ++stages;
-        for (; retired < batcher.finished().size(); ++retired)
-            observer.onRequestRetired(batcher.finished()[retired],
-                                      now);
+        if (retained) {
+            for (; retired < batcher.finished().size(); ++retired)
+                observer.onRequestRetired(
+                    batcher.finished()[retired], now);
+        } else {
+            batcher.drainFinished(drained);
+            for (const Request &r : drained) {
+                observer.onRequestRetired(r, now);
+                accumulator.ingest(r);
+            }
+        }
     }
 
-    result.metrics = collectMetrics(
-        batcher.finished(),
-        static_cast<std::size_t>(config_.warmupRequests));
+    result.metrics =
+        retained ? collectMetrics(batcher.finished(),
+                                  static_cast<std::size_t>(
+                                      config_.warmupRequests))
+                 : accumulator.takeMetrics();
+    if (config_.metricsMode == MetricsMode::Bounded)
+        result.boundedLatency =
+            std::make_shared<const BoundedLatencyMetrics>(
+                accumulator.takeBounded());
     result.generatedTokens = batcher.totalGenerated();
     warmup.finalize(result.metrics, now, batcher.totalGenerated());
     result.metrics.decodingOnlyStages = batcher.decodingOnlyStages();

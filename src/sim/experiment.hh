@@ -6,6 +6,7 @@
 #ifndef DUPLEX_SIM_EXPERIMENT_HH
 #define DUPLEX_SIM_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 
 #include "cluster/cluster.hh"
@@ -75,6 +76,20 @@ struct SimConfig
     /** Prefills admitted per stage (see BatcherConfig). */
     int maxPrefillsPerStage = 4;
 
+    /**
+     * How the driver loop retains latency metrics (see
+     * sched/metrics.hh). Streaming (default) drains retired
+     * requests each stage — bit-identical results at flat memory;
+     * Retained is the legacy keep-every-request reference path;
+     * Bounded streams into fixed-bin histograms (boundedLatency
+     * below) for O(1)-memory campaigns, with approximate
+     * percentiles.
+     */
+    MetricsMode metricsMode = MetricsMode::Streaming;
+
+    /** Histogram shape for MetricsMode::Bounded runs. */
+    BoundedSpec boundedLatency;
+
     std::uint64_t seed = 7;
 };
 
@@ -83,6 +98,13 @@ struct SimResult
 {
     ServingMetrics metrics; //!< throughput over the measured window
     StageResult totals;     //!< full-run time/energy breakdown
+
+    /**
+     * Fixed-bin latency histograms, set only by
+     * MetricsMode::Bounded runs (metrics' latency SampleStats stay
+     * empty there). Shared so SimResult stays cheap to copy.
+     */
+    std::shared_ptr<const BoundedLatencyMetrics> boundedLatency;
 
     /** Tokens generated over the whole run (incl. warm-up). */
     std::int64_t generatedTokens = 0;

@@ -181,12 +181,15 @@ void
 ProgressPrinter::onStage(const StageObservation &obs)
 {
     if (every_ > 0 && (obs.index + 1) % every_ == 0) {
+        // decodeTokens(), not decodeContexts.size(): the default
+        // stage view is aggregate-only.
         std::fprintf(out_,
-                     "[sim] stage %lld: t=%.1f ms, batch %zu+%zu, "
+                     "[sim] stage %lld: t=%.1f ms, batch %lld+%zu, "
                      "%lld requests done\n",
                      static_cast<long long>(obs.index + 1),
                      psToMs(obs.end),
-                     obs.shape.decodeContexts.size(),
+                     static_cast<long long>(
+                         obs.shape.decodeTokens()),
                      obs.shape.prefillLengths.size(),
                      static_cast<long long>(retired_));
     }

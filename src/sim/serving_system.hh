@@ -48,6 +48,18 @@ class ServingSystem
     virtual std::string describe() const = 0;
 
     /**
+     * True when executeStage consumes per-sequence context values
+     * (StageShape.decodeContexts) rather than the O(1)
+     * StageAggregates. The engine's driver loop asks this before
+     * building its scheduler: only systems that answer true pay
+     * the per-stage O(batch) walk that fills the vector; everyone
+     * else gets the aggregate-only stage view, which the PR-2
+     * closed forms price bit-identically. Multi-node clusters
+     * (nodeShare striping) are the one in-tree consumer.
+     */
+    virtual bool needsExactStageView() const { return false; }
+
+    /**
      * Systems whose request lifecycle deviates from the engine's
      * continuous-batching loop (e.g. disaggregated prefill/decode)
      * run their own driver here and return the result; the default
@@ -74,6 +86,12 @@ class ClusterSystem : public ServingSystem
     std::int64_t maxKvTokens() const override;
     const std::string &name() const override { return name_; }
     std::string describe() const override;
+
+    /** Multi-node clusters stripe per-context values (nodeShare). */
+    bool needsExactStageView() const override
+    {
+        return cluster_.config().topo.numNodes > 1;
+    }
 
     /** The underlying cluster, for config-level inspection. */
     const Cluster &cluster() const { return cluster_; }

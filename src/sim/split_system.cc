@@ -89,15 +89,24 @@ SplitSystem::decodeDevices() const
 StageResult
 SplitSystem::executeStage(const StageShape &stage)
 {
+    // Split the stage by aggregates so aggregate-only shapes (the
+    // schedulers' default view) work too; per-context vectors are
+    // forwarded when present (hand-built shapes).
+    const StageAggregates agg = stage.aggregates();
     StageShape prefill_part;
     prefill_part.prefillLengths = stage.prefillLengths;
+    prefill_part.agg = {0, 0, agg.numPrefill, agg.prefillSum,
+                        agg.prefillSqSum};
+    prefill_part.aggValid = true;
     StageShape decode_part;
     decode_part.decodeContexts = stage.decodeContexts;
+    decode_part.agg = {agg.numDecode, agg.contextSum, 0, 0, 0};
+    decode_part.aggValid = true;
 
     StageResult r;
-    if (!prefill_part.prefillLengths.empty())
+    if (agg.numPrefill > 0)
         r += prefill_.executeStage(prefill_part);
-    if (!decode_part.decodeContexts.empty())
+    if (agg.numDecode > 0)
         r += decode_.executeStage(decode_part);
     return r;
 }
@@ -151,6 +160,16 @@ SplitSystem::runCustomLoop(const SimConfig &config,
 
     std::vector<PendingDecode> transferred;
     std::vector<Request> active;
+
+    // Retirement streaming, mirroring the engine loop: retired
+    // requests are ingested (and dropped) immediately unless the
+    // caller asked for the retained reference path.
+    const bool retained =
+        config.metricsMode == MetricsMode::Retained;
+    MetricsAccumulator accumulator = makeMetricsAccumulator(
+        config.metricsMode,
+        static_cast<std::size_t>(config.warmupRequests),
+        config.boundedLatency);
     std::vector<Request> finished;
 
     LinkQueue link(nvlink_);
@@ -166,13 +185,12 @@ SplitSystem::runCustomLoop(const SimConfig &config,
 
     std::vector<GroupObservation> group_scratch;
 
-    auto kv_tokens_active = [&]() {
-        // Full-lifetime budget, matching the batcher's admission.
-        std::int64_t total = 0;
-        for (const auto &r : active)
-            total += r.inputLen + r.outputLen;
-        return total;
-    };
+    // Incrementally maintained over `active`, replacing the former
+    // per-round walks: the full-lifetime KV budget (the batcher's
+    // admission rule) and the decode-set aggregates the O(1) cost
+    // model prices stages from.
+    std::int64_t active_lifetime_kv = 0;
+    StageAggregates decode_agg;
 
     while ((!waiting.empty() || !transferred.empty() ||
             !active.empty()) &&
@@ -195,8 +213,10 @@ SplitSystem::runCustomLoop(const SimConfig &config,
                        max_prefill_batch) {
                 Request r = waiting.pop(prefill_now);
                 stage.prefillLengths.push_back(r.inputLen);
+                stage.agg.addPrefill(r.inputLen);
                 batch.push_back(std::move(r));
             }
+            stage.aggValid = true;
             const PicoSec stage_start = prefill_now;
             const StageResult sr = prefill_.executeStage(stage);
             prefill_now += sr.time;
@@ -232,7 +252,7 @@ SplitSystem::runCustomLoop(const SimConfig &config,
                   [](const PendingDecode &a, const PendingDecode &b) {
                       return a.readyAt < b.readyAt;
                   });
-        std::int64_t kv = kv_tokens_active();
+        std::int64_t kv = active_lifetime_kv;
         for (auto it = transferred.begin();
              it != transferred.end();) {
             if (static_cast<int>(active.size()) >= config.maxBatch)
@@ -261,6 +281,9 @@ SplitSystem::runCustomLoop(const SimConfig &config,
                 break;
             }
             kv += it->req.contextLen();
+            active_lifetime_kv +=
+                it->req.inputLen + it->req.outputLen;
+            decode_agg.addDecode(it->req.contextLen());
             active.push_back(it->req);
             it = transferred.erase(it);
         }
@@ -271,10 +294,13 @@ SplitSystem::runCustomLoop(const SimConfig &config,
             continue;
         }
 
-        // One decode-only stage.
+        // One decode-only stage, published aggregate-only: the
+        // decode group's O(1) cost model prices it from the
+        // incrementally maintained sums, bit-identical to the
+        // former per-context vector.
         StageShape stage;
-        for (const auto &r : active)
-            stage.decodeContexts.push_back(r.contextLen());
+        stage.agg = decode_agg;
+        stage.aggValid = true;
         const PicoSec stage_start = decode_now;
         const StageResult sr = decode_.executeStage(stage);
         decode_now += sr.time;
@@ -291,25 +317,38 @@ SplitSystem::runCustomLoop(const SimConfig &config,
         std::vector<Request> still;
         still.reserve(active.size());
         for (auto &r : active) {
+            decode_agg.removeDecode(r.contextLen());
             r.generated += 1;
             r.tokenTimes.push_back(decode_now);
             ++total_generated;
             if (r.done()) {
                 r.finished = decode_now;
+                active_lifetime_kv -= r.inputLen + r.outputLen;
                 observer.onRequestRetired(r, decode_now);
-                finished.push_back(r);
+                if (retained)
+                    finished.push_back(std::move(r));
+                else
+                    accumulator.ingest(r); // then dropped
             } else {
+                decode_agg.addDecode(r.contextLen());
                 still.push_back(std::move(r));
             }
         }
         active = std::move(still);
         result.peakBatch = std::max(
             result.peakBatch,
-            static_cast<int>(stage.decodeContexts.size()));
+            static_cast<int>(stage.agg.numDecode));
     }
 
-    result.metrics = collectMetrics(
-        finished, static_cast<std::size_t>(config.warmupRequests));
+    result.metrics =
+        retained ? collectMetrics(finished,
+                                  static_cast<std::size_t>(
+                                      config.warmupRequests))
+                 : accumulator.takeMetrics();
+    if (config.metricsMode == MetricsMode::Bounded)
+        result.boundedLatency =
+            std::make_shared<const BoundedLatencyMetrics>(
+                accumulator.takeBounded());
     result.generatedTokens = total_generated;
     result.metrics.totalTokens = total_generated;
     result.metrics.elapsed = std::max(prefill_now, decode_now);

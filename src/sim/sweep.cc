@@ -20,10 +20,40 @@ SweepRunner::SweepRunner(int num_workers)
     }
 }
 
+namespace
+{
+
+ObservedRun
+runOne(const SimConfig &config, const ObserverFactory &factory)
+{
+    ObservedRun run;
+    if (factory)
+        run.observers = factory(config);
+    SimulationEngine engine(config);
+    for (const std::unique_ptr<SimObserver> &o : run.observers)
+        engine.addObserver(o.get());
+    run.result = engine.run();
+    return run;
+}
+
+} // namespace
+
 std::vector<SimResult>
 SweepRunner::run(const std::vector<SimConfig> &configs) const
 {
-    std::vector<SimResult> results(configs.size());
+    std::vector<ObservedRun> runs = runObserved(configs, {});
+    std::vector<SimResult> results;
+    results.reserve(runs.size());
+    for (ObservedRun &r : runs)
+        results.push_back(std::move(r.result));
+    return results;
+}
+
+std::vector<ObservedRun>
+SweepRunner::runObserved(const std::vector<SimConfig> &configs,
+                         const ObserverFactory &factory) const
+{
+    std::vector<ObservedRun> results(configs.size());
     if (configs.empty())
         return results;
 
@@ -31,12 +61,13 @@ SweepRunner::run(const std::vector<SimConfig> &configs) const
         std::min(workers_, static_cast<int>(configs.size()));
     if (pool <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = SimulationEngine(configs[i]).run();
+            results[i] = runOne(configs[i], factory);
         return results;
     }
 
     // Registry lookups are concurrent reads; every run owns its
-    // system instance, so workers only share the work queue.
+    // system instance and its observers, so workers only share the
+    // work queue (the factory must be thread-safe, see sweep.hh).
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
@@ -50,7 +81,7 @@ SweepRunner::run(const std::vector<SimConfig> &configs) const
                 failed.load(std::memory_order_relaxed))
                 return;
             try {
-                results[i] = SimulationEngine(configs[i]).run();
+                results[i] = runOne(configs[i], factory);
             } catch (...) {
                 const std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)

@@ -7,19 +7,45 @@
  * so runs share no mutable state and the sweep is embarrassingly
  * parallel; results come back in input order, making the figure
  * benches' normalize-against-baseline loops a drop-in migration.
- * Observers are not supported on parallel runs — attach them to a
- * serial SimulationEngine instead.
+ *
+ * Observers ARE supported on parallel runs (PR 5): pass an
+ * observer factory and each run gets its own private observer set,
+ * returned alongside its SimResult — so sweeps can collect SLO
+ * attainment, stage histograms, or any other SimObserver-derived
+ * metric without falling back to a serial engine.
  */
 
 #ifndef DUPLEX_SIM_SWEEP_HH
 #define DUPLEX_SIM_SWEEP_HH
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/experiment.hh"
 
 namespace duplex
 {
+
+class SimObserver;
+
+/**
+ * Builds the observers one sweep run attaches; called once per
+ * configuration, possibly concurrently from worker threads, so it
+ * must be thread-safe (pure construction — no shared mutable
+ * state). The returned observers are private to that run and come
+ * back, filled, in ObservedRun.observers.
+ */
+using ObserverFactory =
+    std::function<std::vector<std::unique_ptr<SimObserver>>(
+        const SimConfig &)>;
+
+/** One sweep run's result plus the observers that watched it. */
+struct ObservedRun
+{
+    SimResult result;
+    std::vector<std::unique_ptr<SimObserver>> observers;
+};
 
 /** Runs batches of independent simulations on a worker pool. */
 class SweepRunner
@@ -41,6 +67,16 @@ class SweepRunner
      */
     std::vector<SimResult>
     run(const std::vector<SimConfig> &configs) const;
+
+    /**
+     * Like run(), but each run attaches the observers @p factory
+     * builds for its configuration and returns them (filled) with
+     * its result, in input order. A null factory degenerates to
+     * plain runs.
+     */
+    std::vector<ObservedRun>
+    runObserved(const std::vector<SimConfig> &configs,
+                const ObserverFactory &factory) const;
 
   private:
     int workers_;

@@ -109,6 +109,120 @@ TEST(SampleStats, Merge)
     EXPECT_DOUBLE_EQ(a.max(), 4.0);
 }
 
+TEST(SampleStats, MergePlusPercentileMatchesAddOneAtATime)
+{
+    // Merge reserves, appends, and marks the destination unsorted
+    // exactly once; the queryable state must be indistinguishable
+    // from adding every sample individually — including a merge
+    // performed after the destination was already sorted by a
+    // query, and a merge of an empty accumulator (a no-op).
+    SampleStats merged;
+    SampleStats one_at_a_time;
+    SampleStats chunk;
+    for (double v : {9.0, 1.0, 4.0}) {
+        merged.add(v);
+        one_at_a_time.add(v);
+    }
+    EXPECT_DOUBLE_EQ(merged.percentile(50), 4.0); // forces a sort
+    for (double v : {2.0, 8.0, 0.5, 7.0}) {
+        chunk.add(v);
+        one_at_a_time.add(v);
+    }
+    merged.merge(chunk);
+    merged.merge(SampleStats{}); // empty merge: no-op
+    EXPECT_EQ(merged.count(), one_at_a_time.count());
+    EXPECT_DOUBLE_EQ(merged.sum(), one_at_a_time.sum());
+    EXPECT_DOUBLE_EQ(merged.min(), one_at_a_time.min());
+    EXPECT_DOUBLE_EQ(merged.max(), one_at_a_time.max());
+    for (int p = 0; p <= 100; p += 10)
+        EXPECT_DOUBLE_EQ(merged.percentile(p),
+                         one_at_a_time.percentile(p))
+            << "p" << p;
+}
+
+TEST(BoundedStatsTest, ExactCountSumAndExtremes)
+{
+    BoundedStats s({100.0, 10});
+    for (double v : {3.0, 97.0, 12.0, 55.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 167.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 41.75);
+    EXPECT_DOUBLE_EQ(s.min(), 3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 97.0);
+}
+
+TEST(BoundedStatsTest, EmptyIsZero)
+{
+    BoundedStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.percentile(50), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(1.0), 1.0);
+}
+
+TEST(BoundedStatsTest, PercentileWithinBinResolution)
+{
+    const BoundedSpec spec{1000.0, 1000}; // 1.0-wide bins
+    BoundedStats bounded(spec);
+    SampleStats exact;
+    // Deterministic pseudo-random-ish spread.
+    for (int i = 0; i < 5000; ++i) {
+        const double v =
+            static_cast<double>((i * 7919) % 997) + 0.25;
+        bounded.add(v);
+        exact.add(v);
+    }
+    for (double p : {1.0, 25.0, 50.0, 90.0, 99.0})
+        EXPECT_NEAR(bounded.percentile(p), exact.percentile(p),
+                    1.0)
+            << "p" << p;
+    EXPECT_NEAR(bounded.fractionAtMost(500.0),
+                exact.fractionAtMost(500.0), 0.01);
+}
+
+TEST(BoundedStatsTest, PercentileMonotoneAndClampedToRange)
+{
+    BoundedStats s({10.0, 4}); // coarse bins
+    for (double v : {1.0, 1.2, 3.3, 7.7, 9.9})
+        s.add(v);
+    double prev = s.percentile(0);
+    EXPECT_GE(prev, s.min());
+    for (int p = 10; p <= 100; p += 10) {
+        const double cur = s.percentile(p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+    EXPECT_LE(s.percentile(100), s.max());
+}
+
+TEST(BoundedStatsTest, OverflowBinReportsExactMax)
+{
+    BoundedStats s({10.0, 10});
+    s.add(5.0);
+    s.add(123456.0); // beyond the binned range
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.max(), 123456.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 123456.0);
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(123456.0), 1.0);
+}
+
+TEST(BoundedStatsTest, FractionAtMostInsideOverflowRange)
+{
+    // A threshold between maxValue and the exact max must credit
+    // every regular-bin sample and interpolate the overflow
+    // samples over their observed range — not drop them.
+    BoundedStats s({10.0, 10});
+    s.add(5.0);
+    s.add(15.0);
+    s.add(20.0);
+    // (17 - 10) / (20 - 10) = 0.7 of the 2 overflow samples -> 1,
+    // plus the one regular sample: 2 of 3.
+    EXPECT_NEAR(s.fractionAtMost(17.0), 2.0 / 3.0, 1e-12);
+    EXPECT_GE(s.fractionAtMost(19.9), s.fractionAtMost(10.5));
+    EXPECT_DOUBLE_EQ(s.fractionAtMost(20.0), 1.0);
+}
+
 TEST(SampleStats, FractionAtMost)
 {
     SampleStats s;

@@ -44,6 +44,7 @@ TEST(ContinuousBatcher, PrefillProducesFirstToken)
 {
     BatcherConfig cfg;
     cfg.maxBatch = 2;
+    cfg.exactStageView = true; // pin the per-context slow path
     ContinuousBatcher b(cfg, makeRequests(2, 128, 4));
     b.formStage(0);
     b.completeStage(1000);
@@ -190,6 +191,7 @@ TEST(ContinuousBatcher, StagePublishesValidAggregates)
 {
     BatcherConfig cfg;
     cfg.maxBatch = 4;
+    cfg.exactStageView = true; // compare agg against the vectors
     ContinuousBatcher b(cfg, makeRequests(8, 64, 4));
     PicoSec now = 0;
     while (!b.allDone()) {
@@ -209,6 +211,7 @@ TEST(ContinuousBatcher, IncrementalAggregatesSurviveChurn)
     BatcherConfig cfg;
     cfg.maxBatch = 6;
     cfg.maxPrefillsPerStage = 2;
+    cfg.exactStageView = true; // compare agg against the vectors
     std::vector<Request> reqs;
     for (int i = 0; i < 24; ++i) {
         Request r;
@@ -234,10 +237,135 @@ TEST(ContinuousBatcher, IncrementalAggregatesSurviveChurn)
     EXPECT_EQ(b.activeDecodeAggregates(), StageAggregates{});
 }
 
+std::vector<Request>
+churnRequests(int n)
+{
+    // Mixed lifetimes: staggered admissions and retirements.
+    std::vector<Request> reqs;
+    for (int i = 0; i < n; ++i) {
+        Request r;
+        r.id = i;
+        r.inputLen = 16 + 13 * (i % 7);
+        r.outputLen = 1 + i % 5;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+TEST(ContinuousBatcher, AggregateOnlyViewMatchesExactView)
+{
+    // The default (fast) stage view publishes no per-context
+    // vector; its aggregates, stage typing, admission decisions
+    // and retirement stream must be identical to the opt-in exact
+    // view at every stage — including under a tight KV cap, which
+    // exercises the incremental lifetime-KV accounting against the
+    // exact twin's admissions.
+    BatcherConfig exact_cfg;
+    exact_cfg.maxBatch = 6;
+    exact_cfg.maxPrefillsPerStage = 2;
+    exact_cfg.maxKvTokens = 400;
+    exact_cfg.exactStageView = true;
+    BatcherConfig fast_cfg = exact_cfg;
+    fast_cfg.exactStageView = false;
+
+    ContinuousBatcher exact(exact_cfg, churnRequests(24));
+    ContinuousBatcher fast(fast_cfg, churnRequests(24));
+    PicoSec now = 0;
+    while (!exact.allDone()) {
+        ASSERT_FALSE(fast.allDone());
+        const StageShape se = exact.formStage(now);
+        const StageShape sf = fast.formStage(now);
+        ASSERT_TRUE(sf.aggValid);
+        EXPECT_TRUE(sf.decodeContexts.empty());
+        EXPECT_EQ(sf.agg, se.agg);
+        EXPECT_EQ(sf.agg, aggregatesOf(se));
+        EXPECT_EQ(sf.prefillLengths, se.prefillLengths);
+        EXPECT_EQ(sf.decodeTokens(), se.decodeTokens());
+        EXPECT_EQ(sf.totalTokens(), se.totalTokens());
+        EXPECT_EQ(sf.contextTokens(), se.contextTokens());
+        now += 50;
+        exact.completeStage(now);
+        fast.completeStage(now);
+    }
+    EXPECT_TRUE(fast.allDone());
+    EXPECT_EQ(exact.mixedStages(), fast.mixedStages());
+    EXPECT_EQ(exact.decodingOnlyStages(),
+              fast.decodingOnlyStages());
+    ASSERT_EQ(exact.finished().size(), fast.finished().size());
+    for (std::size_t i = 0; i < exact.finished().size(); ++i) {
+        EXPECT_EQ(exact.finished()[i].id, fast.finished()[i].id);
+        EXPECT_EQ(exact.finished()[i].finished,
+                  fast.finished()[i].finished);
+    }
+}
+
+TEST(ContinuousBatcher, KvHeadroomMatchesWalkUnderChurn)
+{
+    // The incremental lifetime-KV sum must gate admission exactly
+    // as the per-stage walk did. On this churn workload that
+    // keeps resident context under the cap at every stage (the
+    // admission rule itself is the seed's: within one stage,
+    // earlier admissions count only their prompt, so pathological
+    // multi-admit mixes may overshoot later — identically in both
+    // implementations; the exact-view twin test pins the
+    // admission decisions themselves).
+    BatcherConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxKvTokens = 500;
+    ContinuousBatcher b(cfg, churnRequests(32));
+    PicoSec now = 0;
+    while (!b.allDone()) {
+        const StageShape s = b.formStage(now);
+        // Resident context (decode set + joining prompts) stays
+        // under the cap at every stage.
+        EXPECT_LE(s.contextTokens(), cfg.maxKvTokens);
+        now += 50;
+        b.completeStage(now);
+    }
+    EXPECT_EQ(b.finished().size(), 32u);
+}
+
+TEST(ContinuousBatcher, DrainFinishedMatchesRetainedStream)
+{
+    // Draining every stage must see the same requests, in the same
+    // retirement order, as the retained finished() vector — and
+    // leave nothing behind.
+    BatcherConfig cfg;
+    cfg.maxBatch = 4;
+    ContinuousBatcher retained(cfg, churnRequests(16));
+    ContinuousBatcher streaming(cfg, churnRequests(16));
+    std::vector<Request> drained_all;
+    std::vector<Request> scratch;
+    PicoSec now = 0;
+    while (!retained.allDone()) {
+        retained.formStage(now);
+        streaming.formStage(now);
+        now += 50;
+        retained.completeStage(now);
+        streaming.completeStage(now);
+        streaming.drainFinished(scratch);
+        for (Request &r : scratch)
+            drained_all.push_back(std::move(r));
+    }
+    EXPECT_TRUE(streaming.allDone());
+    EXPECT_TRUE(streaming.finished().empty()); // fully drained
+    ASSERT_EQ(drained_all.size(), retained.finished().size());
+    for (std::size_t i = 0; i < drained_all.size(); ++i) {
+        const Request &a = drained_all[i];
+        const Request &b = retained.finished()[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.arrival, b.arrival);
+        EXPECT_EQ(a.firstToken, b.firstToken);
+        EXPECT_EQ(a.finished, b.finished);
+        EXPECT_EQ(a.tokenTimes, b.tokenTimes);
+    }
+}
+
 TEST(ContinuousBatcher, ContextGrowsEachStage)
 {
     BatcherConfig cfg;
     cfg.maxBatch = 1;
+    cfg.exactStageView = true; // pin the per-context slow path
     ContinuousBatcher b(cfg, makeRequests(1, 100, 3));
     PicoSec now = 0;
     b.formStage(now);

@@ -111,6 +111,60 @@ TEST(Metrics, SloAttainmentVacuouslyMetWhenEmpty)
     EXPECT_DOUBLE_EQ(m.tbtAttainment({}), 1.0);
 }
 
+TEST(MetricsAccumulatorTest, StreamingMatchesCollectMetrics)
+{
+    // Ingesting at retirement must reproduce the retained-vector
+    // walk bit-for-bit, including the float-summation order.
+    std::vector<Request> reqs{
+        makeFinished(0, {2 * kPsPerMs, 5 * kPsPerMs, 6 * kPsPerMs}),
+        makeFinished(kPsPerMs, {3 * kPsPerMs, 9 * kPsPerMs}),
+        makeFinished(0, {7 * kPsPerMs}),
+    };
+    for (std::size_t skip : {0u, 1u, 2u, 3u, 7u}) {
+        const ServingMetrics retained = collectMetrics(reqs, skip);
+        MetricsAccumulator acc(skip);
+        for (const Request &r : reqs)
+            acc.ingest(r);
+        ServingMetrics streamed = acc.takeMetrics();
+        EXPECT_EQ(streamed.t2ftMs.count(), retained.t2ftMs.count());
+        EXPECT_EQ(streamed.t2ftMs.sum(), retained.t2ftMs.sum());
+        EXPECT_EQ(streamed.e2eMs.sum(), retained.e2eMs.sum());
+        EXPECT_EQ(streamed.tbtMs.count(), retained.tbtMs.count());
+        EXPECT_EQ(streamed.tbtMs.percentile(90),
+                  retained.tbtMs.percentile(90));
+    }
+}
+
+TEST(MetricsAccumulatorTest, WorstGapPerRequest)
+{
+    MetricsAccumulator acc(0);
+    // Gaps 3 ms and 1 ms: worst is 3.
+    acc.ingest(makeFinished(
+        0, {kPsPerMs, 4 * kPsPerMs, 5 * kPsPerMs}));
+    // Single-token request: no gap sample.
+    acc.ingest(makeFinished(0, {2 * kPsPerMs}));
+    EXPECT_EQ(acc.ingested(), 2u);
+    EXPECT_EQ(acc.worstGapMs().count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.worstGapMs().max(), 3.0);
+}
+
+TEST(MetricsAccumulatorTest, BoundedModeUsesHistograms)
+{
+    MetricsAccumulator acc(1, BoundedSpec{100.0, 100});
+    acc.ingest(makeFinished(0, {50 * kPsPerMs})); // skipped warm-up
+    acc.ingest(makeFinished(0, {2 * kPsPerMs, 4 * kPsPerMs}));
+    ASSERT_TRUE(acc.bounded());
+    // Exact-mode stats stay empty in bounded mode.
+    const ServingMetrics m = acc.takeMetrics();
+    EXPECT_EQ(m.t2ftMs.count(), 0u);
+    const BoundedLatencyMetrics h = acc.takeBounded();
+    EXPECT_EQ(h.t2ftMs.count(), 1u); // warm-up excluded
+    EXPECT_DOUBLE_EQ(h.t2ftMs.max(), 2.0);
+    EXPECT_EQ(h.tbtMs.count(), 1u);
+    EXPECT_EQ(h.worstGapMs.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.worstGapMs.max(), 2.0);
+}
+
 TEST(WarmupWindowTest, ThroughputOverPostWarmupWindow)
 {
     WarmupWindow w(2);

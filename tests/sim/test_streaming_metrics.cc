@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Retirement-streaming property tests: the drainFinished() +
+ * MetricsAccumulator path (MetricsMode::Streaming, the default)
+ * must be bit-identical to the retained-vector collectMetrics path
+ * (MetricsMode::Retained) on closed and open loops, for both the
+ * engine's batcher loop and the split system's custom loop —
+ * including the warm-up-request exclusion edge cases. Also covers
+ * the Bounded histogram mode's contract: exact counts/extremes,
+ * approximate percentiles, empty SampleStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+baseConfig(const std::string &system)
+{
+    SimConfig c;
+    c.systemName = system;
+    c.model = mixtralConfig();
+    c.maxBatch = 16;
+    c.workload.meanInputLen = 256;
+    c.workload.meanOutputLen = 64;
+    c.numRequests = 48;
+    c.warmupRequests = 8;
+    c.maxStages = 20000;
+    return c;
+}
+
+/** Bit-exact comparison of two sample accumulators. */
+void
+expectSameSamples(const SampleStats &a, const SampleStats &b,
+                  const char *what)
+{
+    EXPECT_EQ(a.count(), b.count()) << what;
+    EXPECT_EQ(a.sum(), b.sum()) << what;    // same fp add order
+    EXPECT_EQ(a.mean(), b.mean()) << what;
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_EQ(a.percentile(p), b.percentile(p))
+            << what << " p" << p;
+}
+
+void
+expectStreamingMatchesRetained(SimConfig config)
+{
+    config.metricsMode = MetricsMode::Streaming;
+    const SimResult streaming = SimulationEngine(config).run();
+    config.metricsMode = MetricsMode::Retained;
+    const SimResult retained = SimulationEngine(config).run();
+
+    EXPECT_EQ(streaming.metrics.elapsed, retained.metrics.elapsed);
+    EXPECT_EQ(streaming.metrics.totalTokens,
+              retained.metrics.totalTokens);
+    EXPECT_EQ(streaming.generatedTokens, retained.generatedTokens);
+    EXPECT_EQ(streaming.peakBatch, retained.peakBatch);
+    EXPECT_EQ(streaming.metrics.decodingOnlyStages,
+              retained.metrics.decodingOnlyStages);
+    EXPECT_EQ(streaming.metrics.mixedStages,
+              retained.metrics.mixedStages);
+    EXPECT_EQ(streaming.totals.time, retained.totals.time);
+    EXPECT_EQ(streaming.totals.totalEnergyJ(),
+              retained.totals.totalEnergyJ());
+    expectSameSamples(streaming.metrics.tbtMs,
+                      retained.metrics.tbtMs, "tbt");
+    expectSameSamples(streaming.metrics.t2ftMs,
+                      retained.metrics.t2ftMs, "t2ft");
+    expectSameSamples(streaming.metrics.e2eMs,
+                      retained.metrics.e2eMs, "e2e");
+}
+
+TEST(StreamingMetrics, EngineClosedLoopMatchesRetained)
+{
+    expectStreamingMatchesRetained(baseConfig("gpu"));
+}
+
+TEST(StreamingMetrics, EngineOpenLoopMatchesRetained)
+{
+    SimConfig c = baseConfig("gpu");
+    c.workload.qps = 4.0;
+    expectStreamingMatchesRetained(c);
+}
+
+TEST(StreamingMetrics, SplitClosedLoopMatchesRetained)
+{
+    expectStreamingMatchesRetained(baseConfig("duplex-split"));
+}
+
+TEST(StreamingMetrics, SplitOpenLoopMatchesRetained)
+{
+    SimConfig c = baseConfig("duplex-split");
+    c.workload.qps = 4.0;
+    expectStreamingMatchesRetained(c);
+}
+
+TEST(StreamingMetrics, ContendedSplitMatchesRetained)
+{
+    // The contended link reorders decode admissions relative to
+    // the free-copy model; retirement streaming must track it.
+    SimConfig c = baseConfig("duplex-split-contended");
+    c.workload.qps = 6.0;
+    expectStreamingMatchesRetained(c);
+}
+
+TEST(StreamingMetrics, WarmupExclusionEdges)
+{
+    // skip == 0 (nothing excluded), skip beyond the finished count
+    // (everything excluded), and skip == count (exact boundary).
+    for (int warmup : {0, 48, 1000}) {
+        SimConfig c = baseConfig("gpu");
+        c.warmupRequests = warmup;
+        expectStreamingMatchesRetained(c);
+    }
+    SimConfig c = baseConfig("gpu");
+    c.warmupRequests = 1000; // > every retirement
+    c.metricsMode = MetricsMode::Streaming;
+    const SimResult r = SimulationEngine(c).run();
+    EXPECT_EQ(r.metrics.t2ftMs.count(), 0u);
+    EXPECT_EQ(r.metrics.tbtMs.count(), 0u);
+    EXPECT_GT(r.generatedTokens, 0);
+}
+
+TEST(StreamingMetrics, ObserverStreamIdenticalAcrossModes)
+{
+    // The retirement order is part of the observer contract: both
+    // modes must fire the same onRequestRetired sequence.
+    class RetireLog : public SimObserver
+    {
+      public:
+        std::vector<std::pair<int, PicoSec>> log;
+        void onRequestRetired(const Request &r,
+                              PicoSec now) override
+        {
+            log.push_back({r.id, now});
+        }
+    };
+
+    SimConfig c = baseConfig("gpu");
+    c.metricsMode = MetricsMode::Streaming;
+    SimulationEngine streaming(c);
+    RetireLog a;
+    streaming.addObserver(&a);
+    streaming.run();
+
+    c.metricsMode = MetricsMode::Retained;
+    SimulationEngine retained(c);
+    RetireLog b;
+    retained.addObserver(&b);
+    retained.run();
+
+    EXPECT_EQ(a.log, b.log);
+    EXPECT_EQ(a.log.size(), 48u);
+}
+
+TEST(StreamingMetrics, BoundedModeApproximatesExact)
+{
+    SimConfig c = baseConfig("gpu");
+    c.metricsMode = MetricsMode::Streaming;
+    const SimResult exact = SimulationEngine(c).run();
+
+    c.metricsMode = MetricsMode::Bounded;
+    c.boundedLatency = {1000.0, 4096}; // sub-ms bins up to 1 s
+    const SimResult bounded = SimulationEngine(c).run();
+
+    // Throughput accounting is exact in every mode.
+    EXPECT_EQ(bounded.metrics.elapsed, exact.metrics.elapsed);
+    EXPECT_EQ(bounded.metrics.totalTokens,
+              exact.metrics.totalTokens);
+    // Latency SampleStats stay empty; the histograms carry the
+    // distribution with exact counts/extremes and bin-resolution
+    // percentiles.
+    EXPECT_EQ(bounded.metrics.tbtMs.count(), 0u);
+    ASSERT_NE(bounded.boundedLatency, nullptr);
+    const BoundedLatencyMetrics &h = *bounded.boundedLatency;
+    EXPECT_EQ(h.tbtMs.count(), exact.metrics.tbtMs.count());
+    EXPECT_EQ(h.t2ftMs.count(), exact.metrics.t2ftMs.count());
+    EXPECT_EQ(h.e2eMs.count(), exact.metrics.e2eMs.count());
+    EXPECT_EQ(h.tbtMs.min(), exact.metrics.tbtMs.min());
+    EXPECT_EQ(h.tbtMs.max(), exact.metrics.tbtMs.max());
+    const double bin = 1000.0 / 4096;
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_NEAR(h.tbtMs.percentile(p),
+                    exact.metrics.tbtMs.percentile(p), bin)
+            << "p" << p;
+    // Worst-gap per request: one sample per multi-token request
+    // (at most the 40 non-warm-up retirements).
+    EXPECT_GT(h.worstGapMs.count(), 0u);
+    EXPECT_LE(h.worstGapMs.count(), 40u);
+    EXPECT_GE(h.worstGapMs.min(), exact.metrics.tbtMs.min());
+    EXPECT_EQ(h.worstGapMs.max(), exact.metrics.tbtMs.max());
+    // Streaming/retained runs carry no histograms.
+    EXPECT_EQ(exact.boundedLatency, nullptr);
+}
+
+TEST(StreamingMetrics, SplitBoundedModeWorks)
+{
+    SimConfig c = baseConfig("duplex-split");
+    c.metricsMode = MetricsMode::Bounded;
+    const SimResult r = SimulationEngine(c).run();
+    ASSERT_NE(r.boundedLatency, nullptr);
+    EXPECT_EQ(r.boundedLatency->e2eMs.count(), 40u);
+    EXPECT_GT(r.boundedLatency->tbtMs.percentile(50), 0.0);
+    EXPECT_EQ(r.metrics.tbtMs.count(), 0u);
+}
+
+} // namespace
+} // namespace duplex

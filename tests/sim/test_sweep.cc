@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/engine.hh"
+#include "sim/observers.hh"
 #include "sim/sweep.hh"
 
 namespace duplex
@@ -70,6 +71,69 @@ TEST(SweepRunner, MatchesSerialEngineInOrder)
                          serial.totals.totalEnergyJ())
             << "config " << i;
     }
+}
+
+TEST(SweepRunner, ObserverFactoryAttachesPerRunObservers)
+{
+    // Each parallel run gets its own observers from the factory and
+    // returns them filled; the collected metrics must match a
+    // serial engine with the same observers attached.
+    const std::vector<SimConfig> configs = {
+        smallConfig("gpu", 8, 1),
+        smallConfig("duplex", 8, 2),
+        smallConfig("duplex-split", 8, 3),
+    };
+    const SloSpec slo{1500.0, 40.0};
+    const ObserverFactory factory = [&](const SimConfig &) {
+        std::vector<std::unique_ptr<SimObserver>> obs;
+        obs.push_back(std::make_unique<SloAttainment>(slo));
+        obs.push_back(std::make_unique<StageTimeHistogram>());
+        return obs;
+    };
+    const std::vector<ObservedRun> runs =
+        SweepRunner(3).runObserved(configs, factory);
+    ASSERT_EQ(runs.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        ASSERT_EQ(runs[i].observers.size(), 2u);
+        const auto *att = dynamic_cast<const SloAttainment *>(
+            runs[i].observers[0].get());
+        const auto *hist =
+            dynamic_cast<const StageTimeHistogram *>(
+                runs[i].observers[1].get());
+        ASSERT_NE(att, nullptr);
+        ASSERT_NE(hist, nullptr);
+
+        SimulationEngine serial(configs[i]);
+        SloAttainment serial_att(slo);
+        StageTimeHistogram serial_hist;
+        serial.addObserver(&serial_att);
+        serial.addObserver(&serial_hist);
+        const SimResult serial_result = serial.run();
+
+        EXPECT_EQ(att->totalRequests(),
+                  serial_att.totalRequests())
+            << "config " << i;
+        EXPECT_EQ(att->attainedRequests(),
+                  serial_att.attainedRequests())
+            << "config " << i;
+        EXPECT_EQ(hist->stageMs().count(),
+                  serial_hist.stageMs().count())
+            << "config " << i;
+        EXPECT_EQ(runs[i].result.metrics.elapsed,
+                  serial_result.metrics.elapsed)
+            << "config " << i;
+    }
+}
+
+TEST(SweepRunner, NullFactoryYieldsNoObservers)
+{
+    const std::vector<SimConfig> configs = {
+        smallConfig("gpu", 8, 1)};
+    const std::vector<ObservedRun> runs =
+        SweepRunner(1).runObserved(configs, {});
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_TRUE(runs[0].observers.empty());
+    EXPECT_GT(runs[0].result.generatedTokens, 0);
 }
 
 TEST(SweepRunner, SingleWorkerFallsBackToSerial)

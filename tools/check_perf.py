@@ -3,24 +3,45 @@
 
 Compares the tracked throughput metrics of a fresh bench_perf run
 against the committed baseline (bench/perf_baseline.json) and fails
-when any metric regresses beyond the tolerance. All tracked metrics
-are higher-is-better, so the gate is:
+when any metric regresses beyond the tolerance. Most tracked
+metrics are higher-is-better:
 
     current >= baseline * (1 - tolerance)
 
-Usage:
-    tools/check_perf.py BENCH_perf.json bench/perf_baseline.json
+Metrics named in the baseline's "lower_is_better" list (memory
+footprints such as driver_loop.peak_rss_mb) gate in the other
+direction:
+
+    current <= baseline * (1 + tolerance)
+
+Additional producer files (bench_longrun writes its driver_loop
+section to its own JSON so its RSS number is not polluted by the
+bench_perf process) are overlaid with --merge.
+
+Usage (the gate needs both producers — without --merge the
+driver_loop floors report MISSING):
     tools/check_perf.py BENCH_perf.json bench/perf_baseline.json \
-        --tolerance 0.25
+        --merge BENCH_longrun.json
     tools/check_perf.py BENCH_perf.json bench/perf_baseline.json \
-        --update   # rewrite the baseline from the current run
+        --merge BENCH_longrun.json --tolerance 0.25
+    tools/check_perf.py BENCH_perf.json bench/perf_baseline.json \
+        --merge BENCH_longrun.json \
+        --update   # refresh the baseline floors from this run
+
+--update refreshes only the metrics the current (merged) run
+produced; floors owned by a producer that did not run are kept,
+with a notice, so a bench_perf-only refresh cannot silently disarm
+the bench_longrun gate.
 
 Reproduce the CI perf job locally:
     cmake -B build-release -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
-    cmake --build build-release --target bench_perf
+    cmake --build build-release --target bench_perf bench_longrun
     (cd build-release && ./bench_perf)
+    (cd build-release && ./bench_longrun --requests=200000 \
+        --json=BENCH_longrun.json)
     python3 tools/check_perf.py build-release/BENCH_perf.json \
-        bench/perf_baseline.json
+        bench/perf_baseline.json \
+        --merge build-release/BENCH_longrun.json
 """
 
 import argparse
@@ -29,15 +50,21 @@ import sys
 
 
 def tracked_metrics(perf):
-    """Flatten the higher-is-better metrics of a BENCH_perf dict."""
-    metrics = {"cost_model.speedup": perf["cost_model"]["speedup"]}
-    for name, value in perf["stage_exec"].items():
+    """Flatten the tracked metrics of a (merged) BENCH_perf dict."""
+    metrics = {}
+    if "cost_model" in perf:
+        metrics["cost_model.speedup"] = perf["cost_model"]["speedup"]
+    for name, value in perf.get("stage_exec", {}).items():
         metrics[f"stage_exec.{name}"] = value
     for name, value in perf.get("workload_gen", {}).items():
         metrics[f"workload_gen.{name}"] = value
-    for sweep in perf["figure_sweeps"]:
+    for sweep in perf.get("figure_sweeps", []):
         key = f"figure_sweeps.{sweep['name']}.stages_per_sec"
         metrics[key] = sweep["stages_per_sec"]
+    driver = perf.get("driver_loop", {})
+    for name in ("requests_per_sec", "peak_rss_mb"):
+        if name in driver:
+            metrics[f"driver_loop.{name}"] = driver[name]
     return metrics
 
 
@@ -46,6 +73,10 @@ def main():
         description="perf regression gate over BENCH_perf.json")
     parser.add_argument("current", help="BENCH_perf.json from bench_perf")
     parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--merge", action="append", default=[], metavar="JSON",
+        help="overlay another producer's JSON (e.g. bench_longrun's "
+             "driver_loop section) before checking")
     parser.add_argument(
         "--tolerance", type=float, default=None,
         help="allowed fractional regression (default: the "
@@ -57,14 +88,27 @@ def main():
     args = parser.parse_args()
 
     with open(args.current, encoding="utf-8") as f:
-        current = tracked_metrics(json.load(f))
+        perf = json.load(f)
+    for extra in args.merge:
+        with open(extra, encoding="utf-8") as f:
+            perf.update(json.load(f))
+    current = tracked_metrics(perf)
 
     with open(args.baseline, encoding="utf-8") as f:
         baseline = json.load(f)
+    lower_is_better = set(baseline.get("lower_is_better", []))
 
     if args.update:
-        baseline["metrics"] = {k: round(v, 3)
-                               for k, v in current.items()}
+        # Refresh in place: update/add what this run measured, keep
+        # floors owned by producers that did not run (dropping them
+        # would silently disarm their gate).
+        merged = dict(baseline.get("metrics", {}))
+        merged.update({k: round(v, 3) for k, v in current.items()})
+        for key in sorted(set(merged) - set(current)):
+            print(f"note: {key} not in this run; keeping the "
+                  f"committed floor (run its producer and --merge "
+                  f"to refresh it)")
+        baseline["metrics"] = merged
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(baseline, f, indent=2)
             f.write("\n")
@@ -84,12 +128,17 @@ def main():
             failures.append(key)
             print(f"  {key:<{width}}  MISSING from current run")
             continue
-        allowed = floor * (1.0 - tolerance)
-        ok = have >= allowed
+        if key in lower_is_better:
+            allowed = floor * (1.0 + tolerance)
+            ok = have <= allowed
+        else:
+            allowed = floor * (1.0 - tolerance)
+            ok = have >= allowed
+        direction = "<=" if key in lower_is_better else ">="
         status = "ok" if ok else "REGRESSED"
         print(f"  {key:<{width}}  baseline {floor:12.3f}  "
-              f"current {have:12.3f}  ({have / floor:6.2f}x)  "
-              f"{status}")
+              f"current {have:12.3f}  ({have / floor:6.2f}x, "
+              f"want {direction} {allowed:.3f})  {status}")
         if not ok:
             failures.append(key)
 
@@ -100,7 +149,7 @@ def main():
 
     if failures:
         print(f"FAIL: {len(failures)} metric(s) regressed more "
-              f"than {tolerance:.0%} below baseline")
+              f"than {tolerance:.0%} beyond baseline")
         return 1
     print("PASS: no tracked metric regressed beyond tolerance")
     return 0
