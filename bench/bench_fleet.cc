@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Fleet bench: the routing-policy x fleet-size sweep, judged by
+ * SLO attainment and goodput — which policy keeps a fleet of
+ * identical instances inside its latency budget, and how that
+ * changes as the fleet grows under a fixed per-instance offered
+ * load.
+ *
+ * Every cell is one FleetDriver run (fleet/fleet.hh): N gpu
+ * instances behind the policy, one shared open-loop stream at
+ * qps-per-instance x N. Cells are independent, so the sweep runs
+ * on the SweepRunner worker pool via runTasks() — the generic
+ * primitive under the figure benches' runSweep().
+ *
+ * Output discipline (same as bench_longrun): everything
+ * deterministic (the policy table) goes to stdout — the CI
+ * determinism job can diff two runs byte-for-byte. Wall-clock and
+ * RSS go to stderr and, with --json=PATH, into a JSON file the CI
+ * perf job merges into the BENCH_perf gate
+ * (fleet.requests_per_sec floor; see tools/check_perf.py).
+ *
+ *   ./bench_fleet                       # the full sweep
+ *   ./bench_fleet --requests=32         # quick smoke run
+ *   ./bench_fleet --json=BENCH_fleet.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/argparse.hh"
+#include "common/rss.hh"
+#include "fleet/fleet.hh"
+
+using namespace duplex;
+
+namespace
+{
+
+constexpr int kFleetSizes[] = {2, 4};
+constexpr double kQpsPerInstance = 4.0;
+
+/** One sweep cell: a policy on a fleet size, with its outcome. */
+struct FleetCell
+{
+    std::string policy;
+    int size = 0;
+
+    FleetResult result;
+    double attainment = 0.0;
+    double goodput = 0.0;
+};
+
+FleetConfig
+cellConfig(const FleetCell &cell, int requests_per_instance)
+{
+    FleetConfig fc;
+    fc.sim.systemName = "gpu";
+    fc.sim.model = mixtralConfig();
+    fc.sim.maxBatch = 16;
+    fc.sim.workload.meanInputLen = 256;
+    fc.sim.workload.meanOutputLen = 64;
+    fc.sim.workload.qps = kQpsPerInstance * cell.size;
+    // Sessions give session-affinity something to pin; the other
+    // policies ignore the tag, so every cell streams the same
+    // requests.
+    fc.sim.workload.numSessions = 4 * cell.size;
+    fc.sim.numRequests = requests_per_instance * cell.size;
+    fc.sim.warmupRequests =
+        defaultWarmupRequests(fc.sim.maxBatch) / cell.size;
+    // The requests/s number only means something if every request
+    // retires; the cap is a runaway backstop, not the run's end.
+    fc.sim.maxStages = 2000000;
+    fc.instances = cell.size;
+    fc.policy = cell.policy;
+    return fc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("requests", "requests per instance", "192");
+    args.addFlag("tbt-slo", "TBT SLO in ms", "40");
+    args.addFlag("ttft-slo", "TTFT SLO in ms", "1500");
+    args.addFlag("json",
+                 "write fleet perf metrics to this file", "");
+    args.parse(argc, argv);
+
+    const int requests_per_instance =
+        static_cast<int>(args.getInt("requests"));
+    const SloSpec slo{args.getDouble("ttft-slo"),
+                      args.getDouble("tbt-slo")};
+
+    banner("Fleet routing policies: SLO attainment x fleet size");
+    std::printf("gpu instances, Lin 256, Lout 64, open loop at "
+                "%.0f qps/instance, %d request(s)/instance, "
+                "TTFT < %.0f ms, TBT < %.0f ms\n",
+                kQpsPerInstance, requests_per_instance, slo.t2ftMs,
+                slo.tbtMs);
+
+    // The full policy x size cross, every cell an independent
+    // FleetDriver run on the worker pool.
+    std::vector<FleetCell> cells;
+    for (const std::string &policy : registeredRoutingPolicies())
+        for (int size : kFleetSizes)
+            cells.push_back({policy, size, {}, 0.0, 0.0});
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(cells.size());
+    for (FleetCell &cell : cells)
+        tasks.push_back([&cell, requests_per_instance, slo] {
+            FleetDriver driver(
+                cellConfig(cell, requests_per_instance));
+            FleetSloAttainment attainment(slo);
+            driver.addObserver(&attainment);
+            cell.result = driver.run();
+            cell.attainment = attainment.attainment().attainment();
+            cell.goodput =
+                attainment.attainment().goodputTokensPerSec();
+        });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepRunner().runTasks(tasks);
+    const double wall_sec =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // ---- deterministic sweep table (stdout, diffed by CI) ------
+    Table t({"Policy", "Fleet", "tokens/s", "TBT p50 ms",
+             "TBT p99 ms", "SLO att", "goodput/s", "retired"});
+    std::int64_t total_retired = 0;
+    for (const FleetCell &cell : cells) {
+        total_retired += cell.result.requestsRetired;
+        t.startRow();
+        t.cell(cell.policy);
+        t.cell(static_cast<double>(cell.size), 0);
+        t.cell(cell.result.metrics.throughputTokensPerSec(), 0);
+        t.cell(cell.result.metrics.tbtMs.percentile(50), 2);
+        t.cell(cell.result.metrics.tbtMs.percentile(99), 2);
+        t.cell(cell.attainment, 3);
+        t.cell(cell.goodput, 0);
+        t.cell(static_cast<double>(cell.result.requestsRetired), 0);
+    }
+    t.print();
+    std::printf("Attainment covers every retired request; "
+                "tokens/s and TBT are post-warm-up.\n");
+
+    // ---- perf numbers (stderr + JSON; never in the diffed out) -
+    const double rss_mb = peakRssMb();
+    const double req_per_sec =
+        wall_sec > 0.0 ? total_retired / wall_sec : 0.0;
+    std::fprintf(stderr,
+                 "fleet sweep: %zu run(s), %lld requests retired, "
+                 "%.2f s wall, %.0f requests/s, peak RSS %.1f MB\n",
+                 cells.size(),
+                 static_cast<long long>(total_retired), wall_sec,
+                 req_per_sec, rss_mb);
+
+    const std::string json_path = args.getString("json");
+    if (!json_path.empty()) {
+        std::FILE *json = std::fopen(json_path.c_str(), "w");
+        if (json == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(json,
+                     "{\n"
+                     "  \"schema\": 1,\n"
+                     "  \"fleet\": {\n"
+                     "    \"runs\": %zu,\n"
+                     "    \"requests_retired\": %lld,\n"
+                     "    \"wall_sec\": %.3f,\n"
+                     "    \"requests_per_sec\": %.3f,\n"
+                     "    \"peak_rss_mb\": %.3f\n"
+                     "  }\n"
+                     "}\n",
+                     cells.size(),
+                     static_cast<long long>(total_retired),
+                     wall_sec, req_per_sec, rss_mb);
+        std::fclose(json);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -12,8 +12,13 @@
  *   ./quickstart --save-trace=run.csv     # dump the request stream
  *   ./quickstart --trace=run.csv          # ... and replay it
  *   ./quickstart --metrics=retained       # legacy metrics path
+ *   ./quickstart --fleet=4 --policy=least-loaded --qps=8
+ *                                         # routed multi-instance fleet
+ *   ./quickstart --fleet=1 --autoscale --workload=diurnal
+ *                                         # arrival-rate autoscaling
  *   ./quickstart --list-systems
  *   ./quickstart --list-workloads
+ *   ./quickstart --list-policies
  *
  * Every run reports its peak RSS on stderr; the default
  * --metrics=streaming drains retired requests each stage so no
@@ -33,6 +38,7 @@
 #include "common/argparse.hh"
 #include "common/rss.hh"
 #include "common/table.hh"
+#include "fleet/fleet.hh"
 #include "sim/engine.hh"
 #include "sim/observers.hh"
 #include "sim/registry.hh"
@@ -89,6 +95,32 @@ main(int argc, char **argv)
                  "reference path); both produce bit-identical "
                  "tables",
                  "streaming");
+    args.addFlag("fleet",
+                 "run N serving instances behind a router instead "
+                 "of the single-instance comparison (0 = off)",
+                 "0");
+    args.addFlag("policy",
+                 "fleet routing policy (see --list-policies)",
+                 "round-robin");
+    args.addFlag("list-policies",
+                 "list every registered routing policy and exit",
+                 "false");
+    args.addFlag("sessions",
+                 "distinct sessions stamped onto the stream "
+                 "(session-affinity routing; 0 = session-less)",
+                 "0");
+    args.addFlag("autoscale",
+                 "scale the fleet on observed arrival rate "
+                 "(open-loop workloads only)",
+                 "false");
+    args.addFlag("scale-min", "autoscale floor (instances)", "1");
+    args.addFlag("scale-max", "autoscale ceiling (instances)", "8");
+    args.addFlag("scale-up-qps",
+                 "spin up above this observed QPS per instance",
+                 "4");
+    args.addFlag("scale-down-qps",
+                 "drain an instance below this QPS per instance",
+                 "1");
     args.parse(argc, argv);
 
     const std::string metrics_mode = args.getString("metrics");
@@ -126,6 +158,18 @@ main(int argc, char **argv)
         t.print();
         return 0;
     }
+    if (args.getBool("list-policies")) {
+        const RoutingPolicyRegistry &registry =
+            RoutingPolicyRegistry::instance();
+        Table t({"id", "summary"});
+        for (const std::string &id : registry.ids()) {
+            t.startRow();
+            t.cell(id);
+            t.cell(registry.summary(id));
+        }
+        t.print();
+        return 0;
+    }
 
     const ModelConfig model = modelByName(args.getString("model"));
     std::printf("Model %s: %.1fB parameters, %d layers, "
@@ -144,6 +188,7 @@ main(int argc, char **argv)
     spec.meanInputLen = args.getInt("lin");
     spec.meanOutputLen = args.getInt("lout");
     spec.qps = args.getDouble("qps");
+    spec.numSessions = static_cast<int>(args.getInt("sessions"));
     spec.tracePath = args.getString("trace");
     if (!spec.tracePath.empty())
         workload = "trace";
@@ -185,6 +230,109 @@ main(int argc, char **argv)
 
     const SloSpec slo{args.getDouble("ttft-slo"),
                       args.getDouble("tbt-slo")};
+
+    // --fleet=N runs a routed multi-instance fleet of ONE system
+    // (default gpu) instead of the GPU-vs-Duplex comparison. All
+    // fleet output below is simulated-time-deterministic; the CI
+    // determinism job runs this path twice and diffs stdout.
+    const int fleet_size = static_cast<int>(args.getInt("fleet"));
+    if (fleet_size > 0) {
+        FleetConfig fc;
+        fc.sim.systemName = requested.empty() ? "gpu" : requested;
+        fc.sim.model = model;
+        fc.sim.workloadName = workload;
+        fc.sim.maxBatch = batch;
+        fc.sim.workload = spec;
+        // The shared stream scales with the fleet, and the warm-up
+        // budget — a property of that stream — splits across it, so
+        // every instance keeps post-warm-up samples even when the
+        // per-instance stage cap bounds the simulated span.
+        fc.sim.numRequests = num_requests * fleet_size;
+        fc.sim.warmupRequests =
+            defaultWarmupRequests(batch) / fleet_size;
+        fc.sim.maxStages = args.getInt("stages");
+        fc.sim.metricsMode = mode;
+        fc.instances = fleet_size;
+        fc.policy = args.getString("policy");
+        fc.scaling.enabled = args.getBool("autoscale");
+        fc.scaling.minInstances =
+            static_cast<int>(args.getInt("scale-min"));
+        fc.scaling.maxInstances =
+            static_cast<int>(args.getInt("scale-max"));
+        fc.scaling.upQpsPerInstance =
+            args.getDouble("scale-up-qps");
+        fc.scaling.downQpsPerInstance =
+            args.getDouble("scale-down-qps");
+
+        std::printf("Fleet: %d x %s, policy %s%s\n", fc.instances,
+                    SystemRegistry::instance()
+                        .displayName(fc.sim.systemName)
+                        .c_str(),
+                    fc.policy.c_str(),
+                    fc.scaling.enabled ? ", autoscaling" : "");
+
+        FleetDriver driver(fc);
+        FleetSloAttainment fleet_slo(slo);
+        FleetUtilization util;
+        driver.addObserver(&fleet_slo);
+        driver.addObserver(&util);
+        const FleetResult r = driver.run();
+
+        const SloAttainment &att = fleet_slo.attainment();
+        Table ft({"Fleet", "tokens/s", "TBT p50 ms", "SLO att",
+                  "goodput/s", "J/token"});
+        ft.startRow();
+        ft.cell(fc.policy);
+        ft.cell(r.metrics.throughputTokensPerSec(), 0);
+        ft.cell(r.metrics.tbtMs.percentile(50), 2);
+        ft.cell(att.attainment(), 2);
+        ft.cell(att.goodputTokensPerSec(), 0);
+        ft.cell(r.generatedTokens > 0
+                    ? r.totals.totalEnergyJ() /
+                          static_cast<double>(r.generatedTokens)
+                    : 0.0,
+                3);
+        ft.print();
+        std::printf("Routed %lld request(s), retired %lld; peak %d "
+                    "instance(s), makespan %.1f ms\n",
+                    static_cast<long long>(r.requestsRouted),
+                    static_cast<long long>(r.requestsRetired),
+                    r.peakInstances, psToMs(r.metrics.elapsed));
+
+        std::printf("\nInstance breakdown:\n");
+        Table bt({"instance", "routed", "retired", "stages",
+                  "busy ms"});
+        for (const FleetUtilization::InstanceStats &s :
+             util.instances()) {
+            bt.startRow();
+            bt.cell("#" + std::to_string(s.id));
+            bt.cell(static_cast<double>(s.routed), 0);
+            bt.cell(static_cast<double>(s.retired), 0);
+            bt.cell(static_cast<double>(s.stages), 0);
+            bt.cell(psToMs(s.busyTime), 1);
+        }
+        bt.print();
+
+        if (!r.scaleEvents.empty()) {
+            std::printf("\nScale events:\n");
+            for (const ScaleEvent &e : r.scaleEvents) {
+                const char *kind =
+                    e.kind == ScaleEvent::Kind::Up ? "up"
+                    : e.kind == ScaleEvent::Kind::Drain
+                        ? "drain"
+                        : "retire";
+                std::printf("  t=%8.1f ms %-6s instance %d "
+                            "(observed %.1f qps, %d accepting)\n",
+                            psToMs(e.time), kind, e.instance,
+                            e.observedQps, e.acceptingAfter);
+            }
+        }
+
+        std::fprintf(stderr, "peak RSS %.1f MB (--metrics=%s)\n",
+                     peakRssMb(), metrics_mode.c_str());
+        return 0;
+    }
+
     Table t({"System", "tokens/s", "vs GPU", "TBT p50 ms",
              "stage p99 ms", "SLO att", "goodput/s", "J/token"});
     double gpu_thr = 0.0;

@@ -1,0 +1,454 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+#include "sim/registry.hh"
+#include "workload/registry.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+/** The registry id the per-instance systems are built from. */
+const std::string &
+systemIdOf(const SimConfig &config)
+{
+    static std::string legacy;
+    if (!config.systemName.empty())
+        return config.systemName;
+    legacy = systemId(config.system);
+    return legacy;
+}
+
+} // namespace
+
+/**
+ * Forwards one instance's engine callbacks to the fleet observers,
+ * tagged with the instance id, and counts retirements. begin/end
+ * hooks are fleet-level (onFleetBegin/onFleetEnd), so the
+ * SimObserver ones stay unused.
+ */
+class InstanceObserver : public SimObserver
+{
+  public:
+    InstanceObserver(const std::vector<FleetObserver *> &observers,
+                     int instance)
+        : observers_(observers), instance_(instance)
+    {
+    }
+
+    void onStage(const StageObservation &obs) override
+    {
+        for (FleetObserver *o : observers_)
+            o->onStage(instance_, obs);
+    }
+
+    void onRequestRetired(const Request &request,
+                          PicoSec now) override
+    {
+        ++retired_;
+        for (FleetObserver *o : observers_)
+            o->onRequestRetired(instance_, request, now);
+    }
+
+    std::int64_t retired() const { return retired_; }
+
+  private:
+    const std::vector<FleetObserver *> &observers_;
+    int instance_;
+    std::int64_t retired_ = 0;
+};
+
+/** One serving instance: system + steppable loop + router-side
+ *  accounting of routed-but-unadmitted KV commitments. */
+struct FleetDriver::Instance
+{
+    int id = -1;
+    bool accepting = true;
+    bool retired = false;
+
+    std::unique_ptr<ServingSystem> system;
+    std::unique_ptr<InstanceObserver> observer;
+    std::unique_ptr<DriverLoop> loop;
+
+    /**
+     * Lifetime KV (inputLen + outputLen) of each routed request the
+     * batcher has not yet admitted, in routing order. Admission is
+     * FIFO, so after each step the entries whose requests were
+     * admitted are exactly the front (queue length delta) ones.
+     */
+    std::deque<std::int64_t> queuedKv;
+    std::int64_t queuedKvSum = 0;
+
+    std::int64_t routed = 0;
+
+    /** Drop the front entries the batcher admitted since last sync. */
+    void syncQueuedKv()
+    {
+        while (queuedKv.size() > loop->queueDepth()) {
+            queuedKvSum -= queuedKv.front();
+            queuedKv.pop_front();
+        }
+    }
+};
+
+FleetDriver::FleetDriver(FleetConfig config)
+    : config_(std::move(config))
+{
+    fatalIf(config_.instances < 1,
+            "FleetDriver: need at least one instance");
+}
+
+FleetDriver::~FleetDriver() = default;
+
+void
+FleetDriver::addObserver(FleetObserver *observer)
+{
+    panicIf(observer == nullptr, "null FleetObserver attached");
+    observers_.push_back(observer);
+}
+
+int
+FleetDriver::acceptingCount() const
+{
+    int n = 0;
+    for (const auto &inst : instances_)
+        if (!inst->retired && inst->accepting)
+            ++n;
+    return n;
+}
+
+std::vector<InstanceStatus>
+FleetDriver::snapshot() const
+{
+    std::vector<InstanceStatus> out;
+    out.reserve(instances_.size());
+    for (const auto &inst : instances_) {
+        if (inst->retired || !inst->accepting)
+            continue;
+        InstanceStatus s;
+        s.id = inst->id;
+        s.queueDepth = inst->loop->queueDepth();
+        s.activeCount = inst->loop->activeCount();
+        s.maxKvTokens = inst->loop->maxKvTokens();
+        s.kvHeadroom = s.maxKvTokens -
+                       inst->loop->activeLifetimeKv() -
+                       inst->queuedKvSum;
+        s.clock = inst->loop->now();
+        out.push_back(s);
+    }
+    return out;
+}
+
+FleetDriver::Instance &
+FleetDriver::spawn(PicoSec now)
+{
+    auto inst = std::make_unique<Instance>();
+    inst->id = static_cast<int>(instances_.size());
+    SystemOptions opts;
+    // Independent RNG stream per instance; instance 0 matches the
+    // bare engine's seed, the golden-equivalence anchor.
+    opts.seed = config_.sim.seed +
+                static_cast<std::uint64_t>(inst->id);
+    inst->system =
+        makeSystem(systemIdOf(config_.sim), config_.sim.model, opts);
+    inst->observer =
+        std::make_unique<InstanceObserver>(observers_, inst->id);
+    // Push-fed arrivals: the router delivers requests as their
+    // arrival times come due; the loop's clock starts at the
+    // provisioning time (0 for the initial fleet).
+    inst->loop = std::make_unique<DriverLoop>(
+        config_.sim, *inst->system, *inst->observer,
+        ArrivalQueue(closedLoop_), now);
+    Instance &ref = *inst;
+    instances_.push_back(std::move(inst));
+    for (FleetObserver *o : observers_)
+        o->onInstanceUp(ref.id, now);
+    return ref;
+}
+
+double
+FleetDriver::observedQps(PicoSec now)
+{
+    const PicoSec window = secToPs(config_.scaling.windowSec);
+    while (!arrivalWindow_.empty() &&
+           arrivalWindow_.front() + window < now)
+        arrivalWindow_.pop_front();
+    return static_cast<double>(arrivalWindow_.size()) /
+           config_.scaling.windowSec;
+}
+
+void
+FleetDriver::maybeScale(PicoSec now)
+{
+    const ScaleSpec &spec = config_.scaling;
+    const double qps = observedQps(now);
+    if (now - lastScaleTime_ < secToPs(spec.cooldownSec))
+        return;
+    const int accepting = acceptingCount();
+    ScaleEvent event;
+    event.time = now;
+    event.observedQps = qps;
+    if (qps > spec.upQpsPerInstance * accepting &&
+        accepting < spec.maxInstances) {
+        Instance &inst = spawn(now);
+        event.kind = ScaleEvent::Kind::Up;
+        event.instance = inst.id;
+        event.acceptingAfter = accepting + 1;
+        ++scaleUps_;
+    } else if (qps < spec.downQpsPerInstance * accepting &&
+               accepting > spec.minInstances) {
+        // Drain the highest-id accepting instance: stop routing to
+        // it; it finishes its queued and active requests, then
+        // retires (the drain-retires-nothing-in-flight guarantee).
+        Instance *victim = nullptr;
+        for (const auto &inst : instances_)
+            if (!inst->retired && inst->accepting)
+                victim = inst.get();
+        victim->accepting = false;
+        event.kind = ScaleEvent::Kind::Drain;
+        event.instance = victim->id;
+        event.acceptingAfter = accepting - 1;
+        ++scaleDowns_;
+    } else {
+        return;
+    }
+    lastScaleTime_ = now;
+    scaleEvents_.push_back(event);
+    for (FleetObserver *o : observers_)
+        o->onScaleEvent(event);
+}
+
+void
+FleetDriver::retireInstance(Instance &inst, FleetResult &result)
+{
+    panicIf(!inst.loop->idle(),
+            "retiring a fleet instance with in-flight requests");
+    inst.retired = true;
+    ScaleEvent event;
+    event.kind = ScaleEvent::Kind::Retire;
+    event.time = inst.loop->now();
+    event.instance = inst.id;
+    event.acceptingAfter = acceptingCount();
+    scaleEvents_.push_back(event);
+    for (FleetObserver *o : observers_)
+        o->onScaleEvent(event);
+    (void)result; // folding happens once at end, in id order
+}
+
+FleetResult
+FleetDriver::run()
+{
+    panicIf(ran_, "FleetDriver::run called twice");
+    ran_ = true;
+
+    policy_ = makeRoutingPolicy(config_.policy);
+    int initial = config_.instances;
+    if (config_.scaling.enabled)
+        initial = std::clamp(initial, config_.scaling.minInstances,
+                             config_.scaling.maxInstances);
+
+    for (FleetObserver *o : observers_)
+        o->onFleetBegin(config_);
+
+    ArrivalQueue shared(
+        makeWorkload(config_.sim.workloadIdOrDefault(),
+                     config_.sim.workload),
+        config_.sim.numRequests);
+    // Instance queues mirror the shared stream's discipline (trace
+    // and bursty sources are open loop whatever qps says).
+    closedLoop_ = shared.closedLoop();
+
+    for (int i = 0; i < initial; ++i)
+        spawn(0);
+    // Autoscaling reacts to observed arrival timestamps; a closed
+    // loop has none (arrival = admission), so scaling requires an
+    // open-loop workload.
+    fatalIf(config_.scaling.enabled && shared.closedLoop(),
+            "fleet autoscaling needs an open-loop workload "
+            "(qps > 0)");
+
+    FleetResult result;
+    result.peakInstances = initial;
+
+    for (;;) {
+        // Retire drained instances the moment they go idle, so they
+        // stop participating in the min-clock scan.
+        for (auto &inst : instances_)
+            if (!inst->retired && !inst->accepting &&
+                inst->loop->idle())
+                retireInstance(*inst, result);
+
+        // Route every arrival no BUSY instance is still behind: a
+        // busy instance's state at the arrival time is not yet
+        // known, so routing must wait for it; an idle instance has
+        // nothing to do until the arrival, so its clock simply
+        // marches forward (the engine's idleAdvance, applied
+        // fleet-wide). Closed loop: arrivals carry no timestamps,
+        // so the whole stream routes up front and the queued-KV
+        // accounting makes the balancing policies spread it
+        // sensibly.
+        for (;;) {
+            if (shared.empty())
+                break;
+            PicoSec busyMin = std::numeric_limits<PicoSec>::max();
+            PicoSec allMin = std::numeric_limits<PicoSec>::max();
+            for (const auto &inst : instances_) {
+                if (inst->retired)
+                    continue;
+                allMin = std::min(allMin, inst->loop->now());
+                if (!inst->loop->idle())
+                    busyMin =
+                        std::min(busyMin, inst->loop->now());
+            }
+            const PicoSec arrival = shared.front().arrival;
+            if (!shared.closedLoop() && arrival > busyMin)
+                break;
+            Request r = shared.pop(allMin);
+            const PicoSec at =
+                shared.closedLoop() ? allMin : arrival;
+            // March idle instances up to the arrival so the
+            // policy's clock snapshot is consistent, and so the
+            // chosen instance admits at the arrival time exactly
+            // as the bare engine would.
+            if (!shared.closedLoop())
+                for (auto &inst : instances_)
+                    if (!inst->retired && inst->loop->idle())
+                        inst->loop->advanceTo(at);
+            if (config_.scaling.enabled) {
+                arrivalWindow_.push_back(at);
+                maybeScale(at);
+            }
+            const std::vector<InstanceStatus> statuses = snapshot();
+            panicIf(statuses.empty(),
+                    "fleet has no accepting instance to route to");
+            const int target = policy_->route(r, statuses);
+            panicIf(target < 0 ||
+                        target >= static_cast<int>(
+                                      instances_.size()) ||
+                        instances_[target]->retired ||
+                        !instances_[target]->accepting,
+                    "routing policy '" + config_.policy +
+                        "' picked an unroutable instance");
+            Instance &inst = *instances_[target];
+            const std::int64_t kv = r.inputLen + r.outputLen;
+            for (FleetObserver *o : observers_)
+                o->onRequestRouted(target, r, at);
+            inst.loop->pushArrival(std::move(r));
+            inst.queuedKv.push_back(kv);
+            inst.queuedKvSum += kv;
+            ++inst.routed;
+            ++result.requestsRouted;
+        }
+        result.peakInstances = std::max(
+            result.peakInstances,
+            static_cast<int>(std::count_if(
+                instances_.begin(), instances_.end(),
+                [](const auto &i) { return !i->retired; })));
+
+        // Step the live instance furthest behind in simulated time
+        // (lowest id on ties) — the deterministic interleaving.
+        Instance *next = nullptr;
+        for (const auto &inst : instances_) {
+            if (inst->retired || inst->loop->done())
+                continue;
+            if (next == nullptr ||
+                inst->loop->now() < next->loop->now())
+                next = inst.get();
+        }
+        if (next != nullptr) {
+            next->loop->step();
+            next->syncQueuedKv();
+            continue;
+        }
+
+        if (shared.empty())
+            break;
+        // Every live instance is done. A stage-capped instance with
+        // work still queued ends the run (engine stage-cap
+        // semantics); otherwise all are idle — march them to the
+        // next arrival and route it.
+        bool capped = false;
+        for (const auto &inst : instances_)
+            capped = capped || (!inst->retired &&
+                                inst->loop->stageCapped() &&
+                                !inst->loop->idle());
+        if (capped)
+            break;
+        const PicoSec t = shared.front().arrival;
+        for (auto &inst : instances_)
+            if (!inst->retired)
+                inst->loop->advanceTo(t);
+    }
+
+    // Fold per-instance results in id order (retired instances'
+    // loops are finished here too — their state froze at
+    // retirement).
+    result.perInstance.reserve(instances_.size());
+    PicoSec makespan = 0;
+    for (auto &inst : instances_) {
+        makespan = std::max(makespan, inst->loop->now());
+        SimResult sr = inst->loop->finish();
+        result.metrics.tbtMs.merge(sr.metrics.tbtMs);
+        result.metrics.t2ftMs.merge(sr.metrics.t2ftMs);
+        result.metrics.e2eMs.merge(sr.metrics.e2eMs);
+        result.metrics.totalTokens += sr.metrics.totalTokens;
+        result.metrics.decodingOnlyStages +=
+            sr.metrics.decodingOnlyStages;
+        result.metrics.mixedStages += sr.metrics.mixedStages;
+        result.totals += sr.totals;
+        result.generatedTokens += sr.generatedTokens;
+        result.peakBatch = std::max(result.peakBatch, sr.peakBatch);
+        result.requestsRetired += inst->observer->retired();
+        result.perInstance.push_back(std::move(sr));
+    }
+    result.metrics.elapsed = makespan;
+    result.scaleEvents = scaleEvents_;
+    result.scaleUps = scaleUps_;
+    result.scaleDowns = scaleDowns_;
+
+    for (FleetObserver *o : observers_)
+        o->onFleetEnd(result);
+    return result;
+}
+
+// ------------------------------------------------ FleetUtilization
+
+FleetUtilization::InstanceStats &
+FleetUtilization::at(int instance)
+{
+    while (static_cast<int>(stats_.size()) <= instance) {
+        InstanceStats s;
+        s.id = static_cast<int>(stats_.size());
+        stats_.push_back(s);
+    }
+    return stats_[static_cast<std::size_t>(instance)];
+}
+
+void
+FleetUtilization::onRequestRouted(int instance, const Request &,
+                                  PicoSec)
+{
+    ++at(instance).routed;
+}
+
+void
+FleetUtilization::onStage(int instance, const StageObservation &obs)
+{
+    InstanceStats &s = at(instance);
+    ++s.stages;
+    s.busyTime += obs.result.time;
+}
+
+void
+FleetUtilization::onRequestRetired(int instance, const Request &,
+                                   PicoSec)
+{
+    ++at(instance).retired;
+}
+
+} // namespace duplex

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Fleet-scale serving: N registry-built instances behind a router.
+ *
+ * PRs 1-5 evaluate a single serving instance; the ROADMAP north
+ * star ("heavy traffic from millions of users") is a fleet of them
+ * behind a load balancer. FleetDriver is that composition: it owns
+ * N independent instances — each a registry-built ServingSystem
+ * with its own ContinuousBatcher, RNG stream (seed + instance id)
+ * and KV budget, driven by the same DriverLoop the engine runs — and
+ * consumes ONE shared WorkloadSource stream, handing each arriving
+ * request to a pluggable RoutingPolicy (fleet/policy.hh).
+ *
+ * Interleaving discipline (the determinism contract): a request is
+ * routed once its arrival time reaches the minimum instance clock,
+ * and the instance furthest behind in simulated time always steps
+ * next (lowest id on ties). Routing therefore sees a reproducible
+ * snapshot of instance state, every run is byte-identical, and a
+ * 1-instance round-robin fleet executes the exact clock/stage
+ * sequence of a bare SimulationEngine run (pinned bit-for-bit in
+ * tests/fleet/test_fleet.cc).
+ *
+ * Autoscaling (ScaleSpec): the driver tracks the observed arrival
+ * rate over a sliding window; sustained load above
+ * upQpsPerInstance x fleet spins up a fresh instance (its clock
+ * starts at the provisioning time), load below downQpsPerInstance x
+ * fleet drains the highest-id instance — no new admissions, active
+ * requests finish — before retiring it. Scale events surface
+ * through FleetObserver.
+ */
+
+#ifndef DUPLEX_FLEET_FLEET_HH
+#define DUPLEX_FLEET_FLEET_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fleet/policy.hh"
+#include "sim/driver.hh"
+#include "sim/observers.hh"
+
+namespace duplex
+{
+
+/** Arrival-rate-driven autoscaling knobs. */
+struct ScaleSpec
+{
+    bool enabled = false;
+
+    int minInstances = 1;
+    int maxInstances = 8;
+
+    /** Spin up when observed QPS exceeds this per instance. */
+    double upQpsPerInstance = 4.0;
+
+    /** Drain an instance when observed QPS falls below this. */
+    double downQpsPerInstance = 1.0;
+
+    /** Sliding window the arrival rate is observed over. */
+    double windowSec = 5.0;
+
+    /** Minimum simulated time between scale decisions. */
+    double cooldownSec = 10.0;
+};
+
+/** One fleet-scale run. */
+struct FleetConfig
+{
+    /** Per-instance run configuration (system, workload, limits).
+     *  Instance i gets seed sim.seed + i for its RNG stream. */
+    SimConfig sim;
+
+    /** Instances at start (scaling may grow/shrink within
+     *  [minInstances, maxInstances] afterwards). */
+    int instances = 1;
+
+    /** Routing-policy registry id (fleet/policy.hh). */
+    std::string policy = "round-robin";
+
+    ScaleSpec scaling;
+};
+
+/** One autoscaling decision, surfaced through FleetObserver. */
+struct ScaleEvent
+{
+    enum class Kind
+    {
+        Up,    //!< fresh instance provisioned
+        Drain, //!< instance stopped accepting, finishing work
+        Retire //!< drained instance fully idle and torn down
+    };
+
+    Kind kind = Kind::Up;
+    PicoSec time = 0;
+    int instance = -1;
+    double observedQps = 0.0;
+    int acceptingAfter = 0; //!< accepting instances after the event
+};
+
+/** The fleet-wide outcome: per-instance results folded together. */
+struct FleetResult
+{
+    /** Latency samples merged across instances (SampleStats::merge);
+     *  elapsed is the fleet makespan (max instance clock). */
+    ServingMetrics metrics;
+
+    /** Time/energy totals summed across instances. */
+    StageResult totals;
+
+    std::int64_t generatedTokens = 0;
+    std::int64_t requestsRouted = 0;
+    std::int64_t requestsRetired = 0;
+
+    int peakBatch = 0;     //!< largest batch on any instance
+    int peakInstances = 0; //!< most instances alive at once
+    int scaleUps = 0;
+    int scaleDowns = 0;
+
+    /** Final per-instance results, in instance-id order (includes
+     *  instances retired mid-run). */
+    std::vector<SimResult> perInstance;
+
+    std::vector<ScaleEvent> scaleEvents;
+};
+
+/**
+ * Fleet-level callbacks, the FleetObserver extension of the
+ * SimObserver idea: per-stage and per-retire events carry the
+ * instance id, and scale events report autoscaling decisions.
+ * Ordering mirrors the engine contract per instance; events from
+ * different instances interleave in simulated-time order (the
+ * min-clock stepping discipline).
+ */
+class FleetObserver
+{
+  public:
+    virtual ~FleetObserver() = default;
+
+    virtual void onFleetBegin(const FleetConfig &config)
+    {
+        (void)config;
+    }
+
+    virtual void onInstanceUp(int instance, PicoSec now)
+    {
+        (void)instance;
+        (void)now;
+    }
+
+    virtual void onRequestRouted(int instance,
+                                 const Request &request, PicoSec now)
+    {
+        (void)instance;
+        (void)request;
+        (void)now;
+    }
+
+    virtual void onStage(int instance, const StageObservation &obs)
+    {
+        (void)instance;
+        (void)obs;
+    }
+
+    virtual void onRequestRetired(int instance,
+                                  const Request &request,
+                                  PicoSec now)
+    {
+        (void)instance;
+        (void)request;
+        (void)now;
+    }
+
+    virtual void onScaleEvent(const ScaleEvent &event)
+    {
+        (void)event;
+    }
+
+    virtual void onFleetEnd(const FleetResult &result)
+    {
+        (void)result;
+    }
+};
+
+/**
+ * Runs one fleet: construct over a FleetConfig, attach observers,
+ * run() once. Deterministic by construction — routing is a pure
+ * function of arrival order and instance state, instances step in
+ * min-clock order, and every RNG stream is seeded from the config.
+ */
+class FleetDriver
+{
+  public:
+    explicit FleetDriver(FleetConfig config);
+    ~FleetDriver();
+
+    FleetDriver(const FleetDriver &) = delete;
+    FleetDriver &operator=(const FleetDriver &) = delete;
+
+    const FleetConfig &config() const { return config_; }
+
+    /** Attach a non-owning observer; call before run(). */
+    void addObserver(FleetObserver *observer);
+
+    /** Execute the fleet run; call exactly once. */
+    FleetResult run();
+
+  private:
+    struct Instance;
+
+    FleetConfig config_;
+    std::vector<FleetObserver *> observers_;
+    std::vector<std::unique_ptr<Instance>> instances_;
+    std::unique_ptr<RoutingPolicy> policy_;
+    bool ran_ = false;
+
+    /** The shared stream's admission discipline, mirrored by every
+     *  instance's push-fed queue. Set before the first spawn. */
+    bool closedLoop_ = true;
+
+    // --- autoscaling state -------------------------------------
+    std::deque<PicoSec> arrivalWindow_;
+    PicoSec lastScaleTime_ = 0;
+    std::vector<ScaleEvent> scaleEvents_;
+    int scaleUps_ = 0;
+    int scaleDowns_ = 0;
+
+    int acceptingCount() const;
+    std::vector<InstanceStatus> snapshot() const;
+    Instance &spawn(PicoSec now);
+    void maybeScale(PicoSec now);
+    void retireInstance(Instance &inst, FleetResult &result);
+    double observedQps(PicoSec now);
+};
+
+/**
+ * Fleet-wide per-request SLO attainment and goodput: the
+ * SloAttainment observer (sim/observers.hh) fed from every
+ * instance's retirements — the headline metric bench_fleet judges
+ * routing policies by.
+ */
+class FleetSloAttainment : public FleetObserver
+{
+  public:
+    explicit FleetSloAttainment(SloSpec slo = {}) : slo_(slo) {}
+
+    void onRequestRetired(int instance, const Request &request,
+                          PicoSec now) override
+    {
+        (void)instance;
+        slo_.onRequestRetired(request, now);
+    }
+
+    const SloAttainment &attainment() const { return slo_; }
+
+  private:
+    SloAttainment slo_;
+};
+
+/**
+ * Per-instance utilization folded the way GroupUtilization folds
+ * device groups: stages run, busy time, tokens and retirements per
+ * instance, for quickstart's fleet breakdown table.
+ */
+class FleetUtilization : public FleetObserver
+{
+  public:
+    struct InstanceStats
+    {
+        int id = -1;
+        std::int64_t stages = 0;
+        PicoSec busyTime = 0;
+        std::int64_t routed = 0;
+        std::int64_t retired = 0;
+    };
+
+    void onRequestRouted(int instance, const Request &request,
+                         PicoSec now) override;
+    void onStage(int instance, const StageObservation &obs) override;
+    void onRequestRetired(int instance, const Request &request,
+                          PicoSec now) override;
+
+    /** Per-instance stats, in instance-id order. */
+    const std::vector<InstanceStats> &instances() const
+    {
+        return stats_;
+    }
+
+  private:
+    std::vector<InstanceStats> stats_;
+
+    InstanceStats &at(int instance);
+};
+
+} // namespace duplex
+
+#endif // DUPLEX_FLEET_FLEET_HH

@@ -1,0 +1,261 @@
+#include "fleet/policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace duplex
+{
+
+namespace
+{
+
+/**
+ * Cycle through the offered instances in order. The cursor counts
+ * routed requests, so the rotation is stable even as autoscaling
+ * grows or shrinks the offered set between requests.
+ */
+class RoundRobinPolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const std::size_t k = cursor_++ % instances.size();
+        return instances[k].id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "round-robin";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "cycle through instances in id order";
+    }
+
+  private:
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Send the request where the most KV capacity is free: argmax of
+ * kvHeadroom (live lifetime-KV sum plus queued commitments already
+ * subtracted), lowest instance id on ties. This is the load the
+ * batcher actually admits against, so balancing it balances
+ * admission stalls.
+ */
+class LeastLoadedPolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const InstanceStatus *best = &instances.front();
+        for (const InstanceStatus &s : instances)
+            if (s.kvHeadroom > best->kvHeadroom)
+                best = &s;
+        return best->id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "least-loaded";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "most free KV capacity (live lifetime-KV headroom)";
+    }
+};
+
+/**
+ * Classic JSQ: argmin of in-flight requests (queued plus active),
+ * lowest instance id on ties. Blind to request length, so a fleet
+ * with mixed prompt sizes balances counts, not KV — the contrast
+ * with least-loaded is the point of the bench_fleet sweep.
+ */
+class JoinShortestQueuePolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const InstanceStatus *best = &instances.front();
+        auto depth = [](const InstanceStatus &s) {
+            return s.queueDepth + s.activeCount;
+        };
+        for (const InstanceStatus &s : instances)
+            if (depth(s) < depth(*best))
+                best = &s;
+        return best->id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "join-shortest-queue";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "fewest in-flight requests (queued + active)";
+    }
+};
+
+/**
+ * Pin a session's turns to one instance (warm KV reuse in a real
+ * deployment): hash the session id over the offered set with the
+ * cross-stdlib-stable splitmix mix. Session-less requests fall back
+ * to hashing their request id, which spreads them uniformly. The
+ * mapping is stable while the offered set is — a scale event
+ * remaps, the usual consistent-hashing caveat.
+ */
+class SessionAffinityPolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &request,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const std::uint64_t key =
+            request.sessionId >= 0
+                ? static_cast<std::uint64_t>(request.sessionId)
+                : mixSessionHash(
+                      static_cast<std::uint64_t>(request.id));
+        const std::size_t k = static_cast<std::size_t>(
+            mixSessionHash(key) % instances.size());
+        return instances[k].id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "session-affinity";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "hash sessionId to an instance (stable per session)";
+    }
+};
+
+template <typename Policy>
+RoutingPolicyFactory
+factoryOf()
+{
+    return [] { return std::make_unique<Policy>(); };
+}
+
+void
+registerStockPolicies(RoutingPolicyRegistry &registry)
+{
+    registry.add("round-robin",
+                 "cycle through instances in id order",
+                 factoryOf<RoundRobinPolicy>());
+    registry.add("least-loaded",
+                 "most free KV capacity (live lifetime-KV headroom)",
+                 factoryOf<LeastLoadedPolicy>());
+    registry.add("join-shortest-queue",
+                 "fewest in-flight requests (queued + active)",
+                 factoryOf<JoinShortestQueuePolicy>());
+    registry.add("session-affinity",
+                 "hash sessionId to an instance (stable per session)",
+                 factoryOf<SessionAffinityPolicy>());
+}
+
+} // namespace
+
+RoutingPolicyRegistry &
+RoutingPolicyRegistry::instance()
+{
+    static RoutingPolicyRegistry *registry = [] {
+        auto *r = new RoutingPolicyRegistry;
+        registerStockPolicies(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+RoutingPolicyRegistry::add(const std::string &id,
+                           const std::string &summary,
+                           RoutingPolicyFactory factory)
+{
+    fatalIf(contains(id),
+            "RoutingPolicyRegistry: duplicate policy id '" + id +
+                "'");
+    fatalIf(!factory,
+            "RoutingPolicyRegistry: null factory for '" + id + "'");
+    entries_.push_back({id, summary, std::move(factory)});
+}
+
+bool
+RoutingPolicyRegistry::contains(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return true;
+    return false;
+}
+
+const RoutingPolicyRegistry::Entry &
+RoutingPolicyRegistry::find(const std::string &id) const
+{
+    for (const Entry &e : entries_)
+        if (e.id == id)
+            return e;
+    std::string known;
+    for (const std::string &k : ids())
+        known += (known.empty() ? "" : ", ") + k;
+    fatal("RoutingPolicyRegistry: unknown policy '" + id +
+          "' (known: " + known + ")");
+}
+
+std::unique_ptr<RoutingPolicy>
+RoutingPolicyRegistry::make(const std::string &id) const
+{
+    return find(id).factory();
+}
+
+std::vector<std::string>
+RoutingPolicyRegistry::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.id);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+const std::string &
+RoutingPolicyRegistry::summary(const std::string &id) const
+{
+    return find(id).summary;
+}
+
+std::unique_ptr<RoutingPolicy>
+makeRoutingPolicy(const std::string &id)
+{
+    return RoutingPolicyRegistry::instance().make(id);
+}
+
+std::vector<std::string>
+registeredRoutingPolicies()
+{
+    return RoutingPolicyRegistry::instance().ids();
+}
+
+void
+registerRoutingPolicy(const std::string &id,
+                      const std::string &summary,
+                      RoutingPolicyFactory factory)
+{
+    RoutingPolicyRegistry::instance().add(id, summary,
+                                          std::move(factory));
+}
+
+} // namespace duplex

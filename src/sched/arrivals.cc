@@ -33,6 +33,21 @@ ArrivalQueue::ArrivalQueue(std::unique_ptr<WorkloadSource> source,
     source_ = std::move(source);
 }
 
+ArrivalQueue::ArrivalQueue(bool closed_loop)
+    : closedLoop_(closed_loop)
+{
+}
+
+void
+ArrivalQueue::push(Request r)
+{
+    panicIf(source_ != nullptr,
+            "ArrivalQueue::push on a streaming queue");
+    panicIf(!pending_.empty() && r.arrival < pending_.back().arrival,
+            "ArrivalQueue::push out of arrival order");
+    pending_.push_back(std::move(r));
+}
+
 void
 ArrivalQueue::refill() const
 {

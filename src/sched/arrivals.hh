@@ -59,6 +59,22 @@ class ArrivalQueue
     ArrivalQueue(std::unique_ptr<WorkloadSource> source,
                  std::int64_t num_requests);
 
+    /**
+     * An empty push-fed queue: requests arrive through push() as a
+     * router delivers them (src/fleet/). The admission discipline
+     * is identical to the other modes; only the feeding differs.
+     */
+    explicit ArrivalQueue(bool closed_loop);
+
+    /**
+     * Append one routed request. Push-fed and vector queues only
+     * (a streaming queue owns its source; mixing feeds would fork
+     * the arrival order). Arrivals must stay non-decreasing — a
+     * router consuming a workload stream in arrival order delivers
+     * them that way per instance by construction.
+     */
+    void push(Request r);
+
     bool empty() const { return size() == 0; }
 
     /** Requests still pending (buffered plus undrawn). */

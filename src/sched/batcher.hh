@@ -88,6 +88,24 @@ class ContinuousBatcher
     /** Requests still unadmitted. */
     std::size_t pendingCount() const { return arrivals_.size(); }
 
+    /**
+     * Deliver one routed request into the arrival queue (push-fed
+     * queues only — see ArrivalQueue::push). The fleet driver feeds
+     * instances through this as routing decisions come due.
+     */
+    void pushArrival(Request r) { arrivals_.push(std::move(r)); }
+
+    /**
+     * Live sum over the active batch of (inputLen + outputLen) —
+     * each request's full-lifetime KV commitment, incrementally
+     * maintained (admission adds, retirement subtracts). The
+     * least-loaded routing policy reads this as KV headroom.
+     */
+    std::int64_t activeLifetimeKv() const
+    {
+        return activeLifetimeKv_;
+    }
+
     /** Requests currently being served. */
     std::size_t activeCount() const { return active_.size(); }
 

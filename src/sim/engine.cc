@@ -1,9 +1,7 @@
 #include "sim/engine.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
-#include "sched/batcher.hh"
+#include "sim/driver.hh"
 #include "sim/registry.hh"
 #include "workload/registry.hh"
 
@@ -99,101 +97,20 @@ SimResult
 SimulationEngine::runBatcherLoop(ServingSystem &system,
                                  SimObserver &observer)
 {
-    BatcherConfig bcfg;
-    bcfg.maxBatch = config_.maxBatch;
-    bcfg.maxPrefillsPerStage = config_.maxPrefillsPerStage;
-    bcfg.maxKvTokens = system.maxKvTokens();
-    // Aggregate-only stages unless the system stripes per-context
-    // values (multi-node nodeShare): forming a stage is then
-    // O(changes-to-the-batch), not O(batch).
-    bcfg.exactStageView = system.needsExactStageView();
     // The same shared arrival stream every driver loop consumes
     // (sched/arrivals.hh): the workload registry builds the source
     // by name, and the closed/open-loop discipline lives in one
-    // place. Streaming: only one lookahead request is ever buffered.
-    ContinuousBatcher batcher(
-        bcfg, ArrivalQueue(makeWorkload(config_.workloadIdOrDefault(),
-                                        config_.workload),
-                           config_.numRequests));
-
-    // Retirement streaming (the default): finished requests are
-    // drained every stage, their latency samples extracted by the
-    // accumulator, and the Request — tokenTimes vector included —
-    // dropped on the spot. The driver retains no finished
-    // requests; only the extracted sample doubles grow (Bounded
-    // mode replaces even those with fixed-bin histograms for flat
-    // memory). Retained mode keeps the legacy grow-forever vector
-    // as the reference path (bit-identical by property test).
-    const bool retained =
-        config_.metricsMode == MetricsMode::Retained;
-    MetricsAccumulator accumulator = makeMetricsAccumulator(
-        config_.metricsMode,
-        static_cast<std::size_t>(config_.warmupRequests),
-        config_.boundedLatency);
-    std::vector<Request> drained;
-
-    SimResult result;
-    PicoSec now = 0;
-    WarmupWindow warmup(config_.warmupStages);
-    std::int64_t stages = 0;
-    std::size_t retired = 0;
-    while (!batcher.allDone() && stages < config_.maxStages) {
-        StageShape stage = batcher.formStage(now);
-        if (stage.totalTokens() == 0) {
-            // Open loop and idle: idleAdvance (sched/arrivals.hh)
-            // jumps exactly to the next arrival, with the
-            // one-picosecond bump reserved for stalls where the
-            // clock would not otherwise move (admission blocked by
-            // KV or batch limits with the arrival already in the
-            // past) — the no-drift rule is shared with every custom
-            // driver loop and pinned by
-            // OpenLoopIdleAdvanceJumpsExactlyToArrival.
-            const PicoSec arrival = batcher.nextArrival();
-            panicIf(arrival < 0, "idle batcher with no arrivals");
-            now = idleAdvance(now, arrival);
-            // The batcher counted no stage; retry at the new time.
-            continue;
-        }
-        result.peakBatch = std::max(
-            result.peakBatch,
-            static_cast<int>(stage.agg.numDecode +
-                             stage.agg.numPrefill));
-        const PicoSec stage_start = now;
-        const StageResult sr = system.executeStage(stage);
-        now += sr.time;
-        batcher.completeStage(now);
-        result.totals += sr;
-        warmup.onStageCompleted(now, batcher.totalGenerated());
-        observer.onStage({stages, stage_start, now, stage, sr,
-                          stage.contextTokens()});
-        ++stages;
-        if (retained) {
-            for (; retired < batcher.finished().size(); ++retired)
-                observer.onRequestRetired(
-                    batcher.finished()[retired], now);
-        } else {
-            batcher.drainFinished(drained);
-            for (const Request &r : drained) {
-                observer.onRequestRetired(r, now);
-                accumulator.ingest(r);
-            }
-        }
-    }
-
-    result.metrics =
-        retained ? collectMetrics(batcher.finished(),
-                                  static_cast<std::size_t>(
-                                      config_.warmupRequests))
-                 : accumulator.takeMetrics();
-    if (config_.metricsMode == MetricsMode::Bounded)
-        result.boundedLatency =
-            std::make_shared<const BoundedLatencyMetrics>(
-                accumulator.takeBounded());
-    result.generatedTokens = batcher.totalGenerated();
-    warmup.finalize(result.metrics, now, batcher.totalGenerated());
-    result.metrics.decodingOnlyStages = batcher.decodingOnlyStages();
-    result.metrics.mixedStages = batcher.mixedStages();
-    return result;
+    // place. Streaming: only one lookahead request is ever
+    // buffered. The loop body itself lives in DriverLoop
+    // (sim/driver.hh) so the fleet layer steps the identical code.
+    DriverLoop loop(
+        config_, system, observer,
+        ArrivalQueue(makeWorkload(config_.workloadIdOrDefault(),
+                                  config_.workload),
+                     config_.numRequests));
+    while (!loop.done())
+        loop.step();
+    return loop.finish();
 }
 
 } // namespace duplex

@@ -1,5 +1,7 @@
 #include "sim/registry.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "sim/split_system.hh"
 
@@ -156,6 +158,7 @@ SystemRegistry::ids() const
     out.reserve(entries_.size());
     for (const Entry &e : entries_)
         out.push_back(e.id);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -55,7 +55,12 @@ class SystemRegistry
     make(const std::string &id, const ModelConfig &model,
          const SystemOptions &opts = {}) const;
 
-    /** Registered ids, in registration order. */
+    /**
+     * Registered ids, lexicographically sorted — NOT registration
+     * order. Sorted output keeps sweeps and bench tables byte-stable
+     * across standard libraries (the g++/clang++ CI matrix diffs
+     * them); asserted in tests/sim/test_registry.
+     */
     std::vector<std::string> ids() const;
 
     /** Display name for tables ("Duplex+PE"). */

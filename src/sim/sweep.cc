@@ -54,20 +54,34 @@ SweepRunner::runObserved(const std::vector<SimConfig> &configs,
                          const ObserverFactory &factory) const
 {
     std::vector<ObservedRun> results(configs.size());
-    if (configs.empty())
-        return results;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        tasks.push_back([&results, &configs, &factory, i] {
+            results[i] = runOne(configs[i], factory);
+        });
+    runTasks(tasks);
+    return results;
+}
+
+void
+SweepRunner::runTasks(
+    const std::vector<std::function<void()>> &tasks) const
+{
+    if (tasks.empty())
+        return;
 
     const int pool =
-        std::min(workers_, static_cast<int>(configs.size()));
+        std::min(workers_, static_cast<int>(tasks.size()));
     if (pool <= 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runOne(configs[i], factory);
-        return results;
+        for (const std::function<void()> &task : tasks)
+            task();
+        return;
     }
 
-    // Registry lookups are concurrent reads; every run owns its
-    // system instance and its observers, so workers only share the
-    // work queue (the factory must be thread-safe, see sweep.hh).
+    // Registry lookups are concurrent reads; every task owns its
+    // engines and observers, so workers only share the work queue
+    // (tasks must be thread-safe, see sweep.hh).
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
@@ -77,11 +91,11 @@ SweepRunner::runObserved(const std::vector<SimConfig> &configs,
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= configs.size() ||
+            if (i >= tasks.size() ||
                 failed.load(std::memory_order_relaxed))
                 return;
             try {
-                results[i] = runOne(configs[i], factory);
+                tasks[i]();
             } catch (...) {
                 const std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
@@ -100,7 +114,6 @@ SweepRunner::runObserved(const std::vector<SimConfig> &configs,
         t.join();
     if (error)
         std::rethrow_exception(error);
-    return results;
 }
 
 } // namespace duplex

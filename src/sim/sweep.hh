@@ -78,6 +78,17 @@ class SweepRunner
     runObserved(const std::vector<SimConfig> &configs,
                 const ObserverFactory &factory) const;
 
+    /**
+     * The generic primitive under run()/runObserved(): execute
+     * independent tasks on the worker pool, in input order when the
+     * pool degenerates to one worker. Tasks must not share mutable
+     * state (each writes its own result slot). The first exception
+     * thrown by any task is rethrown after all workers finish —
+     * bench_fleet drives whole FleetDriver runs through this.
+     */
+    void
+    runTasks(const std::vector<std::function<void()>> &tasks) const;
+
   private:
     int workers_;
 };

@@ -1,5 +1,7 @@
 #include "workload/registry.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace duplex
@@ -154,7 +156,12 @@ std::unique_ptr<WorkloadSource>
 WorkloadRegistry::make(const std::string &id,
                        const WorkloadSpec &spec) const
 {
-    return find(id).factory(spec);
+    std::unique_ptr<WorkloadSource> source = find(id).factory(spec);
+    // Session stamping is a cross-cutting spec knob every source
+    // honors; applying it here means a factory never has to know
+    // sessions exist.
+    source->setSessionCount(spec.numSessions);
+    return source;
 }
 
 std::vector<std::string>
@@ -164,6 +171,7 @@ WorkloadRegistry::ids() const
     out.reserve(entries_.size());
     for (const Entry &e : entries_)
         out.push_back(e.id);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

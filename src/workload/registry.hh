@@ -52,7 +52,12 @@ class WorkloadRegistry
     std::unique_ptr<WorkloadSource>
     make(const std::string &id, const WorkloadSpec &spec) const;
 
-    /** Registered ids, in registration order. */
+    /**
+     * Registered ids, lexicographically sorted — NOT registration
+     * order. Sorted output keeps fleet sweeps and bench tables
+     * byte-stable across standard libraries (the g++/clang++ CI
+     * matrix diffs them); asserted in tests/workload/test_registry.
+     */
     std::vector<std::string> ids() const;
 
     /** Display name for tables ("Bursty"). */

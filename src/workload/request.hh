@@ -22,6 +22,14 @@ struct Request
     std::int64_t outputLen = 0;  //!< tokens to generate (Lout)
     PicoSec arrival = 0;         //!< when the request enters the queue
 
+    /**
+     * Conversation/session handle, -1 when absent. Purely a routing
+     * tag: the session-affinity fleet policy (src/fleet/) hashes it
+     * so one session's turns land on the same instance (warm KV
+     * reuse in a real deployment). No cost path reads it.
+     */
+    std::int64_t sessionId = -1;
+
     // --- Lifecycle, filled by the scheduler -----------------------
     PicoSec firstToken = -1;     //!< completion of the prefill stage
     PicoSec finished = -1;       //!< completion of the last token

@@ -15,14 +15,22 @@ namespace duplex
 Request
 WorkloadSource::next()
 {
+    Request r;
     if (lookahead_.has_value()) {
-        Request r = *lookahead_;
+        r = *lookahead_;
         lookahead_.reset();
-        return r;
+    } else {
+        panicIf(generatorRemaining() <= 0,
+                "WorkloadSource::next on an exhausted source");
+        r = generate();
     }
-    panicIf(generatorRemaining() <= 0,
-            "WorkloadSource::next on an exhausted source");
-    return generate();
+    // Session stamping is arithmetic on the already-drawn id — no
+    // RNG draws, so every golden request stream stays bit-identical
+    // whether or not sessions are enabled. Recorded session ids
+    // (trace replay) win over the stamp.
+    if (numSessions_ > 0 && r.sessionId < 0)
+        r.sessionId = r.id % numSessions_;
+    return r;
 }
 
 PicoSec

@@ -69,6 +69,14 @@ struct WorkloadSpec : WorkloadConfig
     double diurnalLowQps = 1.0;
     double diurnalHighQps = 8.0;
     double diurnalPeriodSec = 60.0;
+
+    /**
+     * Distinct sessions to stamp onto the stream (request id modulo
+     * this count); 0 leaves requests session-less. Consumed by the
+     * registry for every source — see
+     * WorkloadSource::setSessionCount for the no-RNG guarantee.
+     */
+    int numSessions = 0;
 };
 
 /**
@@ -112,6 +120,16 @@ class WorkloadSource
     /** One-line description of the modeled request mix. */
     virtual std::string describe() const = 0;
 
+    /**
+     * Stamp requests with a session id (`id % count`) as they leave
+     * next(); 0 (the default) leaves sessionId = -1. Applied by the
+     * WorkloadRegistry from WorkloadSpec.numSessions. Pure
+     * arithmetic on the request id — no RNG draws — so enabling
+     * sessions never perturbs the golden request streams. Requests
+     * that already carry a sessionId (trace replay) keep it.
+     */
+    void setSessionCount(int count) { numSessions_ = count; }
+
   protected:
     /** Draw the next request; called only while remaining() > 0. */
     virtual Request generate() = 0;
@@ -121,6 +139,7 @@ class WorkloadSource
 
   private:
     std::optional<Request> lookahead_;
+    int numSessions_ = 0;
 };
 
 /**

@@ -24,18 +24,25 @@ parseTrace(std::istream &in)
         std::string arrival_s;
         std::string lin_s;
         std::string lout_s;
+        std::string session_s;
         if (!std::getline(fields, arrival_s, ',') ||
             !std::getline(fields, lin_s, ',') ||
             !std::getline(fields, lout_s, ',')) {
             fatal("trace line " + std::to_string(line_no) +
                   ": expected arrival_sec,input_len,output_len");
         }
+        // Optional 4th column: session_id (written only for traces
+        // recorded with sessions; three-column traces stay valid).
+        const bool has_session =
+            static_cast<bool>(std::getline(fields, session_s, ','));
         Request r;
         r.id = static_cast<int>(requests.size());
         try {
             r.arrival = secToPs(std::stod(arrival_s));
             r.inputLen = std::stoll(lin_s);
             r.outputLen = std::stoll(lout_s);
+            if (has_session)
+                r.sessionId = std::stoll(session_s);
         } catch (const std::exception &) {
             fatal("trace line " + std::to_string(line_no) +
                   ": malformed number");
@@ -64,13 +71,22 @@ loadTrace(const std::string &path)
 void
 writeTrace(std::ostream &out, const std::vector<Request> &requests)
 {
-    out << "# arrival_sec,input_len,output_len\n";
+    // The session_id column appears only when some request carries
+    // one, so traces recorded without sessions stay byte-identical
+    // to the pre-session format.
+    bool sessions = false;
+    for (const auto &r : requests)
+        sessions = sessions || r.sessionId >= 0;
+    out << (sessions ? "# arrival_sec,input_len,output_len,session_id\n"
+                     : "# arrival_sec,input_len,output_len\n");
     char buf[64];
     for (const auto &r : requests) {
         // Nanosecond text precision keeps long traces lossless.
         std::snprintf(buf, sizeof(buf), "%.9f", psToSec(r.arrival));
-        out << buf << "," << r.inputLen << "," << r.outputLen
-            << "\n";
+        out << buf << "," << r.inputLen << "," << r.outputLen;
+        if (sessions)
+            out << "," << r.sessionId;
+        out << "\n";
     }
 }
 

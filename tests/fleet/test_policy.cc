@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Routing-policy tests: the policy registry mirrors the
+ * system/workload registries (stock policies present, sorted ids,
+ * runtime plug-in, fatal on unknown/duplicate), and each stock
+ * policy's routing rule is checked against hand-built instance
+ * snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fleet/policy.hh"
+
+namespace duplex
+{
+namespace
+{
+
+InstanceStatus
+status(int id, std::size_t queued, std::size_t active,
+       std::int64_t headroom)
+{
+    InstanceStatus s;
+    s.id = id;
+    s.queueDepth = queued;
+    s.activeCount = active;
+    s.kvHeadroom = headroom;
+    s.maxKvTokens = 1 << 20;
+    return s;
+}
+
+TEST(PolicyRegistry, ListsEveryStockPolicy)
+{
+    for (const std::string id :
+         {"round-robin", "least-loaded", "join-shortest-queue",
+          "session-affinity"}) {
+        EXPECT_TRUE(RoutingPolicyRegistry::instance().contains(id))
+            << "missing policy: " << id;
+        EXPECT_FALSE(
+            RoutingPolicyRegistry::instance().summary(id).empty());
+    }
+    EXPECT_GE(registeredRoutingPolicies().size(), 4u);
+}
+
+TEST(PolicyRegistry, IdsAreSorted)
+{
+    const std::vector<std::string> ids =
+        registeredRoutingPolicies();
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(PolicyRegistry, EveryPolicyBuildsAndRoutes)
+{
+    const std::vector<InstanceStatus> fleet = {
+        status(0, 0, 0, 1000), status(1, 0, 0, 1000)};
+    Request r;
+    r.id = 0;
+    for (const std::string &id : registeredRoutingPolicies()) {
+        SCOPED_TRACE(id);
+        const std::unique_ptr<RoutingPolicy> policy =
+            makeRoutingPolicy(id);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->name(), id);
+        EXPECT_FALSE(policy->describe().empty());
+        const int target = policy->route(r, fleet);
+        EXPECT_TRUE(target == 0 || target == 1);
+    }
+}
+
+TEST(PolicyRegistry, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT({ makeRoutingPolicy("no-such-policy"); },
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            registerRoutingPolicy("round-robin", "duplicate", [] {
+                return makeRoutingPolicy("least-loaded");
+            });
+        },
+        ::testing::ExitedWithCode(1), "duplicate policy id");
+}
+
+TEST(PolicyRegistry, UserPoliciesPlugIn)
+{
+    // A new routing policy is one registration away, like systems
+    // and workloads.
+    if (!RoutingPolicyRegistry::instance().contains("test-first")) {
+        class FirstPolicy : public RoutingPolicy
+        {
+          public:
+            int route(const Request &,
+                      const std::vector<InstanceStatus> &instances)
+                override
+            {
+                return instances.front().id;
+            }
+            const std::string &name() const override
+            {
+                static const std::string kName = "test-first";
+                return kName;
+            }
+            std::string describe() const override
+            {
+                return "always the lowest id (test only)";
+            }
+        };
+        registerRoutingPolicy(
+            "test-first", "always the lowest id (test only)",
+            [] { return std::make_unique<FirstPolicy>(); });
+    }
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("test-first");
+    Request r;
+    EXPECT_EQ(policy->route(r, {status(3, 0, 0, 0),
+                                status(5, 0, 0, 0)}),
+              3);
+}
+
+TEST(Policy, RoundRobinCyclesThroughInstances)
+{
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("round-robin");
+    const std::vector<InstanceStatus> fleet = {
+        status(0, 0, 0, 0), status(1, 0, 0, 0),
+        status(2, 0, 0, 0)};
+    Request r;
+    std::vector<int> picks;
+    for (int i = 0; i < 6; ++i)
+        picks.push_back(policy->route(r, fleet));
+    EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Policy, RoundRobinCursorSurvivesFleetResize)
+{
+    // The cursor counts routed requests, so a grown fleet keeps
+    // rotating instead of restarting at instance 0.
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("round-robin");
+    Request r;
+    std::vector<InstanceStatus> fleet = {status(0, 0, 0, 0),
+                                         status(1, 0, 0, 0)};
+    EXPECT_EQ(policy->route(r, fleet), 0);
+    EXPECT_EQ(policy->route(r, fleet), 1);
+    fleet.push_back(status(2, 0, 0, 0));
+    EXPECT_EQ(policy->route(r, fleet), 2);
+    EXPECT_EQ(policy->route(r, fleet), 0);
+}
+
+TEST(Policy, LeastLoadedPicksMostKvHeadroom)
+{
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("least-loaded");
+    Request r;
+    EXPECT_EQ(policy->route(r, {status(0, 0, 0, 100),
+                                status(1, 0, 0, 900),
+                                status(2, 0, 0, 500)}),
+              1);
+    // Ties break toward the lowest instance id.
+    EXPECT_EQ(policy->route(r, {status(0, 0, 0, 500),
+                                status(1, 0, 0, 500)}),
+              0);
+}
+
+TEST(Policy, JoinShortestQueuePicksFewestInFlight)
+{
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("join-shortest-queue");
+    Request r;
+    // Queue depth and active batch both count as in-flight.
+    EXPECT_EQ(policy->route(r, {status(0, 4, 4, 0),
+                                status(1, 0, 7, 0),
+                                status(2, 2, 3, 0)}),
+              2);
+    EXPECT_EQ(policy->route(r, {status(0, 1, 1, 0),
+                                status(1, 2, 0, 0)}),
+              0);
+}
+
+TEST(Policy, SessionAffinityPinsASessionToOneInstance)
+{
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("session-affinity");
+    const std::vector<InstanceStatus> fleet = {
+        status(0, 0, 0, 0), status(1, 0, 0, 0),
+        status(2, 0, 0, 0), status(3, 0, 0, 0)};
+    for (std::int64_t session = 0; session < 16; ++session) {
+        Request a;
+        a.id = static_cast<int>(session);
+        a.sessionId = session;
+        Request b;
+        b.id = static_cast<int>(100 + session);
+        b.sessionId = session;
+        EXPECT_EQ(policy->route(a, fleet), policy->route(b, fleet))
+            << "session " << session;
+    }
+}
+
+TEST(Policy, SessionAffinitySpreadsSessionsAndFallsBack)
+{
+    const std::unique_ptr<RoutingPolicy> policy =
+        makeRoutingPolicy("session-affinity");
+    const std::vector<InstanceStatus> fleet = {
+        status(0, 0, 0, 0), status(1, 0, 0, 0),
+        status(2, 0, 0, 0), status(3, 0, 0, 0)};
+    std::vector<int> hits(4, 0);
+    for (std::int64_t session = 0; session < 64; ++session) {
+        Request r;
+        r.id = static_cast<int>(session);
+        r.sessionId = session;
+        ++hits[static_cast<std::size_t>(policy->route(r, fleet))];
+    }
+    // The splitmix hash spreads 64 sessions over 4 instances;
+    // no instance should be starved or hoard them all.
+    for (int h : hits) {
+        EXPECT_GT(h, 0);
+        EXPECT_LT(h, 40);
+    }
+    // Session-less requests hash their request id: deterministic,
+    // and distinct ids need not collide on one instance.
+    Request a;
+    a.id = 7;
+    Request b;
+    b.id = 7;
+    EXPECT_EQ(policy->route(a, fleet), policy->route(b, fleet));
+}
+
+} // namespace
+} // namespace duplex

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "sim/engine.hh"
@@ -38,6 +39,16 @@ TEST(Registry, ListsEveryPaperSystem)
             << "missing system: " << id;
     }
     EXPECT_GE(ids.size(), expected.size());
+}
+
+TEST(Registry, IdsAreSorted)
+{
+    // Enumeration is lexicographically sorted, not registration
+    // order: sweep and bench tables built from ids() must be
+    // byte-stable across libstdc++/libc++ (the CI compiler matrix
+    // diffs their output).
+    const std::vector<std::string> ids = registeredSystems();
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
 }
 
 TEST(Registry, RoundTripOverEveryRegisteredSystem)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 
@@ -47,6 +48,15 @@ TEST(WorkloadRegistry, ListsEveryStockWorkload)
             << "missing workload: " << id;
     }
     EXPECT_GE(registeredWorkloads().size(), expected.size());
+}
+
+TEST(WorkloadRegistry, IdsAreSorted)
+{
+    // Same contract as Registry.IdsAreSorted: enumeration order is
+    // lexicographic so fleet sweeps and bench tables diff clean
+    // across standard libraries.
+    const std::vector<std::string> ids = registeredWorkloads();
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
 }
 
 TEST(WorkloadRegistry, RoundTripOverEveryRegisteredWorkload)

@@ -294,6 +294,29 @@ TEST(WorkloadSource, MixedScenarioCoversTheComponentModes)
     EXPECT_GT(chat_like, 600);
 }
 
+TEST(WorkloadSource, SessionStampingLeavesTheDrawStreamIntact)
+{
+    // numSessions stamps sessionId = id % n with pure arithmetic —
+    // the drawn lengths and arrivals must be bit-identical to a
+    // session-less stream (no RNG draws added or reordered).
+    WorkloadSpec plain;
+    plain.qps = 6.0;
+    WorkloadSpec sessions = plain;
+    sessions.numSessions = 4;
+
+    const auto a = makeWorkload("synthetic", plain);
+    const auto b = makeWorkload("synthetic", sessions);
+    for (int i = 0; i < 64; ++i) {
+        const Request ra = a->next();
+        const Request rb = b->next();
+        EXPECT_EQ(ra.inputLen, rb.inputLen);
+        EXPECT_EQ(ra.outputLen, rb.outputLen);
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.sessionId, -1);
+        EXPECT_EQ(rb.sessionId, rb.id % 4);
+    }
+}
+
 TEST(WorkloadSource, DescribeNamesTheSource)
 {
     for (const std::string &id : registeredWorkloads()) {

@@ -53,6 +53,59 @@ TEST(Trace, RoundTripThroughWriter)
     }
 }
 
+TEST(Trace, SessionIdRoundTripsThroughOptionalColumn)
+{
+    WorkloadConfig cfg;
+    cfg.qps = 5.0;
+    RequestGenerator gen(cfg);
+    auto original = gen.take(12);
+    for (std::size_t i = 0; i < original.size(); ++i)
+        original[i].sessionId = static_cast<std::int64_t>(i % 4);
+
+    std::ostringstream out;
+    writeTrace(out, original);
+    EXPECT_NE(out.str().find("session_id"), std::string::npos);
+
+    std::istringstream in(out.str());
+    const auto parsed = parseTrace(in);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i)
+        EXPECT_EQ(parsed[i].sessionId, original[i].sessionId);
+}
+
+TEST(Trace, SessionlessTraceKeepsLegacyFormat)
+{
+    // A trace recorded without sessions must stay byte-compatible
+    // with the pre-session three-column format: no fourth column,
+    // the original header, and sessionId = -1 on replay.
+    WorkloadConfig cfg;
+    cfg.qps = 5.0;
+    RequestGenerator gen(cfg);
+    const auto original = gen.take(8);
+
+    std::ostringstream out;
+    writeTrace(out, original);
+    EXPECT_EQ(out.str().find("session_id"), std::string::npos);
+    EXPECT_NE(out.str().find("# arrival_sec,input_len,output_len"),
+              std::string::npos);
+
+    std::istringstream in(out.str());
+    for (const Request &r : parseTrace(in))
+        EXPECT_EQ(r.sessionId, -1);
+}
+
+TEST(Trace, ThreeColumnLinesStillParse)
+{
+    // Legacy traces (no session column) replay with sessionId
+    // absent; mixed four-column lines pick it up.
+    std::istringstream in("0.0,512,256\n"
+                          "0.5,1024,128,7\n");
+    const auto reqs = parseTrace(in);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].sessionId, -1);
+    EXPECT_EQ(reqs[1].sessionId, 7);
+}
+
 TEST(Trace, EmptyInputEmptyTrace)
 {
     std::istringstream in("# nothing here\n");

@@ -65,6 +65,9 @@ def tracked_metrics(perf):
     for name in ("requests_per_sec", "peak_rss_mb"):
         if name in driver:
             metrics[f"driver_loop.{name}"] = driver[name]
+    fleet = perf.get("fleet", {})
+    if "requests_per_sec" in fleet:
+        metrics["fleet.requests_per_sec"] = fleet["requests_per_sec"]
     return metrics
 
 
