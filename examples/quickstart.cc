@@ -16,6 +16,10 @@
  *                                         # routed multi-instance fleet
  *   ./quickstart --fleet=1 --autoscale --workload=diurnal
  *                                         # arrival-rate autoscaling
+ *   ./quickstart --fleet=4 --qps=8 --faults="crash@2:0;degrade@4:1:2"
+ *                                         # scripted fault injection
+ *   ./quickstart --fleet=4 --qps=8 --mtbf=5 --mttr=1 \
+ *                --policy=healthy-first   # seeded random faults
  *   ./quickstart --list-systems
  *   ./quickstart --list-workloads
  *   ./quickstart --list-policies
@@ -36,6 +40,7 @@
 #include <cstdio>
 
 #include "common/argparse.hh"
+#include "common/log.hh"
 #include "common/rss.hh"
 #include "common/table.hh"
 #include "fleet/fleet.hh"
@@ -121,7 +126,61 @@ main(int argc, char **argv)
     args.addFlag("scale-down-qps",
                  "drain an instance below this QPS per instance",
                  "1");
+    args.addFlag("faults",
+                 "scripted fleet faults: crash@sec:inst[:down-sec] "
+                 "| degrade@sec:inst:window-sec[:factor], separated "
+                 "by ';' or ','",
+                 "");
+    args.addFlag("mtbf",
+                 "mean time between random instance faults in "
+                 "simulated seconds (0 = off; dedicated fault RNG "
+                 "stream)",
+                 "0");
+    args.addFlag("mttr",
+                 "mean repair time for random crashes (seconds)",
+                 "2");
+    args.addFlag("straggler-frac",
+                 "fraction of random faults that degrade (straggle) "
+                 "instead of crash",
+                 "0");
+    args.addFlag("straggler-factor",
+                 "stage-time multiplier inside straggler windows",
+                 "3");
+    args.addFlag("retry-max",
+                 "re-routes a crashed-out request may consume "
+                 "before it is dropped",
+                 "3");
+    args.addFlag("retry-backoff",
+                 "backoff before the first retry in simulated "
+                 "seconds (doubles per attempt)",
+                 "0.05");
     args.parse(argc, argv);
+
+    // Misconfiguration dies with one readable line instead of a
+    // confusing run (or a panic deep inside the driver).
+    const int fleet_size = static_cast<int>(args.getInt("fleet"));
+    fatalIf(fleet_size < 0,
+            "--fleet must be >= 0 (0 = single-instance mode)");
+    fatalIf(args.getDouble("qps") < 0.0, "--qps must be >= 0");
+    fatalIf(args.getInt("scale-min") < 1, "--scale-min must be >= 1");
+    fatalIf(args.getInt("scale-max") < args.getInt("scale-min"),
+            "--scale-max must be >= --scale-min");
+    fatalIf(args.getDouble("scale-up-qps") <= 0.0,
+            "--scale-up-qps must be > 0");
+    fatalIf(args.getDouble("scale-down-qps") < 0.0,
+            "--scale-down-qps must be >= 0");
+    fatalIf(args.getInt("retry-max") < 0,
+            "--retry-max must be >= 0 (0 = never retry)");
+    fatalIf(args.getDouble("retry-backoff") < 0.0,
+            "--retry-backoff must be >= 0");
+    fatalIf(args.getDouble("mtbf") < 0.0, "--mtbf must be >= 0");
+    fatalIf(args.getDouble("mtbf") > 0.0 &&
+                args.getDouble("mttr") <= 0.0,
+            "--mttr must be > 0 when --mtbf is set");
+    const bool wants_faults = !args.getString("faults").empty() ||
+                              args.getDouble("mtbf") > 0.0;
+    fatalIf(wants_faults && fleet_size == 0,
+            "--faults/--mtbf need a fleet (--fleet=N)");
 
     const std::string metrics_mode = args.getString("metrics");
     MetricsMode mode = MetricsMode::Streaming;
@@ -235,7 +294,6 @@ main(int argc, char **argv)
     // (default gpu) instead of the GPU-vs-Duplex comparison. All
     // fleet output below is simulated-time-deterministic; the CI
     // determinism job runs this path twice and diffs stdout.
-    const int fleet_size = static_cast<int>(args.getInt("fleet"));
     if (fleet_size > 0) {
         FleetConfig fc;
         fc.sim.systemName = requested.empty() ? "gpu" : requested;
@@ -263,6 +321,18 @@ main(int argc, char **argv)
             args.getDouble("scale-up-qps");
         fc.scaling.downQpsPerInstance =
             args.getDouble("scale-down-qps");
+        if (!args.getString("faults").empty())
+            fc.faults.events =
+                parseFaultList(args.getString("faults"));
+        fc.faults.mtbfSec = args.getDouble("mtbf");
+        fc.faults.mttrSec = args.getDouble("mttr");
+        fc.faults.stragglerFraction =
+            args.getDouble("straggler-frac");
+        fc.faults.stragglerFactor =
+            args.getDouble("straggler-factor");
+        fc.retry.maxAttempts =
+            static_cast<int>(args.getInt("retry-max"));
+        fc.retry.backoffSec = args.getDouble("retry-backoff");
 
         std::printf("Fleet: %d x %s, policy %s%s\n", fc.instances,
                     SystemRegistry::instance()
@@ -325,6 +395,45 @@ main(int argc, char **argv)
                             "(observed %.1f qps, %d accepting)\n",
                             psToMs(e.time), kind, e.instance,
                             e.observedQps, e.acceptingAfter);
+            }
+        }
+
+        // Gated on the spec, not on the outcome, so a faulted
+        // config that happened to fire nothing still reports — and
+        // a fault-free run prints byte-identically to a build that
+        // predates fault injection (the golden contract).
+        if (fc.faults.enabled()) {
+            std::printf("\nAvailability: %.4f (downtime %.1f ms "
+                        "across %d instance(s))\n",
+                        r.availability(),
+                        psToMs(r.totalDowntime),
+                        static_cast<int>(r.perInstance.size()));
+            std::printf("Faults: %d crash(es), %d straggler "
+                        "window(s); lost %lld request-attempt(s) "
+                        "and %lld generated token(s), %lld "
+                        "retry(ies), %lld dropped\n",
+                        r.crashes, r.degradeWindows,
+                        static_cast<long long>(r.requestsLost),
+                        static_cast<long long>(r.lostWorkTokens),
+                        static_cast<long long>(r.retriesScheduled),
+                        static_cast<long long>(r.requestsDropped));
+            if (!r.faultEvents.empty()) {
+                std::printf("Fault timeline:\n");
+                for (const FaultEvent &e : r.faultEvents) {
+                    std::printf("  t=%8.1f ms %-7s instance %d",
+                                psToMs(e.at),
+                                faultKindName(e.kind), e.instance);
+                    if (e.kind == FaultKind::Crash)
+                        std::printf(e.duration < 0
+                                        ? " (never rejoins)\n"
+                                        : " (down %.1f ms)\n",
+                                    psToMs(e.duration));
+                    else if (e.kind == FaultKind::Degrade)
+                        std::printf(" (x%.1f for %.1f ms)\n",
+                                    e.factor, psToMs(e.duration));
+                    else
+                        std::printf("\n");
+                }
             }
         }
 

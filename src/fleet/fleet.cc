@@ -71,6 +71,14 @@ struct FleetDriver::Instance
     bool accepting = true;
     bool retired = false;
 
+    // --- fault state (inert unless the fleet injects faults) ---
+    InstanceHealth health = InstanceHealth::Healthy;
+    bool down = false;       //!< crashed out, awaiting repair
+    PicoSec downSince = -1;  //!< when the open downtime began
+    PicoSec rejoinAt = -1;   //!< repair time; -1 = never rejoins
+    PicoSec degradeEnd = -1; //!< straggler window close; -1 = none
+    FaultPlan plan;          //!< this instance's fault timeline
+
     std::unique_ptr<ServingSystem> system;
     std::unique_ptr<InstanceObserver> observer;
     std::unique_ptr<DriverLoop> loop;
@@ -128,10 +136,14 @@ FleetDriver::snapshot() const
     std::vector<InstanceStatus> out;
     out.reserve(instances_.size());
     for (const auto &inst : instances_) {
-        if (inst->retired || !inst->accepting)
+        // Crashed (down) instances are ejected outright — the
+        // policy never sees one, the failure-semantics mirror of
+        // the draining rule.
+        if (inst->retired || !inst->accepting || inst->down)
             continue;
         InstanceStatus s;
         s.id = inst->id;
+        s.health = inst->health;
         s.queueDepth = inst->loop->queueDepth();
         s.activeCount = inst->loop->activeCount();
         s.maxKvTokens = inst->loop->maxKvTokens();
@@ -164,6 +176,12 @@ FleetDriver::spawn(PicoSec now)
     inst->loop = std::make_unique<DriverLoop>(
         config_.sim, *inst->system, *inst->observer,
         ArrivalQueue(closedLoop_), now);
+    // The instance's fault timeline, on its dedicated RNG stream;
+    // default-constructed (inert) when faults are disabled so the
+    // fault-free fleet never touches the subsystem.
+    if (faultsEnabled_)
+        inst->plan =
+            FaultPlan(config_.faults, inst->id, config_.sim.seed);
     Instance &ref = *inst;
     instances_.push_back(std::move(inst));
     for (FleetObserver *o : observers_)
@@ -229,6 +247,15 @@ FleetDriver::retireInstance(Instance &inst, FleetResult &result)
     panicIf(!inst.loop->idle(),
             "retiring a fleet instance with in-flight requests");
     inst.retired = true;
+    // A draining instance can crash out (its work already evicted
+    // and re-routed); retirement closes the downtime interval.
+    if (inst.down) {
+        totalDowntime_ += std::max<PicoSec>(
+            0, inst.loop->now() - inst.downSince);
+        inst.down = false;
+        inst.downSince = -1;
+        inst.rejoinAt = -1;
+    }
     ScaleEvent event;
     event.kind = ScaleEvent::Kind::Retire;
     event.time = inst.loop->now();
@@ -238,6 +265,194 @@ FleetDriver::retireInstance(Instance &inst, FleetResult &result)
     for (FleetObserver *o : observers_)
         o->onScaleEvent(event);
     (void)result; // folding happens once at end, in id order
+}
+
+bool
+FleetDriver::anyRoutable() const
+{
+    for (const auto &inst : instances_)
+        if (!inst->retired && inst->accepting && !inst->down)
+            return true;
+    return false;
+}
+
+/**
+ * Fire everything due on @p inst up to simulated time @p horizon,
+ * in chronological order: a pending rejoin, a degrade-window close
+ * and the scheduled faults interleave (a rejoin can be followed by
+ * the next crash in the same call). Fault events that strike while
+ * the instance is down are consumed and dropped — a dead machine
+ * cannot fail twice. Returns true when anything changed, so callers
+ * re-evaluate routing state (a crash changes who is busy and may
+ * have queued retries).
+ */
+bool
+FleetDriver::serviceFaults(Instance &inst, PicoSec horizon)
+{
+    bool fired = false;
+    for (;;) {
+        const PicoSec rejoin =
+            inst.down && inst.rejoinAt >= 0 &&
+                    inst.rejoinAt <= horizon
+                ? inst.rejoinAt
+                : -1;
+        const PicoSec degradeEnd =
+            !inst.down && inst.degradeEnd >= 0 &&
+                    inst.degradeEnd <= horizon
+                ? inst.degradeEnd
+                : -1;
+        const PicoSec fault =
+            inst.plan.pending() && inst.plan.nextAt() <= horizon
+                ? inst.plan.nextAt()
+                : -1;
+        PicoSec next = -1;
+        for (PicoSec t : {rejoin, degradeEnd, fault})
+            if (t >= 0 && (next < 0 || t < next))
+                next = t;
+        if (next < 0)
+            return fired;
+        fired = true;
+        if (next == rejoin) {
+            rejoinInstance(inst, rejoin);
+        } else if (next == degradeEnd) {
+            inst.loop->setTimeScale(1.0);
+            inst.health = InstanceHealth::Healthy;
+            inst.degradeEnd = -1;
+        } else {
+            const FaultEvent e = inst.plan.pop();
+            if (inst.down || inst.retired)
+                continue;
+            if (e.kind == FaultKind::Crash)
+                applyCrash(inst, e);
+            else
+                applyDegrade(inst, e);
+        }
+    }
+}
+
+void
+FleetDriver::applyCrash(Instance &inst, const FaultEvent &event)
+{
+    // Fail-stop at the stage boundary: when a stage ran past the
+    // scheduled strike, the crash takes effect at the instance's
+    // clock (a stage is atomic; nothing fails mid-matmul).
+    const PicoSec now = std::max(event.at, inst.loop->now());
+    std::vector<Request> lost;
+    inst.loop->evictAll(lost);
+    inst.queuedKv.clear();
+    inst.queuedKvSum = 0;
+    // A crash supersedes any straggler window in progress.
+    if (inst.degradeEnd >= 0) {
+        inst.loop->setTimeScale(1.0);
+        inst.degradeEnd = -1;
+    }
+    inst.health = InstanceHealth::Healthy;
+    inst.down = true;
+    inst.downSince = now;
+    inst.rejoinAt = event.duration < 0
+                        ? -1
+                        : std::max(now, event.at + event.duration);
+    ++crashes_;
+    FaultEvent rec = event;
+    rec.instance = inst.id;
+    rec.at = now;
+    faultRecords_.push_back(rec);
+    for (FleetObserver *o : observers_)
+        o->onFault(inst.id, rec, now);
+    for (Request &r : lost)
+        scheduleRetry(std::move(r), inst.id, now);
+}
+
+void
+FleetDriver::applyDegrade(Instance &inst, const FaultEvent &event)
+{
+    const PicoSec now = std::max(event.at, inst.loop->now());
+    inst.health = InstanceHealth::Degraded;
+    inst.loop->setTimeScale(event.factor);
+    // The window closes at its scheduled end even when a stage ran
+    // past the start; a window fully consumed mid-stage is cleared
+    // by the next serviceFaults pass without scaling anything.
+    inst.degradeEnd = event.at + event.duration;
+    ++degradeWindows_;
+    FaultEvent rec = event;
+    rec.instance = inst.id;
+    rec.at = now;
+    faultRecords_.push_back(rec);
+    for (FleetObserver *o : observers_)
+        o->onFault(inst.id, rec, now);
+}
+
+void
+FleetDriver::rejoinInstance(Instance &inst, PicoSec at)
+{
+    panicIf(!inst.down, "rejoining an instance that is not down");
+    totalDowntime_ += std::max<PicoSec>(0, at - inst.downSince);
+    inst.down = false;
+    inst.downSince = -1;
+    inst.rejoinAt = -1;
+    // Empty batch, clock resumed at the repair time (no-op when the
+    // crash-frozen clock already sits past it).
+    inst.loop->advanceTo(at);
+    FaultEvent rec;
+    rec.kind = FaultKind::Rejoin;
+    rec.instance = inst.id;
+    rec.at = at;
+    faultRecords_.push_back(rec);
+    for (FleetObserver *o : observers_)
+        o->onFault(inst.id, rec, at);
+}
+
+void
+FleetDriver::scheduleRetry(Request request, int instance,
+                           PicoSec now)
+{
+    ++requestsLost_;
+    lostWorkTokens_ += request.generated;
+    const int attempt = request.retries + 1;
+    if (request.retries >= config_.retry.maxAttempts) {
+        ++requestsDropped_;
+        for (FleetObserver *o : observers_)
+            o->onRetry(instance, request, attempt, true, now);
+        return;
+    }
+    // The retry restarts from prefill — the crashed KV is gone.
+    request.retries = attempt;
+    request.generated = 0;
+    request.firstToken = -1;
+    request.finished = -1;
+    request.tokenTimes.clear();
+    const PicoSec at = now + config_.retry.backoffFor(attempt);
+    request.arrival = at;
+    ++retriesScheduled_;
+    for (FleetObserver *o : observers_)
+        o->onRetry(instance, request, attempt, false, at);
+    retries_.push_back({at, retrySeq_++, std::move(request)});
+    std::push_heap(retries_.begin(), retries_.end(),
+                   [](const PendingRetry &a, const PendingRetry &b) {
+                       return a.at > b.at ||
+                              (a.at == b.at && a.seq > b.seq);
+                   });
+}
+
+/**
+ * When every accepting instance is down, the fleet only makes
+ * progress by waiting out the earliest repair: rejoin that instance
+ * at its repair time (lowest id on ties) and route there. Returns
+ * false when no down accepting instance ever rejoins.
+ */
+bool
+FleetDriver::forceRejoinEarliest()
+{
+    Instance *best = nullptr;
+    for (const auto &inst : instances_)
+        if (!inst->retired && inst->accepting && inst->down &&
+            inst->rejoinAt >= 0 &&
+            (best == nullptr || inst->rejoinAt < best->rejoinAt))
+            best = inst.get();
+    if (best == nullptr)
+        return false;
+    rejoinInstance(*best, best->rejoinAt);
+    return true;
 }
 
 FleetResult
@@ -263,6 +478,18 @@ FleetDriver::run()
     // and bursty sources are open loop whatever qps says).
     closedLoop_ = shared.closedLoop();
 
+    // Fault injection: decided before the first spawn so every
+    // instance (initial and autoscaled) gets its fault timeline.
+    faultsEnabled_ = config_.faults.enabled();
+    if (faultsEnabled_) {
+        fatalIf(config_.retry.maxAttempts < 0,
+                "RetrySpec: negative maxAttempts");
+        fatalIf(config_.retry.backoffSec < 0.0,
+                "RetrySpec: negative backoffSec");
+        fatalIf(config_.retry.multiplier <= 0.0,
+                "RetrySpec: multiplier must be positive");
+    }
+
     for (int i = 0; i < initial; ++i)
         spawn(0);
     // Autoscaling reacts to observed arrival timestamps; a closed
@@ -283,6 +510,15 @@ FleetDriver::run()
                 inst->loop->idle())
                 retireInstance(*inst, result);
 
+        // Fire faults due at each instance's own clock before any
+        // routing or stepping decision reads fleet state — faults
+        // strike at stage boundaries, and the last step may have
+        // carried an instance's clock past a scheduled strike.
+        if (faultsEnabled_)
+            for (auto &inst : instances_)
+                if (!inst->retired)
+                    serviceFaults(*inst, inst->loop->now());
+
         // Route every arrival no BUSY instance is still behind: a
         // busy instance's state at the arrival time is not yet
         // known, so routing must wait for it; an idle instance has
@@ -291,33 +527,88 @@ FleetDriver::run()
         // fleet-wide). Closed loop: arrivals carry no timestamps,
         // so the whole stream routes up front and the queued-KV
         // accounting makes the balancing policies spread it
-        // sensibly.
+        // sensibly. Crash retries re-enter here, merged with the
+        // shared stream in timestamp order and gated like open-loop
+        // arrivals; down instances neither gate routing nor appear
+        // in the snapshot.
         for (;;) {
-            if (shared.empty())
+            const bool haveShared = !shared.empty();
+            if (!haveShared && retries_.empty())
                 break;
+            if (faultsEnabled_ && !anyRoutable()) {
+                // The whole fleet is down (or draining): wait out
+                // the earliest repair, then route there.
+                fatalIf(!forceRejoinEarliest(),
+                        "fleet: every instance is down or draining "
+                        "with no rejoin scheduled and requests "
+                        "still pending");
+                continue;
+            }
             PicoSec busyMin = std::numeric_limits<PicoSec>::max();
             PicoSec allMin = std::numeric_limits<PicoSec>::max();
             for (const auto &inst : instances_) {
-                if (inst->retired)
+                if (inst->retired || inst->down)
                     continue;
                 allMin = std::min(allMin, inst->loop->now());
                 if (!inst->loop->idle())
                     busyMin =
                         std::min(busyMin, inst->loop->now());
             }
-            const PicoSec arrival = shared.front().arrival;
-            if (!shared.closedLoop() && arrival > busyMin)
+            // Retries carry real timestamps even under a closed
+            // loop; the timestamp-less closed-loop stream routes
+            // first there, open loop merges by earliest time
+            // (shared stream wins ties — it was in line first).
+            bool fromRetry = !haveShared;
+            if (haveShared && !retries_.empty() &&
+                !shared.closedLoop())
+                fromRetry =
+                    retries_.front().at < shared.front().arrival;
+            const PicoSec arrival = fromRetry
+                                        ? retries_.front().at
+                                        : shared.front().arrival;
+            if ((fromRetry || !shared.closedLoop()) &&
+                arrival > busyMin)
                 break;
-            Request r = shared.pop(allMin);
             const PicoSec at =
-                shared.closedLoop() ? allMin : arrival;
+                !fromRetry && shared.closedLoop() ? allMin
+                                                  : arrival;
+            if (faultsEnabled_) {
+                // Fire anything due by the routing time (rejoins
+                // included), then re-evaluate: a crash changes who
+                // is busy and may have queued earlier retries.
+                bool changed = false;
+                for (auto &inst : instances_)
+                    if (!inst->retired)
+                        changed =
+                            serviceFaults(
+                                *inst,
+                                std::max(at, inst->loop->now())) ||
+                            changed;
+                if (changed)
+                    continue;
+            }
+            Request r;
+            if (fromRetry) {
+                std::pop_heap(
+                    retries_.begin(), retries_.end(),
+                    [](const PendingRetry &a,
+                       const PendingRetry &b) {
+                        return a.at > b.at ||
+                               (a.at == b.at && a.seq > b.seq);
+                    });
+                r = std::move(retries_.back().req);
+                retries_.pop_back();
+            } else {
+                r = shared.pop(allMin);
+            }
             // March idle instances up to the arrival so the
             // policy's clock snapshot is consistent, and so the
             // chosen instance admits at the arrival time exactly
             // as the bare engine would.
-            if (!shared.closedLoop())
+            if (fromRetry || !shared.closedLoop())
                 for (auto &inst : instances_)
-                    if (!inst->retired && inst->loop->idle())
+                    if (!inst->retired && !inst->down &&
+                        inst->loop->idle())
                         inst->loop->advanceTo(at);
             if (config_.scaling.enabled) {
                 arrivalWindow_.push_back(at);
@@ -331,6 +622,7 @@ FleetDriver::run()
                         target >= static_cast<int>(
                                       instances_.size()) ||
                         instances_[target]->retired ||
+                        instances_[target]->down ||
                         !instances_[target]->accepting,
                     "routing policy '" + config_.policy +
                         "' picked an unroutable instance");
@@ -354,7 +646,8 @@ FleetDriver::run()
         // (lowest id on ties) — the deterministic interleaving.
         Instance *next = nullptr;
         for (const auto &inst : instances_) {
-            if (inst->retired || inst->loop->done())
+            if (inst->retired || inst->down ||
+                inst->loop->done())
                 continue;
             if (next == nullptr ||
                 inst->loop->now() < next->loop->now())
@@ -366,12 +659,12 @@ FleetDriver::run()
             continue;
         }
 
-        if (shared.empty())
+        if (shared.empty() && retries_.empty())
             break;
         // Every live instance is done. A stage-capped instance with
         // work still queued ends the run (engine stage-cap
         // semantics); otherwise all are idle — march them to the
-        // next arrival and route it.
+        // next arrival (or pending retry) and route it.
         bool capped = false;
         for (const auto &inst : instances_)
             capped = capped || (!inst->retired &&
@@ -379,9 +672,13 @@ FleetDriver::run()
                                 !inst->loop->idle());
         if (capped)
             break;
-        const PicoSec t = shared.front().arrival;
+        PicoSec t = std::numeric_limits<PicoSec>::max();
+        if (!shared.empty())
+            t = shared.front().arrival;
+        if (!retries_.empty())
+            t = std::min(t, retries_.front().at);
         for (auto &inst : instances_)
-            if (!inst->retired)
+            if (!inst->retired && !inst->down)
                 inst->loop->advanceTo(t);
     }
 
@@ -390,8 +687,22 @@ FleetDriver::run()
     // retirement).
     result.perInstance.reserve(instances_.size());
     PicoSec makespan = 0;
-    for (auto &inst : instances_) {
+    for (const auto &inst : instances_)
         makespan = std::max(makespan, inst->loop->now());
+    // Close downtime intervals still open at the end of the run: an
+    // instance whose repair lands inside the makespan counts down
+    // to its repair, one still dead at the end counts to the
+    // makespan (availability is measured over the run window).
+    for (auto &inst : instances_)
+        if (inst->down) {
+            const PicoSec end =
+                inst->rejoinAt >= 0 && inst->rejoinAt < makespan
+                    ? inst->rejoinAt
+                    : makespan;
+            totalDowntime_ +=
+                std::max<PicoSec>(0, end - inst->downSince);
+        }
+    for (auto &inst : instances_) {
         SimResult sr = inst->loop->finish();
         result.metrics.tbtMs.merge(sr.metrics.tbtMs);
         result.metrics.t2ftMs.merge(sr.metrics.t2ftMs);
@@ -410,6 +721,14 @@ FleetDriver::run()
     result.scaleEvents = scaleEvents_;
     result.scaleUps = scaleUps_;
     result.scaleDowns = scaleDowns_;
+    result.crashes = crashes_;
+    result.degradeWindows = degradeWindows_;
+    result.requestsLost = requestsLost_;
+    result.lostWorkTokens = lostWorkTokens_;
+    result.retriesScheduled = retriesScheduled_;
+    result.requestsDropped = requestsDropped_;
+    result.totalDowntime = totalDowntime_;
+    result.faultEvents = faultRecords_;
 
     for (FleetObserver *o : observers_)
         o->onFleetEnd(result);

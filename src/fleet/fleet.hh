@@ -27,6 +27,18 @@
  * fleet drains the highest-id instance — no new admissions, active
  * requests finish — before retiring it. Scale events surface
  * through FleetObserver.
+ *
+ * Fault injection (FleetConfig::faults, fleet/faults.hh): scheduled
+ * or seeded crashes evict an instance's queued and active requests
+ * (their KV is lost; retries restart from prefill after a RetrySpec
+ * backoff, re-routed like fresh arrivals), down instances are
+ * ejected from every routing snapshot until their repair time, and
+ * degraded-straggler windows scale an instance's stage times while
+ * failure-aware policies steer around it. All of it stays inside
+ * the determinism contract: fault draws live on a dedicated RNG
+ * stream, so a fleet with faults disabled is byte-identical to one
+ * that never heard of them, and every faulted run double-runs
+ * byte-identical.
  */
 
 #ifndef DUPLEX_FLEET_FLEET_HH
@@ -36,6 +48,7 @@
 #include <memory>
 #include <vector>
 
+#include "fleet/faults.hh"
 #include "fleet/policy.hh"
 #include "sim/driver.hh"
 #include "sim/observers.hh"
@@ -79,6 +92,13 @@ struct FleetConfig
     std::string policy = "round-robin";
 
     ScaleSpec scaling;
+
+    /** Fault schedule; default-constructed = disabled (the
+     *  bit-identical-to-the-fault-free-fleet contract). */
+    FaultSpec faults;
+
+    /** How crashed-out requests flow back through the router. */
+    RetrySpec retry;
 };
 
 /** One autoscaling decision, surfaced through FleetObserver. */
@@ -116,6 +136,49 @@ struct FleetResult
     int peakInstances = 0; //!< most instances alive at once
     int scaleUps = 0;
     int scaleDowns = 0;
+
+    // --- availability accounting (all zero in fault-free runs) --
+
+    int crashes = 0;        //!< fail-stop faults applied
+    int degradeWindows = 0; //!< straggler windows applied
+
+    /** Evictions: one request crashed out twice counts twice. */
+    std::int64_t requestsLost = 0;
+
+    /** Generated tokens thrown away with evicted requests — work
+     *  the fleet did and then lost (retries redo it from prefill). */
+    std::int64_t lostWorkTokens = 0;
+
+    std::int64_t retriesScheduled = 0;
+
+    /** Requests that exhausted RetrySpec::maxAttempts and left the
+     *  system unserved. In a run that drains fully,
+     *  requestsRetired + requestsDropped == workload requests. */
+    std::int64_t requestsDropped = 0;
+
+    /** Instance-time spent crashed out, summed over instances. */
+    PicoSec totalDowntime = 0;
+
+    /** Applied fault/rejoin timeline, in application order;
+     *  `at` holds the effective (stage-boundary) strike time. */
+    std::vector<FaultEvent> faultEvents;
+
+    /**
+     * Fraction of instance-time the fleet was up:
+     * 1 - totalDowntime / (makespan x instances ever provisioned).
+     * 1.0 for an empty or fault-free run.
+     */
+    double availability() const
+    {
+        if (metrics.elapsed <= 0 || perInstance.empty())
+            return 1.0;
+        const double denom =
+            static_cast<double>(metrics.elapsed) *
+            static_cast<double>(perInstance.size());
+        const double frac =
+            static_cast<double>(totalDowntime) / denom;
+        return frac >= 1.0 ? 0.0 : 1.0 - frac;
+    }
 
     /** Final per-instance results, in instance-id order (includes
      *  instances retired mid-run). */
@@ -176,6 +239,37 @@ class FleetObserver
         (void)event;
     }
 
+    /**
+     * A fault struck @p instance (or it rejoined — event.kind says
+     * which). @p now is the effective simulated time: the scheduled
+     * strike aligned forward to the stage boundary when the
+     * instance's clock had already run past it.
+     */
+    virtual void onFault(int instance, const FaultEvent &event,
+                         PicoSec now)
+    {
+        (void)instance;
+        (void)event;
+        (void)now;
+    }
+
+    /**
+     * @p request crashed out of @p instance. dropped=false: its
+     * @p attempt-th re-route enters the router at simulated time
+     * @p at (RetrySpec backoff applied). dropped=true: the retry
+     * budget is exhausted and the request leaves the system,
+     * counted in FleetResult::requestsDropped.
+     */
+    virtual void onRetry(int instance, const Request &request,
+                         int attempt, bool dropped, PicoSec at)
+    {
+        (void)instance;
+        (void)request;
+        (void)attempt;
+        (void)dropped;
+        (void)at;
+    }
+
     virtual void onFleetEnd(const FleetResult &result)
     {
         (void)result;
@@ -225,12 +319,45 @@ class FleetDriver
     int scaleUps_ = 0;
     int scaleDowns_ = 0;
 
+    // --- fault-injection state ---------------------------------
+    bool faultsEnabled_ = false;
+
+    /** A crashed-out request waiting out its retry backoff. */
+    struct PendingRetry
+    {
+        PicoSec at = 0;       //!< when the retry becomes routable
+        std::int64_t seq = 0; //!< FIFO tiebreak among equal times
+        Request req;
+    };
+
+    /** Min-heap on (at, seq) via std::push_heap/pop_heap with the
+     *  retryLater comparator (fleet.cc). front() = earliest. */
+    std::vector<PendingRetry> retries_;
+    std::int64_t retrySeq_ = 0;
+
+    int crashes_ = 0;
+    int degradeWindows_ = 0;
+    std::int64_t requestsLost_ = 0;
+    std::int64_t lostWorkTokens_ = 0;
+    std::int64_t retriesScheduled_ = 0;
+    std::int64_t requestsDropped_ = 0;
+    PicoSec totalDowntime_ = 0;
+    std::vector<FaultEvent> faultRecords_;
+
     int acceptingCount() const;
     std::vector<InstanceStatus> snapshot() const;
     Instance &spawn(PicoSec now);
     void maybeScale(PicoSec now);
     void retireInstance(Instance &inst, FleetResult &result);
     double observedQps(PicoSec now);
+
+    bool anyRoutable() const;
+    bool serviceFaults(Instance &inst, PicoSec horizon);
+    void applyCrash(Instance &inst, const FaultEvent &event);
+    void applyDegrade(Instance &inst, const FaultEvent &event);
+    void rejoinInstance(Instance &inst, PicoSec at);
+    void scheduleRetry(Request request, int instance, PicoSec now);
+    bool forceRejoinEarliest();
 };
 
 /**

@@ -142,6 +142,47 @@ class SessionAffinityPolicy : public RoutingPolicy
     }
 };
 
+/**
+ * Failure-aware routing: least-loaded (argmax kvHeadroom, lowest id
+ * on ties) restricted to Healthy instances; only when every offered
+ * instance is inside a degraded-straggler window does it fall back
+ * to the full set. In a fault-free fleet every instance is Healthy,
+ * so healthy-first IS least-loaded bit-for-bit — the no-fault
+ * golden contract extends to the policy (pinned in
+ * tests/fleet/test_faults.cc).
+ */
+class HealthyFirstPolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const InstanceStatus *best = nullptr;
+        for (const InstanceStatus &s : instances)
+            if (s.health == InstanceHealth::Healthy &&
+                (best == nullptr || s.kvHeadroom > best->kvHeadroom))
+                best = &s;
+        if (best == nullptr)
+            for (const InstanceStatus &s : instances)
+                if (best == nullptr ||
+                    s.kvHeadroom > best->kvHeadroom)
+                    best = &s;
+        return best->id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "healthy-first";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "least-loaded among healthy instances; degraded "
+               "only as a last resort";
+    }
+};
+
 template <typename Policy>
 RoutingPolicyFactory
 factoryOf()
@@ -164,6 +205,10 @@ registerStockPolicies(RoutingPolicyRegistry &registry)
     registry.add("session-affinity",
                  "hash sessionId to an instance (stable per session)",
                  factoryOf<SessionAffinityPolicy>());
+    registry.add("healthy-first",
+                 "least-loaded among healthy instances; degraded "
+                 "only as a last resort",
+                 factoryOf<HealthyFirstPolicy>());
 }
 
 } // namespace

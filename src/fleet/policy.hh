@@ -18,8 +18,8 @@
  * sim/registry.hh and workload/registry.hh, completing the
  * experiment grid: system x workload x policy x fleet size. Stock
  * policies: "round-robin", "least-loaded", "join-shortest-queue",
- * "session-affinity". A new policy is one registerRoutingPolicy
- * call — see the ROADMAP recipe.
+ * "session-affinity", "healthy-first". A new policy is one
+ * registerRoutingPolicy call — see the ROADMAP recipe.
  */
 
 #ifndef DUPLEX_FLEET_POLICY_HH
@@ -36,10 +36,27 @@
 namespace duplex
 {
 
+/**
+ * Routable-instance health as the policies see it. Crashed (down)
+ * instances are EJECTED from the routing snapshot entirely — a
+ * policy never sees one — so the only states offered are serving
+ * ones. Degraded marks a straggler window (stage times scaled up by
+ * the fault injector, fleet/faults.hh): the instance still serves,
+ * just slowly, and failure-aware policies can steer around it.
+ */
+enum class InstanceHealth
+{
+    Healthy,
+    Degraded
+};
+
 /** One routable instance as the policy sees it. */
 struct InstanceStatus
 {
     int id = -1; //!< stable instance id (survives scale events)
+
+    /** Healthy, or inside a degraded-straggler window. */
+    InstanceHealth health = InstanceHealth::Healthy;
 
     /** Requests routed to the instance but not yet admitted. */
     std::size_t queueDepth = 0;

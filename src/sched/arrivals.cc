@@ -49,6 +49,16 @@ ArrivalQueue::push(Request r)
 }
 
 void
+ArrivalQueue::drainPending(std::vector<Request> &out)
+{
+    panicIf(source_ != nullptr,
+            "ArrivalQueue::drainPending on a streaming queue");
+    for (auto &r : pending_)
+        out.push_back(std::move(r));
+    pending_.clear();
+}
+
+void
 ArrivalQueue::refill() const
 {
     if (pending_.empty() && budget_ > 0) {

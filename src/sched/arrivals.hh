@@ -75,6 +75,15 @@ class ArrivalQueue
      */
     void push(Request r);
 
+    /**
+     * Move every buffered request into @p out (appending, in
+     * arrival order) — the fleet crash-eviction path. Push-fed and
+     * vector queues only, like push(): a streaming queue owns its
+     * source and cannot give requests back without forking the
+     * draw stream.
+     */
+    void drainPending(std::vector<Request> &out);
+
     bool empty() const { return size() == 0; }
 
     /** Requests still pending (buffered plus undrawn). */

@@ -135,4 +135,18 @@ ContinuousBatcher::drainFinished(std::vector<Request> &out)
     std::swap(out, finished_);
 }
 
+void
+ContinuousBatcher::evictAll(std::vector<Request> &out)
+{
+    panicIf(stageOpen_, "evictAll with a stage in flight");
+    arrivals_.drainPending(out);
+    for (auto &r : active_)
+        out.push_back(std::move(r));
+    active_.clear();
+    // The instance's KV is gone with the requests: reset the
+    // incremental accounting the next admissions rebuild.
+    decodeAgg_ = StageAggregates{};
+    activeLifetimeKv_ = 0;
+}
+
 } // namespace duplex

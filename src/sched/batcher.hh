@@ -148,6 +148,18 @@ class ContinuousBatcher
      */
     void drainFinished(std::vector<Request> &out);
 
+    /**
+     * Fail-stop eviction (the fleet crash path, mirroring
+     * drainFinished): append every queued and active request to
+     * @p out — queued first in arrival order, then the active batch
+     * in admission order — and zero the KV/aggregate accounting.
+     * The evicted requests keep their lifecycle state so the caller
+     * can account lost work; their KV is conceptually gone, so a
+     * re-submission must restart from prefill. Push-fed and vector
+     * arrival queues only; never call with a stage in flight.
+     */
+    void evictAll(std::vector<Request> &out);
+
     /** Tokens generated so far across all requests. */
     std::int64_t totalGenerated() const { return totalGenerated_; }
 

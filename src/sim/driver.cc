@@ -1,6 +1,7 @@
 #include "sim/driver.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/log.hh"
 
@@ -73,7 +74,15 @@ DriverLoop::step()
                                   stage.agg.numPrefill));
     const PicoSec stage_start = now_;
     const StageResult sr = system_.executeStage(stage);
-    now_ += sr.time;
+    // Degraded-straggler windows scale the stage's wall time; the
+    // exact-1.0 guard keeps unfaulted loops bit-identical (PicoSec
+    // values can exceed double's 2^53 exactness on long runs).
+    PicoSec elapsed = sr.time;
+    if (timeScale_ != 1.0)
+        elapsed = std::max<PicoSec>(
+            1, static_cast<PicoSec>(std::llround(
+                   static_cast<double>(sr.time) * timeScale_)));
+    now_ += elapsed;
     batcher_.completeStage(now_);
     result_.totals += sr;
     warmup_.onStageCompleted(now_, batcher_.totalGenerated());

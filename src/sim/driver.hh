@@ -100,6 +100,36 @@ class DriverLoop
     /** Deliver one routed request (push-fed arrival queues only). */
     void pushArrival(Request r) { batcher_.pushArrival(std::move(r)); }
 
+    /**
+     * Fail-stop abort (the fleet crash path): move every queued and
+     * active request into @p out (appending; queued first, then the
+     * batch in admission order) and leave the loop idle at its
+     * current clock. The evicted requests keep their lifecycle
+     * state for lost-work accounting but produce no metric samples
+     * and no onRequestRetired callbacks — they did not finish here.
+     * Never call mid-stage (between formStage and completeStage;
+     * impossible from outside, step() is atomic).
+     */
+    void evictAll(std::vector<Request> &out)
+    {
+        batcher_.evictAll(out);
+    }
+
+    /**
+     * Stage-time multiplier (degraded-straggler windows): stages
+     * executed while the scale is not exactly 1.0 take
+     * llround(time * scale) instead. The 1.0 path is bit-identical
+     * to a loop that never heard of scaling — the no-fault golden
+     * contract.
+     */
+    void setTimeScale(double scale)
+    {
+        panicIf(scale <= 0.0, "DriverLoop: time scale must be > 0");
+        timeScale_ = scale;
+    }
+
+    double timeScale() const { return timeScale_; }
+
     /** Requests routed but not yet admitted into the batch. */
     std::size_t queueDepth() const { return batcher_.pendingCount(); }
 
@@ -132,6 +162,7 @@ class DriverLoop
     std::int64_t stages_ = 0;
     std::size_t retiredSeen_ = 0;
     std::int64_t maxKvTokens_ = 0;
+    double timeScale_ = 1.0;
     bool finished_ = false;
 };
 

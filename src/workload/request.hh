@@ -30,6 +30,14 @@ struct Request
      */
     std::int64_t sessionId = -1;
 
+    /**
+     * Times this request was re-routed after an instance crash
+     * (fleet fault handling, fleet/faults.hh); RetrySpec caps it.
+     * Zero everywhere outside faulted fleet runs; no cost path
+     * reads it.
+     */
+    int retries = 0;
+
     // --- Lifecycle, filled by the scheduler -----------------------
     PicoSec firstToken = -1;     //!< completion of the prefill stage
     PicoSec finished = -1;       //!< completion of the last token

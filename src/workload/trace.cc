@@ -9,6 +9,46 @@
 namespace duplex
 {
 
+namespace
+{
+
+/** "trace line N: 'the offending text' — " error prefix, so a bad
+ *  line in a million-row CSV is findable without opening it. */
+std::string
+lineContext(int line_no, const std::string &line)
+{
+    const auto first = line.find_first_not_of(" \t\r");
+    const auto last = line.find_last_not_of(" \t\r\n");
+    std::string shown = first == std::string::npos
+                            ? ""
+                            : line.substr(first, last - first + 1);
+    if (shown.size() > 60)
+        shown = shown.substr(0, 57) + "...";
+    return "trace line " + std::to_string(line_no) + ": '" + shown +
+           "' — ";
+}
+
+/** Parse one field completely ('1.5x' is an error, not 1.5). */
+double
+traceNumber(const std::string &field, const char *name,
+            int line_no, const std::string &line)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(field, &used);
+        fatalIf(field.find_first_not_of(" \t\r",
+                                        used) != std::string::npos,
+                lineContext(line_no, line) + "bad " +
+                    std::string(name) + " '" + field + "'");
+        return v;
+    } catch (const std::exception &) {
+        fatal(lineContext(line_no, line) + "bad " +
+              std::string(name) + " '" + field + "'");
+    }
+}
+
+} // namespace
+
 std::vector<Request>
 parseTrace(std::istream &in)
 {
@@ -25,36 +65,50 @@ parseTrace(std::istream &in)
         std::string lin_s;
         std::string lout_s;
         std::string session_s;
+        std::string excess_s;
         if (!std::getline(fields, arrival_s, ',') ||
             !std::getline(fields, lin_s, ',') ||
             !std::getline(fields, lout_s, ',')) {
-            fatal("trace line " + std::to_string(line_no) +
-                  ": expected arrival_sec,input_len,output_len");
+            fatal(lineContext(line_no, line) +
+                  "expected arrival_sec,input_len,output_len"
+                  "[,session_id]");
         }
         // Optional 4th column: session_id (written only for traces
         // recorded with sessions; three-column traces stay valid).
+        // A 5th column is a malformed file, not something to drop
+        // silently.
         const bool has_session =
             static_cast<bool>(std::getline(fields, session_s, ','));
+        fatalIf(static_cast<bool>(
+                    std::getline(fields, excess_s, ',')),
+                lineContext(line_no, line) +
+                    "too many columns (expected at most "
+                    "arrival_sec,input_len,output_len,session_id)");
         Request r;
         r.id = static_cast<int>(requests.size());
-        try {
-            r.arrival = secToPs(std::stod(arrival_s));
-            r.inputLen = std::stoll(lin_s);
-            r.outputLen = std::stoll(lout_s);
-            if (has_session)
-                r.sessionId = std::stoll(session_s);
-        } catch (const std::exception &) {
-            fatal("trace line " + std::to_string(line_no) +
-                  ": malformed number");
-        }
+        r.arrival = secToPs(
+            traceNumber(arrival_s, "arrival_sec", line_no, line));
+        r.inputLen = static_cast<std::int64_t>(
+            traceNumber(lin_s, "input_len", line_no, line));
+        r.outputLen = static_cast<std::int64_t>(
+            traceNumber(lout_s, "output_len", line_no, line));
+        if (has_session)
+            r.sessionId = static_cast<std::int64_t>(traceNumber(
+                session_s, "session_id", line_no, line));
         fatalIf(r.arrival < 0 || r.inputLen <= 0 || r.outputLen <= 0,
-                "trace line " + std::to_string(line_no) +
-                    ": lengths must be positive, arrival "
+                lineContext(line_no, line) +
+                    "lengths must be positive, arrival "
                     "non-negative");
-        fatalIf(!requests.empty() &&
-                    r.arrival < requests.back().arrival,
-                "trace line " + std::to_string(line_no) +
-                    ": arrivals must be non-decreasing");
+        // Plain if, not fatalIf: the message touches back() and
+        // must only be built once a previous request exists.
+        if (!requests.empty() &&
+            r.arrival < requests.back().arrival) {
+            fatal(lineContext(line_no, line) +
+                  "arrivals must be non-decreasing (previous "
+                  "line arrives at " +
+                  std::to_string(psToSec(requests.back().arrival)) +
+                  " s)");
+        }
         requests.push_back(r);
     }
     return requests;

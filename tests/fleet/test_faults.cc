@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Fault-injection tests — the PR-7 guarantees:
+ *
+ *  - A fleet with faults disabled is bit-identical to one that never
+ *    heard of the fault subsystem (inert FaultSpec/RetrySpec knobs
+ *    change nothing), and healthy-first routing equals least-loaded
+ *    on a fault-free fleet.
+ *  - Faulted runs are deterministic: identical configs agree on
+ *    every sample, counter, and the full fault timeline.
+ *  - Crash semantics: queued + active requests evicted, retried
+ *    after backoff, the instance rejoins at its repair time, and the
+ *    accounting invariants hold (retired + dropped == workload
+ *    requests; routed == requests + retries scheduled).
+ *  - Degrade semantics: a straggler window slows the instance
+ *    without downtime, and failure-aware routing steers around it.
+ *  - Edge cases: zero-request workloads, fewer requests than
+ *    instances, retry exhaustion, crashes landing on a draining
+ *    autoscaled instance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/faults.hh"
+#include "fleet/fleet.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+baseSim()
+{
+    SimConfig c;
+    c.systemName = "gpu";
+    c.model = mixtralConfig();
+    c.maxBatch = 16;
+    c.workload.meanInputLen = 256;
+    c.workload.meanOutputLen = 64;
+    c.numRequests = 48;
+    c.warmupRequests = 8;
+    c.maxStages = 200000;
+    return c;
+}
+
+/** Bit-exact comparison of two sample accumulators. */
+void
+expectSameSamples(const SampleStats &a, const SampleStats &b,
+                  const char *what)
+{
+    EXPECT_EQ(a.count(), b.count()) << what;
+    EXPECT_EQ(a.sum(), b.sum()) << what; // same fp add order
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+/** Bit-exact comparison of two whole fleet outcomes. */
+void
+expectSameFleetResult(const FleetResult &a, const FleetResult &b)
+{
+    EXPECT_EQ(a.metrics.elapsed, b.metrics.elapsed);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.requestsRouted, b.requestsRouted);
+    EXPECT_EQ(a.requestsRetired, b.requestsRetired);
+    EXPECT_EQ(a.totals.time, b.totals.time);
+    EXPECT_EQ(a.totals.totalEnergyJ(), b.totals.totalEnergyJ());
+    expectSameSamples(a.metrics.e2eMs, b.metrics.e2eMs, "e2e");
+    expectSameSamples(a.metrics.tbtMs, b.metrics.tbtMs, "tbt");
+    expectSameSamples(a.metrics.t2ftMs, b.metrics.t2ftMs, "t2ft");
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.degradeWindows, b.degradeWindows);
+    EXPECT_EQ(a.requestsLost, b.requestsLost);
+    EXPECT_EQ(a.lostWorkTokens, b.lostWorkTokens);
+    EXPECT_EQ(a.retriesScheduled, b.retriesScheduled);
+    EXPECT_EQ(a.requestsDropped, b.requestsDropped);
+    EXPECT_EQ(a.totalDowntime, b.totalDowntime);
+    ASSERT_EQ(a.faultEvents.size(), b.faultEvents.size());
+    for (std::size_t i = 0; i < a.faultEvents.size(); ++i) {
+        EXPECT_EQ(a.faultEvents[i].kind, b.faultEvents[i].kind);
+        EXPECT_EQ(a.faultEvents[i].instance,
+                  b.faultEvents[i].instance);
+        EXPECT_EQ(a.faultEvents[i].at, b.faultEvents[i].at);
+    }
+    ASSERT_EQ(a.perInstance.size(), b.perInstance.size());
+    for (std::size_t i = 0; i < a.perInstance.size(); ++i)
+        EXPECT_EQ(a.perInstance[i].generatedTokens,
+                  b.perInstance[i].generatedTokens)
+            << "instance " << i;
+}
+
+/** Collects the fault/retry callback stream of one run. */
+class FaultRecorder : public FleetObserver
+{
+  public:
+    void onFault(int instance, const FaultEvent &event,
+                 PicoSec now) override
+    {
+        (void)now;
+        (void)instance;
+        faults.push_back(event);
+    }
+
+    void onRetry(int instance, const Request &request, int attempt,
+                 bool dropped, PicoSec at) override
+    {
+        (void)instance;
+        (void)request;
+        (void)at;
+        if (dropped)
+            ++drops;
+        else
+            ++retries;
+        lastAttempt = attempt;
+    }
+
+    std::vector<FaultEvent> faults;
+    int retries = 0;
+    int drops = 0;
+    int lastAttempt = 0;
+};
+
+// --- the no-fault bit-identity contract -------------------------
+
+TEST(Faults, InertFaultKnobsChangeNothing)
+{
+    // A config that never mentions faults vs one that fiddles every
+    // knob that does NOT enable them (mttr, straggler shape, retry
+    // discipline): byte-identical outcomes, zero fault counters.
+    FleetConfig plain;
+    plain.sim = baseSim();
+    plain.sim.workload.qps = 12.0;
+    plain.instances = 3;
+    plain.policy = "least-loaded";
+
+    FleetConfig inert = plain;
+    inert.faults.mttrSec = 9.0;
+    inert.faults.stragglerFraction = 0.9;
+    inert.faults.stragglerFactor = 7.0;
+    inert.retry.maxAttempts = 1;
+    inert.retry.backoffSec = 3.0;
+
+    const FleetResult a = FleetDriver(plain).run();
+    const FleetResult b = FleetDriver(inert).run();
+    expectSameFleetResult(a, b);
+    EXPECT_EQ(a.crashes, 0);
+    EXPECT_EQ(a.requestsLost, 0);
+    EXPECT_EQ(a.totalDowntime, 0);
+    EXPECT_TRUE(a.faultEvents.empty());
+    EXPECT_DOUBLE_EQ(a.availability(), 1.0);
+}
+
+TEST(Faults, HealthyFirstEqualsLeastLoadedWhenAllHealthy)
+{
+    // With every instance Healthy, the failure-aware policy must
+    // degenerate to exactly least-loaded — no behavior tax for
+    // running it on a reliable fleet.
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 12.0;
+    fc.instances = 3;
+    fc.policy = "least-loaded";
+    const FleetResult ll = FleetDriver(fc).run();
+
+    fc.policy = "healthy-first";
+    const FleetResult hf = FleetDriver(fc).run();
+    expectSameFleetResult(ll, hf);
+}
+
+// --- crash semantics --------------------------------------------
+
+TEST(Faults, CrashEvictsRetriesRejoinsAndBalances)
+{
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 16.0;
+    fc.sim.numRequests = 64;
+    fc.instances = 2;
+    fc.policy = "least-loaded";
+    fc.faults.events =
+        parseFaultList("crash@1.0:0:0.5"); // down 0.5 s, rejoins
+
+    FaultRecorder rec;
+    FleetDriver driver(fc);
+    driver.addObserver(&rec);
+    const FleetResult r = driver.run();
+
+    EXPECT_EQ(r.crashes, 1);
+    EXPECT_GT(r.requestsLost, 0) << "crash hit an idle instance; "
+                                    "raise qps or move the event";
+    EXPECT_EQ(r.retriesScheduled, r.requestsLost)
+        << "nothing should be dropped under the default budget";
+    EXPECT_EQ(r.requestsDropped, 0);
+    EXPECT_GT(r.totalDowntime, 0);
+    EXPECT_LT(r.availability(), 1.0);
+    EXPECT_GT(r.availability(), 0.0);
+
+    // Accounting closes: every workload request retired, and the
+    // router saw each loss come back around exactly once.
+    EXPECT_EQ(r.requestsRetired, fc.sim.numRequests);
+    EXPECT_EQ(r.requestsRouted,
+              fc.sim.numRequests + r.retriesScheduled);
+
+    // Timeline: the crash strikes at/after its scheduled time (the
+    // stage-boundary alignment only moves events forward), then the
+    // rejoin closes the window no earlier than the scheduled repair
+    // time (strike time + downtime, anchored to the schedule).
+    ASSERT_EQ(rec.faults.size(), 2u);
+    EXPECT_EQ(rec.faults[0].kind, FaultKind::Crash);
+    EXPECT_EQ(rec.faults[0].instance, 0);
+    EXPECT_GE(rec.faults[0].at, secToPs(1.0));
+    EXPECT_EQ(rec.faults[1].kind, FaultKind::Rejoin);
+    EXPECT_GE(rec.faults[1].at, secToPs(1.5));
+    EXPECT_GT(rec.faults[1].at, rec.faults[0].at);
+    EXPECT_EQ(static_cast<std::int64_t>(rec.retries),
+              r.retriesScheduled);
+    EXPECT_EQ(rec.drops, 0);
+    ASSERT_EQ(r.faultEvents.size(), rec.faults.size());
+}
+
+TEST(Faults, RetryExhaustionDropsEveryLoss)
+{
+    // maxAttempts = 0: a crashed-out request is dropped on the
+    // spot. The crashed instance never rejoins, so the survivor
+    // serves the rest — and the books still balance.
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 16.0;
+    fc.sim.numRequests = 64;
+    fc.instances = 2;
+    fc.policy = "least-loaded";
+    fc.faults.events = parseFaultList("crash@1.0:0"); // no rejoin
+    fc.retry.maxAttempts = 0;
+
+    FaultRecorder rec;
+    FleetDriver driver(fc);
+    driver.addObserver(&rec);
+    const FleetResult r = driver.run();
+
+    EXPECT_GT(r.requestsLost, 0);
+    EXPECT_EQ(r.requestsDropped, r.requestsLost);
+    EXPECT_EQ(r.retriesScheduled, 0);
+    EXPECT_EQ(r.requestsRetired + r.requestsDropped,
+              fc.sim.numRequests);
+    EXPECT_EQ(r.requestsRouted, fc.sim.numRequests);
+    EXPECT_EQ(static_cast<std::int64_t>(rec.drops),
+              r.requestsDropped);
+    EXPECT_EQ(rec.retries, 0);
+}
+
+// --- degrade semantics ------------------------------------------
+
+TEST(Faults, DegradeWindowSlowsWithoutDowntime)
+{
+    // One instance, closed loop, the whole run inside a 4x
+    // straggler window: everything still retires, the makespan
+    // stretches, and availability stays 1.0 (slow != down).
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.instances = 1;
+    const FleetResult plain = FleetDriver(fc).run();
+
+    FleetConfig slow = fc;
+    slow.faults.events = parseFaultList("degrade@0:0:1000:4");
+    const FleetResult r = FleetDriver(slow).run();
+
+    EXPECT_EQ(r.degradeWindows, 1);
+    EXPECT_EQ(r.crashes, 0);
+    EXPECT_EQ(r.requestsRetired, fc.sim.numRequests);
+    EXPECT_GT(r.metrics.elapsed, plain.metrics.elapsed);
+    EXPECT_EQ(r.totalDowntime, 0);
+    EXPECT_DOUBLE_EQ(r.availability(), 1.0);
+}
+
+TEST(Faults, HealthyFirstSteersAroundTheStraggler)
+{
+    // Instance 0 straggles for the whole run; the failure-aware
+    // policy must send the bulk of the traffic to instance 1.
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 8.0;
+    fc.sim.numRequests = 64;
+    fc.instances = 2;
+    fc.policy = "healthy-first";
+    fc.faults.events = parseFaultList("degrade@0:0:1000:8");
+
+    class Router : public FleetObserver
+    {
+      public:
+        void onRequestRouted(int instance, const Request &,
+                             PicoSec) override
+        {
+            ++routed[instance];
+        }
+        std::int64_t routed[2] = {0, 0};
+    } router;
+
+    FleetDriver driver(fc);
+    driver.addObserver(&router);
+    const FleetResult r = driver.run();
+    EXPECT_EQ(r.requestsRetired, fc.sim.numRequests);
+    EXPECT_GT(router.routed[1], router.routed[0])
+        << "healthy-first kept feeding the straggler";
+}
+
+// --- determinism ------------------------------------------------
+
+TEST(Faults, RandomFaultsAreDeterministic)
+{
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 12.0;
+    fc.sim.numRequests = 96;
+    fc.instances = 4;
+    fc.policy = "healthy-first";
+    fc.faults.mtbfSec = 1.5;
+    fc.faults.mttrSec = 0.5;
+    fc.faults.stragglerFraction = 0.3;
+
+    const FleetResult a = FleetDriver(fc).run();
+    const FleetResult b = FleetDriver(fc).run();
+    EXPECT_GT(a.crashes + a.degradeWindows, 0)
+        << "MTBF too long to exercise anything";
+    expectSameFleetResult(a, b);
+}
+
+// --- edge cases -------------------------------------------------
+
+TEST(Faults, ZeroRequestWorkloadFinishesClean)
+{
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.numRequests = 0;
+    fc.sim.warmupRequests = 0;
+    fc.instances = 2;
+    fc.faults.events = parseFaultList("crash@1.0:0:0.5");
+
+    const FleetResult r = FleetDriver(fc).run();
+    EXPECT_EQ(r.requestsRouted, 0);
+    EXPECT_EQ(r.requestsRetired, 0);
+    EXPECT_EQ(r.requestsLost, 0);
+    EXPECT_EQ(r.requestsDropped, 0);
+    EXPECT_DOUBLE_EQ(r.availability(), 1.0);
+}
+
+TEST(Faults, FewerRequestsThanInstances)
+{
+    // 3 requests across 8 instances, one of which crashes while
+    // mostly idle: everything still retires.
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workload.qps = 4.0;
+    fc.sim.numRequests = 3;
+    fc.sim.warmupRequests = 0;
+    fc.instances = 8;
+    fc.policy = "round-robin";
+    fc.faults.events = parseFaultList("crash@0.1:5:0.2");
+
+    const FleetResult r = FleetDriver(fc).run();
+    EXPECT_EQ(r.requestsRetired + r.requestsDropped, 3);
+    EXPECT_EQ(r.requestsRouted,
+              3 + r.retriesScheduled);
+}
+
+TEST(Faults, CrashesDuringAutoscaleDrainsKeepTheBooks)
+{
+    // The hardest interleaving: a diurnal ramp scaling up and
+    // draining down while random crashes and stragglers land on
+    // instances in every state (including already-draining ones).
+    // The invariants must survive all of it.
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workloadName = "diurnal";
+    fc.sim.workload.diurnalLowQps = 0.5;
+    fc.sim.workload.diurnalHighQps = 40.0;
+    fc.sim.workload.diurnalPeriodSec = 16.0;
+    fc.sim.workload.meanInputLen = 128;
+    fc.sim.workload.meanOutputLen = 32;
+    fc.sim.numRequests = 400;
+    fc.instances = 1;
+    fc.policy = "healthy-first";
+    fc.scaling.enabled = true;
+    fc.scaling.minInstances = 1;
+    fc.scaling.maxInstances = 4;
+    fc.scaling.upQpsPerInstance = 6.0;
+    fc.scaling.downQpsPerInstance = 2.0;
+    fc.scaling.windowSec = 2.0;
+    fc.scaling.cooldownSec = 3.0;
+    fc.faults.mtbfSec = 2.0;
+    fc.faults.mttrSec = 0.5;
+    fc.faults.stragglerFraction = 0.25;
+
+    const FleetResult a = FleetDriver(fc).run();
+    EXPECT_GT(a.crashes, 0) << "no crash landed; shorten the MTBF";
+    EXPECT_GE(a.scaleUps, 1);
+    EXPECT_EQ(a.requestsRetired + a.requestsDropped,
+              fc.sim.numRequests);
+    EXPECT_EQ(a.requestsRouted,
+              fc.sim.numRequests + a.retriesScheduled);
+    EXPECT_GT(a.totalDowntime, 0);
+    EXPECT_LT(a.availability(), 1.0);
+
+    // And the whole tangle double-runs byte-identical.
+    const FleetResult b = FleetDriver(fc).run();
+    expectSameFleetResult(a, b);
+}
+
+// --- the --faults grammar ---------------------------------------
+
+TEST(Faults, ParseFaultListGrammar)
+{
+    const auto events =
+        parseFaultList("crash@2:0; degrade@4:1:2:3.5, crash@6:2:1");
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, FaultKind::Crash);
+    EXPECT_EQ(events[0].instance, 0);
+    EXPECT_EQ(events[0].at, secToPs(2.0));
+    EXPECT_EQ(events[0].duration, -1); // never rejoins
+    EXPECT_EQ(events[1].kind, FaultKind::Degrade);
+    EXPECT_EQ(events[1].instance, 1);
+    EXPECT_EQ(events[1].duration, secToPs(2.0));
+    EXPECT_DOUBLE_EQ(events[1].factor, 3.5);
+    EXPECT_EQ(events[2].duration, secToPs(1.0));
+}
+
+TEST(Faults, ParseFaultListNamesTheBadItem)
+{
+    EXPECT_EXIT({ parseFaultList("crash@2:0;flood@3:1"); },
+                ::testing::ExitedWithCode(1), "flood@3:1");
+}
+
+TEST(Faults, NegativeRetryBudgetIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            FleetConfig fc;
+            fc.sim = baseSim();
+            fc.faults.events = parseFaultList("crash@1:0");
+            fc.retry.maxAttempts = -1;
+            FleetDriver(fc).run();
+        },
+        ::testing::ExitedWithCode(1), "maxAttempts");
+}
+
+} // namespace
+} // namespace duplex

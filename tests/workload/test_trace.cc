@@ -120,5 +120,68 @@ TEST(Trace, FractionalArrivalPrecision)
     EXPECT_EQ(reqs[0].arrival, secToPs(1.25));
 }
 
+// ---- error paths: a broken CSV must die with ONE line that names
+// ---- the offending line (number and content), not a stack trace
+// ---- or a silent misparse.
+
+TEST(TraceErrors, MissingColumnNamesTheLine)
+{
+    std::istringstream in("0.0,512,256\n"
+                          "0.5,1024\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 2: '0.5,1024'");
+}
+
+TEST(TraceErrors, MalformedNumberNamesFieldAndLine)
+{
+    std::istringstream in("0.0,512,256\n"
+                          "0.5,banana,128\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 2.*bad input_len 'banana'");
+}
+
+TEST(TraceErrors, TrailingGarbageInNumberIsAnError)
+{
+    // '1.5x' must not silently parse as 1.5.
+    std::istringstream in("1.5x,512,256\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 1.*bad arrival_sec '1.5x'");
+}
+
+TEST(TraceErrors, TooManyColumnsIsAnError)
+{
+    std::istringstream in("0.0,512,256,7,99\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 1.*too many columns");
+}
+
+TEST(TraceErrors, NonMonotoneArrivalNamesBothLines)
+{
+    std::istringstream in("2.0,512,256\n"
+                          "1.0,512,256\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 2.*non-decreasing");
+}
+
+TEST(TraceErrors, NonPositiveLengthIsAnError)
+{
+    std::istringstream in("0.0,0,256\n");
+    EXPECT_EXIT({ parseTrace(in); },
+                ::testing::ExitedWithCode(1),
+                "trace line 1.*lengths must be positive");
+}
+
+TEST(TraceErrors, MissingFileNamesThePath)
+{
+    EXPECT_EXIT({ loadTrace("/no/such/trace.csv"); },
+                ::testing::ExitedWithCode(1),
+                "cannot open trace: /no/such/trace.csv");
+}
+
 } // namespace
 } // namespace duplex

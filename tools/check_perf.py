@@ -65,10 +65,29 @@ def tracked_metrics(perf):
     for name in ("requests_per_sec", "peak_rss_mb"):
         if name in driver:
             metrics[f"driver_loop.{name}"] = driver[name]
-    fleet = perf.get("fleet", {})
-    if "requests_per_sec" in fleet:
-        metrics["fleet.requests_per_sec"] = fleet["requests_per_sec"]
+    for section in ("fleet", "faults"):
+        values = perf.get(section, {})
+        if "requests_per_sec" in values:
+            metrics[f"{section}.requests_per_sec"] = (
+                values["requests_per_sec"])
     return metrics
+
+
+def load_json(path, role):
+    """Load one producer/baseline file, dying with a single
+    readable line (file and reason) instead of a traceback when it
+    is missing or not JSON — the usual CI failure mode is a bench
+    that never ran or wrote a truncated file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"check_perf: cannot read {role} '{path}': "
+                 f"{e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_perf: {role} '{path}' is not valid JSON "
+                 f"(line {e.lineno}: {e.msg}); was its producer "
+                 f"interrupted?")
 
 
 def main():
@@ -90,15 +109,20 @@ def main():
              "instead of checking")
     args = parser.parse_args()
 
-    with open(args.current, encoding="utf-8") as f:
-        perf = json.load(f)
+    perf = load_json(args.current, "current run")
     for extra in args.merge:
-        with open(extra, encoding="utf-8") as f:
-            perf.update(json.load(f))
+        merged = load_json(extra, "--merge file")
+        if not isinstance(merged, dict):
+            sys.exit(f"check_perf: --merge file '{extra}' must "
+                     f"hold a JSON object of metric sections")
+        perf.update(merged)
     current = tracked_metrics(perf)
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline, "baseline")
+    if "metrics" not in baseline or not isinstance(
+            baseline["metrics"], dict):
+        sys.exit(f"check_perf: baseline '{args.baseline}' has no "
+                 f"'metrics' object; see bench/perf_baseline.json")
     lower_is_better = set(baseline.get("lower_is_better", []))
 
     if args.update:
