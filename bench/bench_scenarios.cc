@@ -18,9 +18,21 @@
  * its TTFT and its *worst* token gap meet the objective). Under
  * bursty/diurnal arrivals these columns separate systems the raw
  * tokens/s column cannot.
+ *
+ * Output discipline (same as bench_fleet): the matrix table goes
+ * to stdout for the CI determinism diff; wall-clock and RSS go to
+ * stderr and, with --json=PATH, into a JSON perf summary.
+ *
+ *   ./bench_scenarios                   # the full matrix
+ *   ./bench_scenarios --requests=24     # quick smoke run
+ *   ./bench_scenarios --json=BENCH_scenarios.json
  */
 
+#include <chrono>
+
 #include "bench_util.hh"
+#include "common/argparse.hh"
+#include "common/rss.hh"
 #include "workload/registry.hh"
 #include "workload/trace.hh"
 
@@ -30,7 +42,6 @@ namespace
 {
 
 constexpr int kBatch = 16;
-constexpr int kRequests = 48;
 constexpr std::int64_t kMaxStages = 6000;
 constexpr double kOpenLoopQps = 6.0;
 const char *const kTracePath = "bench_scenarios_trace.csv";
@@ -56,14 +67,14 @@ scenarioSpec()
 
 /** Write the trace the "trace" workload replays. */
 void
-writeScenarioTrace(const WorkloadSpec &spec)
+writeScenarioTrace(const WorkloadSpec &spec, int requests_per_cell)
 {
     WorkloadSpec synthetic = spec;
     const std::unique_ptr<WorkloadSource> source =
         makeWorkload("synthetic", synthetic);
     std::vector<Request> requests;
-    requests.reserve(kRequests);
-    for (int i = 0; i < kRequests; ++i)
+    requests.reserve(requests_per_cell);
+    for (int i = 0; i < requests_per_cell; ++i)
         requests.push_back(source->next());
     saveTrace(kTracePath, requests);
 }
@@ -71,13 +82,21 @@ writeScenarioTrace(const WorkloadSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args;
+    args.addFlag("requests", "requests per cell", "48");
+    args.addFlag("json",
+                 "write scenario-bench perf metrics to this file",
+                 "");
+    args.parse(argc, argv);
+    const int requests = static_cast<int>(args.getInt("requests"));
+
     banner("Scenario matrix: registered systems x registered "
            "workloads");
 
     const WorkloadSpec spec = scenarioSpec();
-    writeScenarioTrace(spec);
+    writeScenarioTrace(spec, requests);
 
     const std::vector<std::string> systems = registeredSystems();
     const std::vector<std::string> workloads =
@@ -93,7 +112,7 @@ main()
             c.model = mixtralConfig();
             c.workload = spec;
             c.maxBatch = kBatch;
-            c.numRequests = kRequests;
+            c.numRequests = requests;
             c.warmupRequests = defaultWarmupRequests(kBatch);
             c.maxStages = kMaxStages;
             configs.push_back(c);
@@ -108,8 +127,13 @@ main()
         obs.push_back(std::make_unique<SloAttainment>(slo));
         return obs;
     };
+    const auto t0 = std::chrono::steady_clock::now();
     const std::vector<ObservedRun> runs =
         SweepRunner().runObserved(configs, factory);
+    const double wall_sec =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
 
     Table t({"Workload", "System", "tokens/s", "TBT p99 ms",
              "T2FT p50 ms", "TTFT att", "TBT att", "req att",
@@ -143,5 +167,33 @@ main()
                 "throughput, and bursty/diurnal arrivals expose "
                 "the queueing the closed loop never sees.\n",
                 slo.t2ftMs, slo.tbtMs);
+
+    // ---- perf numbers (stderr + JSON; never in the diffed out) -
+    const double rss_mb = peakRssMb();
+    std::fprintf(stderr,
+                 "scenario matrix: %zu run(s), %.2f s wall, peak "
+                 "RSS %.1f MB\n",
+                 runs.size(), wall_sec, rss_mb);
+    const std::string json_path = args.getString("json");
+    if (!json_path.empty()) {
+        std::FILE *json = std::fopen(json_path.c_str(), "w");
+        if (json == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(json,
+                     "{\n"
+                     "  \"schema\": 1,\n"
+                     "  \"scenarios\": {\n"
+                     "    \"runs\": %zu,\n"
+                     "    \"wall_sec\": %.3f,\n"
+                     "    \"peak_rss_mb\": %.3f\n"
+                     "  }\n"
+                     "}\n",
+                     runs.size(), wall_sec, rss_mb);
+        std::fclose(json);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

@@ -20,9 +20,14 @@
  *                                         # scripted fault injection
  *   ./quickstart --fleet=4 --qps=8 --mtbf=5 --mttr=1 \
  *                --policy=healthy-first   # seeded random faults
+ *   ./quickstart --sched=priority --priority-frac=0.25 --qps=8
+ *                                         # class-aware admission + preemption
+ *   ./quickstart --sched=ttft-protect --prefill-chunk=256 --qps=8
+ *                                         # burst-protected, chunked prefill
  *   ./quickstart --list-systems
  *   ./quickstart --list-workloads
  *   ./quickstart --list-policies
+ *   ./quickstart --list-scheds
  *
  * Every run reports its peak RSS on stderr; the default
  * --metrics=streaming drains retired requests each stage so no
@@ -44,6 +49,7 @@
 #include "common/rss.hh"
 #include "common/table.hh"
 #include "fleet/fleet.hh"
+#include "sched/policy.hh"
 #include "sim/engine.hh"
 #include "sim/observers.hh"
 #include "sim/registry.hh"
@@ -154,6 +160,20 @@ main(int argc, char **argv)
                  "backoff before the first retry in simulated "
                  "seconds (doubles per attempt)",
                  "0.05");
+    args.addFlag("sched",
+                 "batcher scheduling policy (see --list-scheds)",
+                 "fcfs");
+    args.addFlag("list-scheds",
+                 "list every registered scheduling policy and exit",
+                 "false");
+    args.addFlag("prefill-chunk",
+                 "split prompts into chunks of at most N tokens "
+                 "across stages (0 = whole prompt in one stage)",
+                 "0");
+    args.addFlag("priority-frac",
+                 "fraction of requests stamped priority class 1 "
+                 "(for --sched=priority; 0 = classless)",
+                 "0");
     args.parse(argc, argv);
 
     // Misconfiguration dies with one readable line instead of a
@@ -181,6 +201,18 @@ main(int argc, char **argv)
                               args.getDouble("mtbf") > 0.0;
     fatalIf(wants_faults && fleet_size == 0,
             "--faults/--mtbf need a fleet (--fleet=N)");
+    const std::string sched = args.getString("sched");
+    fatalIf(!SchedulingPolicyRegistry::instance().contains(sched),
+            "--sched=" + sched +
+                " is not a registered scheduling policy (see "
+                "--list-scheds)");
+    const std::int64_t prefill_chunk = args.getInt("prefill-chunk");
+    fatalIf(prefill_chunk < 0,
+            "--prefill-chunk must be >= 0 (0 = whole-prompt "
+            "prefill)");
+    const double priority_frac = args.getDouble("priority-frac");
+    fatalIf(priority_frac < 0.0 || priority_frac > 1.0,
+            "--priority-frac must be in [0, 1]");
 
     const std::string metrics_mode = args.getString("metrics");
     MetricsMode mode = MetricsMode::Streaming;
@@ -229,6 +261,18 @@ main(int argc, char **argv)
         t.print();
         return 0;
     }
+    if (args.getBool("list-scheds")) {
+        const SchedulingPolicyRegistry &registry =
+            SchedulingPolicyRegistry::instance();
+        Table t({"id", "summary"});
+        for (const std::string &id : registry.ids()) {
+            t.startRow();
+            t.cell(id);
+            t.cell(registry.summary(id));
+        }
+        t.print();
+        return 0;
+    }
 
     const ModelConfig model = modelByName(args.getString("model"));
     std::printf("Model %s: %.1fB parameters, %d layers, "
@@ -248,6 +292,7 @@ main(int argc, char **argv)
     spec.meanOutputLen = args.getInt("lout");
     spec.qps = args.getDouble("qps");
     spec.numSessions = static_cast<int>(args.getInt("sessions"));
+    spec.priorityFrac = priority_frac;
     spec.tracePath = args.getString("trace");
     if (!spec.tracePath.empty())
         workload = "trace";
@@ -258,7 +303,19 @@ main(int argc, char **argv)
     // registry, so their RNG streams stay untouched.
     const std::unique_ptr<WorkloadSource> source =
         makeWorkload(workload_id, spec);
-    std::printf("Workload: %s\n\n", source->describe().c_str());
+    std::printf("Workload: %s\n", source->describe().c_str());
+    // Non-default scheduling only: the default fcfs/no-chunk banner
+    // stays byte-identical to pre-policy builds (golden contract).
+    if (sched != "fcfs" || prefill_chunk > 0) {
+        std::printf("Scheduler: %s", sched.c_str());
+        if (prefill_chunk > 0)
+            std::printf(", prefill chunk %lld token(s)",
+                        static_cast<long long>(prefill_chunk));
+        if (priority_frac > 0.0)
+            std::printf(", priority frac %.2f", priority_frac);
+        std::printf("\n");
+    }
+    std::printf("\n");
 
     const int batch = static_cast<int>(args.getInt("batch"));
     const int num_requests = 4 * batch;
@@ -310,6 +367,8 @@ main(int argc, char **argv)
             defaultWarmupRequests(batch) / fleet_size;
         fc.sim.maxStages = args.getInt("stages");
         fc.sim.metricsMode = mode;
+        fc.sim.schedPolicy = sched;
+        fc.sim.prefillChunkTokens = prefill_chunk;
         fc.instances = fleet_size;
         fc.policy = args.getString("policy");
         fc.scaling.enabled = args.getBool("autoscale");
@@ -458,6 +517,8 @@ main(int argc, char **argv)
         c.warmupRequests = defaultWarmupRequests(c.maxBatch);
         c.maxStages = args.getInt("stages");
         c.metricsMode = mode;
+        c.schedPolicy = sched;
+        c.prefillChunkTokens = prefill_chunk;
         SimulationEngine engine(c);
         StageTimeHistogram stage_times;
         SloAttainment attainment(slo);

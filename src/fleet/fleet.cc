@@ -415,9 +415,11 @@ FleetDriver::scheduleRetry(Request request, int instance,
             o->onRetry(instance, request, attempt, true, now);
         return;
     }
-    // The retry restarts from prefill — the crashed KV is gone.
+    // The retry restarts from prefill — the crashed KV is gone
+    // (chunked-prefill progress included).
     request.retries = attempt;
     request.generated = 0;
+    request.prefilled = 0;
     request.firstToken = -1;
     request.finished = -1;
     request.tokenTimes.clear();

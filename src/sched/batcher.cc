@@ -1,6 +1,7 @@
 #include "sched/batcher.hh"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "common/log.hh"
@@ -9,30 +10,65 @@ namespace duplex
 {
 
 ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
-                                     std::vector<Request> requests)
+                                     std::vector<Request> requests,
+                                     SchedulingPolicy *policy)
     : ContinuousBatcher(
           config,
-          ArrivalQueue(std::move(requests), config.closedLoop))
+          ArrivalQueue(std::move(requests), config.closedLoop),
+          policy)
 {
 }
 
 ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
-                                     ArrivalQueue arrivals)
-    : config_(config), arrivals_(std::move(arrivals))
+                                     ArrivalQueue arrivals,
+                                     SchedulingPolicy *policy)
+    : config_(config), arrivals_(std::move(arrivals)),
+      policy_(policy)
 {
     fatalIf(config_.maxBatch <= 0, "maxBatch must be positive");
+    fatalIf(config_.prefillChunkTokens < 0,
+            "prefillChunkTokens must be >= 0 (0 = off)");
 }
 
 bool
 ContinuousBatcher::allDone() const
 {
-    return arrivals_.empty() && active_.empty();
+    return arrivals_.empty() && ready_.empty() && active_.empty();
 }
 
 PicoSec
 ContinuousBatcher::nextArrival() const
 {
-    return arrivals_.nextArrival();
+    // Requests in the ready pool have already arrived; their front
+    // timestamp keeps the idleAdvance rule moving when a policy
+    // gates admission with the queue non-empty.
+    return ready_.empty() ? arrivals_.nextArrival()
+                          : ready_.front().arrival;
+}
+
+std::int64_t
+ContinuousBatcher::prefillSpan(const Request &r) const
+{
+    const std::int64_t remaining = r.inputLen - r.prefilled;
+    return config_.prefillChunkTokens > 0
+               ? std::min(config_.prefillChunkTokens, remaining)
+               : remaining;
+}
+
+SchedSnapshot
+ContinuousBatcher::snapshot(PicoSec now,
+                            const StageShape &stage) const
+{
+    SchedSnapshot s;
+    s.now = now;
+    s.maxBatch = config_.maxBatch;
+    s.maxPrefillsPerStage = config_.maxPrefillsPerStage;
+    s.maxKvTokens = config_.maxKvTokens;
+    s.activeLifetimeKv = activeLifetimeKv_;
+    s.activeCount = active_.size();
+    s.queuedCount = ready_.size();
+    s.stagePrefills = static_cast<int>(stage.prefillLengths.size());
+    return s;
 }
 
 StageShape
@@ -41,33 +77,59 @@ ContinuousBatcher::formStage(PicoSec now)
     panicIf(stageOpen_, "formStage called with a stage in flight");
     StageShape stage;
 
+    if (config_.prefillChunkTokens > 0) {
+        // Continuing chunks: requests admitted in earlier stages
+        // whose prompt is still in flight always run their next
+        // chunk — ahead of any new admission, and counted against
+        // the stage's prefill budget so chunks and fresh prompts
+        // share one cap.
+        for (const Request &r : active_) {
+            if (r.prefilled < r.inputLen) {
+                const std::int64_t span = prefillSpan(r);
+                stage.prefillLengths.push_back(span);
+                stage.agg.addPrefill(span);
+            }
+        }
+    }
+
     // Admit new requests while a slot and KV room exist. The KV
     // headroom base is the incrementally maintained lifetime sum,
     // so forming a stage costs O(admissions), not O(batch).
     std::int64_t kv = activeLifetimeKv_;
-    while (arrivals_.hasAdmissible(now) &&
-           static_cast<int>(stage.prefillLengths.size()) <
-               config_.maxPrefillsPerStage &&
-           active_.size() < static_cast<std::size_t>(config_.maxBatch)) {
-        const Request &cand = arrivals_.front();
-        // Budget the candidate's full KV lifetime (prompt plus the
-        // tokens it will generate) against the active set's
-        // lifetime sum. Within one stage, earlier admissions
-        // contribute only their prompt to `kv` — the seed's
-        // admission rule, preserved bit-for-bit (a multi-admit
-        // stage can therefore still overshoot the cap late in
-        // generation, exactly as the original walk allowed).
-        const std::int64_t need =
-            kv + cand.inputLen + cand.outputLen +
-            static_cast<std::int64_t>(active_.size()) + 1;
-        if (need > config_.maxKvTokens)
-            break;
-        Request admitted = arrivals_.pop(now);
-        kv += admitted.inputLen;
-        activeLifetimeKv_ += admitted.inputLen + admitted.outputLen;
-        stage.prefillLengths.push_back(admitted.inputLen);
-        stage.agg.addPrefill(admitted.inputLen);
-        active_.push_back(std::move(admitted));
+    if (policy_ == nullptr) {
+        // FCFS fast path — the seed's admission loop, preserved
+        // bit-for-bit when chunking is off (prefillSpan is then the
+        // whole prompt).
+        while (arrivals_.hasAdmissible(now) &&
+               static_cast<int>(stage.prefillLengths.size()) <
+                   config_.maxPrefillsPerStage &&
+               active_.size() <
+                   static_cast<std::size_t>(config_.maxBatch)) {
+            const Request &cand = arrivals_.front();
+            // Budget the candidate's full KV lifetime (prompt plus
+            // the tokens it will generate) against the active set's
+            // lifetime sum. Within one stage, earlier admissions
+            // contribute only their prompt to `kv` — the seed's
+            // admission rule, preserved bit-for-bit (a multi-admit
+            // stage can therefore still overshoot the cap late in
+            // generation, exactly as the original walk allowed).
+            const std::int64_t need =
+                kv + cand.inputLen + cand.outputLen +
+                static_cast<std::int64_t>(active_.size()) + 1;
+            if (need > config_.maxKvTokens)
+                break;
+            Request admitted = arrivals_.pop(now);
+            kv += admitted.inputLen;
+            activeLifetimeKv_ +=
+                admitted.inputLen + admitted.outputLen;
+            ++admissions_;
+            const std::int64_t span = prefillSpan(admitted);
+            stage.prefillLengths.push_back(span);
+            stage.agg.addPrefill(span);
+            active_.push_back(std::move(admitted));
+        }
+    } else {
+        admitWithPolicy(now, stage, kv);
     }
 
     if (config_.exactStageView) {
@@ -92,15 +154,168 @@ ContinuousBatcher::formStage(PicoSec now)
 }
 
 void
+ContinuousBatcher::admitWithPolicy(PicoSec now, StageShape &stage,
+                                   std::int64_t &kv)
+{
+    // Open loop: materialize every due arrival into the ready pool
+    // so the policy can reorder among them. Closed-loop draws stay
+    // in the arrival queue — pop() stamps their arrival at
+    // admission time, so materializing early would fork the
+    // timestamps — and are offered FIFO after any requeued work.
+    if (!arrivals_.closedLoop())
+        while (arrivals_.hasAdmissible(now))
+            ready_.push_back(arrivals_.pop(now));
+
+    std::vector<const Request *> &queue_view = queueViewScratch_;
+    for (;;) {
+        if (static_cast<int>(stage.prefillLengths.size()) >=
+            policy_->prefillBudget(snapshot(now, stage)))
+            break;
+
+        const bool from_ready = !ready_.empty();
+        const Request *cand = nullptr;
+        std::size_t pick = 0;
+        if (from_ready) {
+            queue_view.clear();
+            for (const Request &r : ready_)
+                queue_view.push_back(&r);
+            const int choice = policy_->nextAdmission(
+                queue_view, snapshot(now, stage));
+            if (choice < 0)
+                break;
+            panicIf(choice >=
+                        static_cast<int>(queue_view.size()),
+                    "SchedulingPolicy::nextAdmission index out of "
+                    "range");
+            pick = static_cast<std::size_t>(choice);
+            cand = queue_view[pick];
+        } else if (arrivals_.hasAdmissible(now)) {
+            cand = &arrivals_.front();
+        } else {
+            break;
+        }
+
+        // The seed's admission formula: full-lifetime KV plus one
+        // slack slot per batch member.
+        auto fits = [&] {
+            const std::int64_t need =
+                kv + cand->inputLen + cand->outputLen +
+                static_cast<std::int64_t>(active_.size()) + 1;
+            return active_.size() <
+                       static_cast<std::size_t>(config_.maxBatch) &&
+                   need <= config_.maxKvTokens;
+        };
+        if (!fits()) {
+            const std::int64_t need =
+                kv + cand->inputLen + cand->outputLen +
+                static_cast<std::int64_t>(active_.size()) + 1;
+            const std::int64_t need_kv = std::max<std::int64_t>(
+                0, need - config_.maxKvTokens);
+            const int need_slots =
+                active_.size() >=
+                        static_cast<std::size_t>(config_.maxBatch)
+                    ? 1
+                    : 0;
+            std::vector<const Request *> &active_view =
+                activeViewScratch_;
+            active_view.clear();
+            for (const Request &r : active_)
+                active_view.push_back(&r);
+            std::vector<std::size_t> &victims = victimScratch_;
+            victims.clear();
+            policy_->selectVictims(*cand, active_view, need_kv,
+                                   need_slots,
+                                   snapshot(now, stage), victims);
+            if (victims.empty())
+                break;
+            // Evict highest index first so the remaining indices
+            // stay valid; duplicates would double-evict.
+            std::sort(victims.begin(), victims.end(),
+                      std::greater<std::size_t>());
+            for (std::size_t i = 1; i < victims.size(); ++i)
+                panicIf(victims[i] == victims[i - 1],
+                        "SchedulingPolicy::selectVictims returned "
+                        "a duplicate index");
+            for (std::size_t idx : victims) {
+                panicIf(idx >= active_.size(),
+                        "SchedulingPolicy::selectVictims index "
+                        "out of range");
+                kv -= active_[idx].inputLen +
+                      active_[idx].outputLen;
+                preemptActive(idx);
+            }
+            if (!fits())
+                break; // the evictions still do not make room
+        }
+
+        Request admitted;
+        if (from_ready) {
+            admitted = std::move(
+                ready_[static_cast<std::ptrdiff_t>(pick)]);
+            ready_.erase(ready_.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        } else {
+            admitted = arrivals_.pop(now);
+        }
+        kv += admitted.inputLen;
+        activeLifetimeKv_ += admitted.inputLen + admitted.outputLen;
+        ++admissions_;
+        const std::int64_t span = prefillSpan(admitted);
+        stage.prefillLengths.push_back(span);
+        stage.agg.addPrefill(span);
+        active_.push_back(std::move(admitted));
+    }
+}
+
+void
+ContinuousBatcher::preemptActive(std::size_t index)
+{
+    panicIf(index >= active_.size(),
+            "preemption victim index out of range");
+    panicIf(active_[index].generated < 1,
+            "preemption victim must be a decoding request");
+    Request victim = std::move(active_[index]);
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+    decodeAgg_.removeDecode(victim.contextLen());
+    activeLifetimeKv_ -= victim.inputLen + victim.outputLen;
+    preemptedTokens_ += victim.generated;
+    ++preempted_;
+    // The victim's KV is gone with its batch slot, so it restarts
+    // from prefill — the same lifecycle reset the fleet's
+    // crash-retry path applies (fleet/fleet.cc scheduleRetry).
+    // The original arrival survives, so its eventual TTFT/E2E
+    // latency carries the full preemption penalty.
+    victim.retries += 1;
+    victim.generated = 0;
+    victim.prefilled = 0;
+    victim.firstToken = -1;
+    victim.finished = -1;
+    victim.tokenTimes.clear();
+    ready_.push_back(std::move(victim));
+}
+
+void
 ContinuousBatcher::completeStage(PicoSec now)
 {
     panicIf(!stageOpen_, "completeStage without a stage in flight");
     stageOpen_ = false;
 
+    const std::int64_t chunk = config_.prefillChunkTokens;
     std::vector<Request> &still_active = stillActiveScratch_;
     still_active.clear();
     still_active.reserve(active_.size());
     for (auto &r : active_) {
+        if (chunk > 0 && r.prefilled < r.inputLen) {
+            // Chunked prefill: this stage ran prefillSpan(r) prompt
+            // tokens; only the chunk that finishes the prompt
+            // produces the first token (the fall-through below).
+            r.prefilled += prefillSpan(r);
+            if (r.prefilled < r.inputLen) {
+                still_active.push_back(std::move(r));
+                continue;
+            }
+        }
         // A request admitted by the stage just completed has not
         // produced a token yet — generated == 0 is the per-request
         // prefill flag (requests enter active_ only through
@@ -139,6 +354,12 @@ void
 ContinuousBatcher::evictAll(std::vector<Request> &out)
 {
     panicIf(stageOpen_, "evictAll with a stage in flight");
+    // The ready pool holds the earliest arrivals (policy runs drain
+    // due requests there), so it drains first to keep the
+    // queued-in-arrival-order contract.
+    for (auto &r : ready_)
+        out.push_back(std::move(r));
+    ready_.clear();
     arrivals_.drainPending(out);
     for (auto &r : active_)
         out.push_back(std::move(r));

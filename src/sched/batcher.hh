@@ -13,11 +13,13 @@
 #ifndef DUPLEX_SCHED_BATCHER_HH
 #define DUPLEX_SCHED_BATCHER_HH
 
+#include <deque>
 #include <limits>
 #include <vector>
 
 #include "model/layers.hh"
 #include "sched/arrivals.hh"
+#include "sched/policy.hh"
 #include "workload/generator.hh"
 #include "workload/request.hh"
 
@@ -58,6 +60,18 @@ struct BatcherConfig
      * the walk via ServingSystem::needsExactStageView.
      */
     bool exactStageView = false;
+
+    /**
+     * Chunked prefill: process at most this many prompt tokens of
+     * one request per stage, spreading a long prefill across
+     * stages so in-flight decodes keep taking turns — the
+     * worst-token-gap metric this bounds is exactly what the SLO
+     * attainment observers judge. A request produces its first
+     * token only in the stage that finishes its prompt. 0 (the
+     * default) runs whole prompts in one stage, bit-identical to
+     * the pre-chunking batcher.
+     */
+    std::int64_t prefillChunkTokens = 0;
 };
 
 /** Stage-level scheduler over a generated request stream. */
@@ -68,9 +82,15 @@ class ContinuousBatcher
      * @param config    Admission limits.
      * @param requests  The request stream (pre-generated); gated
      *                  per config.closedLoop.
+     * @param policy    Optional scheduling policy (sched/policy.hh;
+     *                  borrowed, must outlive the batcher). nullptr
+     *                  runs the built-in FCFS fast path —
+     *                  bit-identical to the pre-policy batcher, and
+     *                  to installing the registered "fcfs" policy.
      */
     ContinuousBatcher(const BatcherConfig &config,
-                      std::vector<Request> requests);
+                      std::vector<Request> requests,
+                      SchedulingPolicy *policy = nullptr);
 
     /**
      * @param config    Admission limits (closedLoop ignored — the
@@ -78,15 +98,20 @@ class ContinuousBatcher
      * @param arrivals  The shared arrival stream; build it with
      *                  ArrivalQueue(workload, numRequests) so every
      *                  driver loop sees the identical contract.
+     * @param policy    As above.
      */
     ContinuousBatcher(const BatcherConfig &config,
-                      ArrivalQueue arrivals);
+                      ArrivalQueue arrivals,
+                      SchedulingPolicy *policy = nullptr);
 
     /** True when every request has finished. */
     bool allDone() const;
 
-    /** Requests still unadmitted. */
-    std::size_t pendingCount() const { return arrivals_.size(); }
+    /** Requests still unadmitted (queued plus undrawn). */
+    std::size_t pendingCount() const
+    {
+        return arrivals_.size() + ready_.size();
+    }
 
     /**
      * Deliver one routed request into the arrival queue (push-fed
@@ -168,6 +193,25 @@ class ContinuousBatcher
     std::int64_t mixedStages() const { return mixed_; }
 
     /**
+     * Admissions into the batch over the run, re-admissions of
+     * preempted requests included. With preemptions() this pins
+     * the accounting invariant a drained run must satisfy:
+     * admissions == retirements + preemptions (every admission
+     * either finishes or is evicted and admitted again).
+     */
+    std::int64_t admissions() const { return admissions_; }
+
+    /** Decode preemptions a scheduling policy performed. */
+    std::int64_t preemptions() const { return preempted_; }
+
+    /** Generated tokens discarded by those preemptions (victims
+     *  restart from prefill; their decoded work is lost). */
+    std::int64_t preemptedTokens() const
+    {
+        return preemptedTokens_;
+    }
+
+    /**
      * Incrementally maintained aggregates of the active decode set
      * (as of the next formStage); formStage publishes them plus the
      * admitted prefills in StageShape.agg, so stage costing never
@@ -181,10 +225,30 @@ class ContinuousBatcher
   private:
     BatcherConfig config_;
     ArrivalQueue arrivals_; //!< shared closed/open-loop gating
+
+    /**
+     * Borrowed scheduling policy; nullptr is the FCFS fast path
+     * (the exact pre-policy admission loop, no ready_ pool).
+     */
+    SchedulingPolicy *policy_ = nullptr;
+
+    /**
+     * Arrived-but-unadmitted requests the policy path reorders
+     * over: open-loop arrivals are drained here once due (closed
+     * loop draws stay queued — ArrivalQueue::pop stamps their
+     * arrival at admission, so materializing early would fork the
+     * timestamps), and preempted victims re-queue here. Always
+     * empty on the FCFS fast path.
+     */
+    std::deque<Request> ready_;
+
     std::vector<Request> active_;
     bool stageOpen_ = false;
     std::vector<Request> finished_;
     std::vector<Request> stillActiveScratch_; //!< completeStage reuse
+    std::vector<const Request *> queueViewScratch_;
+    std::vector<const Request *> activeViewScratch_;
+    std::vector<std::size_t> victimScratch_;
     StageAggregates decodeAgg_; //!< active decode sequences
 
     /**
@@ -199,6 +263,22 @@ class ContinuousBatcher
     std::int64_t totalGenerated_ = 0;
     std::int64_t decodeOnly_ = 0;
     std::int64_t mixed_ = 0;
+    std::int64_t admissions_ = 0;
+    std::int64_t preempted_ = 0;
+    std::int64_t preemptedTokens_ = 0;
+
+    /** Prompt tokens request @p r runs in its next stage. */
+    std::int64_t prefillSpan(const Request &r) const;
+
+    /** Policy-driven admission (formStage's non-FCFS arm). */
+    void admitWithPolicy(PicoSec now, StageShape &stage,
+                         std::int64_t &kv);
+
+    /** Evict one active decode back into ready_ (preemption). */
+    void preemptActive(std::size_t index);
+
+    SchedSnapshot snapshot(PicoSec now,
+                           const StageShape &stage) const;
 };
 
 } // namespace duplex

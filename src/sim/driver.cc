@@ -23,7 +23,24 @@ batcherConfig(const SimConfig &config, ServingSystem &system)
     // values (multi-node nodeShare): forming a stage is then
     // O(changes-to-the-batch), not O(batch).
     bcfg.exactStageView = system.needsExactStageView();
+    bcfg.prefillChunkTokens = config.prefillChunkTokens;
     return bcfg;
+}
+
+/**
+ * The scheduling policy a run installs. "fcfs" (the default)
+ * returns null — the batcher's policy-free fast path, pinned
+ * bit-identical to the explicit FcfsPolicy object in
+ * tests/sched/test_policy.cc — so default runs never touch the
+ * policy machinery at all.
+ */
+std::unique_ptr<SchedulingPolicy>
+driverPolicy(const SimConfig &config)
+{
+    const std::string &id = config.schedPolicyOrDefault();
+    if (id == "fcfs")
+        return nullptr;
+    return makeSchedulingPolicy(id);
 }
 
 } // namespace
@@ -32,7 +49,9 @@ DriverLoop::DriverLoop(const SimConfig &config,
                        ServingSystem &system, SimObserver &observer,
                        ArrivalQueue arrivals, PicoSec start)
     : config_(config), system_(system), observer_(observer),
-      batcher_(batcherConfig(config, system), std::move(arrivals)),
+      policy_(driverPolicy(config)),
+      batcher_(batcherConfig(config, system), std::move(arrivals),
+               policy_.get()),
       // Retirement streaming (the default): finished requests are
       // drained every stage, their latency samples extracted by the
       // accumulator, and the Request — tokenTimes vector included —
@@ -126,6 +145,8 @@ DriverLoop::finish()
             std::make_shared<const BoundedLatencyMetrics>(
                 accumulator_.takeBounded());
     result_.generatedTokens = batcher_.totalGenerated();
+    result_.preemptions = batcher_.preemptions();
+    result_.preemptedTokens = batcher_.preemptedTokens();
     warmup_.finalize(result_.metrics, now_,
                      batcher_.totalGenerated());
     result_.metrics.decodingOnlyStages =

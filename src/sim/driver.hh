@@ -24,10 +24,12 @@
 #ifndef DUPLEX_SIM_DRIVER_HH
 #define DUPLEX_SIM_DRIVER_HH
 
+#include <memory>
 #include <vector>
 
 #include "sched/batcher.hh"
 #include "sched/metrics.hh"
+#include "sched/policy.hh"
 #include "sim/engine.hh"
 
 namespace duplex
@@ -152,6 +154,15 @@ class DriverLoop
     SimConfig config_;
     ServingSystem &system_;
     SimObserver &observer_;
+
+    /**
+     * The scheduling policy config_.schedPolicy names, built from
+     * the SchedulingPolicyRegistry; null for "fcfs" (the default),
+     * which runs the batcher's policy-free fast path. Declared
+     * before batcher_ — the batcher borrows the raw pointer.
+     */
+    std::unique_ptr<SchedulingPolicy> policy_;
+
     ContinuousBatcher batcher_;
     bool retained_;
     MetricsAccumulator accumulator_;

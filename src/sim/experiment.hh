@@ -77,6 +77,30 @@ struct SimConfig
     int maxPrefillsPerStage = 4;
 
     /**
+     * Registry id of the batcher scheduling policy ("fcfs",
+     * "ttft-protect", "priority", ... — see sched/policy.hh).
+     * Empty runs "fcfs", which takes the batcher's policy-free
+     * fast path — bit-identical to the pre-policy simulator.
+     * Continuous-batching driver loops only; the split system's
+     * custom loop ignores it.
+     */
+    std::string schedPolicy;
+
+    /** The scheduling-policy id the driver loops should build. */
+    const std::string &schedPolicyOrDefault() const
+    {
+        static const std::string kDefault = "fcfs";
+        return schedPolicy.empty() ? kDefault : schedPolicy;
+    }
+
+    /**
+     * Chunked prefill: max prompt tokens one request runs per
+     * stage (see BatcherConfig.prefillChunkTokens); 0 = whole
+     * prompt in one stage (the pre-chunking behavior).
+     */
+    std::int64_t prefillChunkTokens = 0;
+
+    /**
      * How the driver loop retains latency metrics (see
      * sched/metrics.hh). Streaming (default) drains retired
      * requests each stage — bit-identical results at flat memory;
@@ -120,6 +144,14 @@ struct SimResult
 
     /** Largest batch observed in any stage. */
     int peakBatch = 0;
+
+    /**
+     * Decode preemptions the scheduling policy performed, and the
+     * generated tokens those evictions discarded (victims restart
+     * from prefill). Zero for non-preempting policies.
+     */
+    std::int64_t preemptions = 0;
+    std::int64_t preemptedTokens = 0;
 };
 
 } // namespace duplex

@@ -157,10 +157,11 @@ WorkloadRegistry::make(const std::string &id,
                        const WorkloadSpec &spec) const
 {
     std::unique_ptr<WorkloadSource> source = find(id).factory(spec);
-    // Session stamping is a cross-cutting spec knob every source
-    // honors; applying it here means a factory never has to know
-    // sessions exist.
+    // Session and priority stamping are cross-cutting spec knobs
+    // every source honors; applying them here means a factory never
+    // has to know sessions or priority classes exist.
     source->setSessionCount(spec.numSessions);
+    source->setPriorityFraction(spec.priorityFrac);
     return source;
 }
 

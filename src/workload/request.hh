@@ -31,10 +31,20 @@ struct Request
     std::int64_t sessionId = -1;
 
     /**
-     * Times this request was re-routed after an instance crash
-     * (fleet fault handling, fleet/faults.hh); RetrySpec caps it.
-     * Zero everywhere outside faulted fleet runs; no cost path
-     * reads it.
+     * Scheduling class for the "priority" batcher policy
+     * (sched/policy.hh): higher admits first and may preempt
+     * strictly-lower-class decodes. 0 (the default) is the baseline
+     * class; FCFS-style policies ignore it entirely. Stamped by the
+     * workload layer (WorkloadSpec.priorityFrac) or carried by the
+     * optional trace-CSV column; no cost path reads it.
+     */
+    int priorityClass = 0;
+
+    /**
+     * Times this request was re-queued from prefill: fleet crash
+     * re-routes (fleet/faults.hh, RetrySpec caps those) and batcher
+     * preemptions (sched/policy.hh) both count here. Zero outside
+     * faulted or preempting runs; no cost path reads it.
      */
     int retries = 0;
 
@@ -42,6 +52,14 @@ struct Request
     PicoSec firstToken = -1;     //!< completion of the prefill stage
     PicoSec finished = -1;       //!< completion of the last token
     std::int64_t generated = 0;  //!< tokens produced so far
+
+    /**
+     * Prompt tokens already processed under chunked prefill
+     * (BatcherConfig.prefillChunkTokens); stays 0 when chunking is
+     * off — generated == 0 remains the prefill flag there.
+     */
+    std::int64_t prefilled = 0;
+
     std::vector<PicoSec> tokenTimes; //!< completion time per token
 
     /** Context length the KV cache holds for this request. */

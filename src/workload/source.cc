@@ -10,6 +10,27 @@
 namespace duplex
 {
 
+namespace
+{
+
+/**
+ * The deterministic splitmix64 finalizer priority stamping mixes
+ * request ids with (same mix as fleet/policy.hh mixSessionHash,
+ * repeated here so the workload layer does not depend on the fleet
+ * layer). NOT std::hash — the stamp must be byte-stable across
+ * libstdc++ and libc++ for the CI determinism matrix.
+ */
+std::uint64_t
+mixPriorityHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
 // ------------------------------------------------------- base class
 
 Request
@@ -30,7 +51,25 @@ WorkloadSource::next()
     // (trace replay) win over the stamp.
     if (numSessions_ > 0 && r.sessionId < 0)
         r.sessionId = r.id % numSessions_;
+    // Priority stamping follows the same no-RNG rule: a splitmix
+    // mix of the id against a fixed-point threshold, so the class-1
+    // subset is a deterministic function of (id, fraction) and
+    // trace-carried classes win.
+    if (priorityThreshold_ > 0 && r.priorityClass == 0 &&
+        static_cast<std::int64_t>(
+            mixPriorityHash(static_cast<std::uint64_t>(r.id)) %
+            10000) < priorityThreshold_)
+        r.priorityClass = 1;
     return r;
+}
+
+void
+WorkloadSource::setPriorityFraction(double frac)
+{
+    fatalIf(frac < 0.0 || frac > 1.0,
+            "priority fraction must be in [0, 1]");
+    priorityThreshold_ =
+        static_cast<std::int64_t>(std::llround(frac * 10000.0));
 }
 
 PicoSec

@@ -77,6 +77,15 @@ struct WorkloadSpec : WorkloadConfig
      * WorkloadSource::setSessionCount for the no-RNG guarantee.
      */
     int numSessions = 0;
+
+    /**
+     * Fraction of requests stamped priorityClass = 1 (the rest stay
+     * class 0) for the "priority" scheduling policy
+     * (sched/policy.hh); 0 leaves the stream classless. Consumed by
+     * the registry for every source — see
+     * WorkloadSource::setPriorityFraction for the no-RNG guarantee.
+     */
+    double priorityFrac = 0.0;
 };
 
 /**
@@ -130,6 +139,20 @@ class WorkloadSource
      */
     void setSessionCount(int count) { numSessions_ = count; }
 
+    /**
+     * Stamp roughly this fraction of requests with
+     * priorityClass = 1 as they leave next(); 0 (the default)
+     * leaves every class untouched. Applied by the WorkloadRegistry
+     * from WorkloadSpec.priorityFrac. Like session stamping, the
+     * decision is pure arithmetic on the already-drawn request id
+     * (a splitmix64 mix against a fixed-point threshold — no RNG
+     * draws), so enabling priorities never perturbs the golden
+     * request streams, and the same ids are high-class at every
+     * fraction superset. Requests that already carry a non-zero
+     * class (trace replay) keep it.
+     */
+    void setPriorityFraction(double frac);
+
   protected:
     /** Draw the next request; called only while remaining() > 0. */
     virtual Request generate() = 0;
@@ -140,6 +163,9 @@ class WorkloadSource
   private:
     std::optional<Request> lookahead_;
     int numSessions_ = 0;
+
+    /** Fixed-point (per-10000) priority threshold; 0 = off. */
+    std::int64_t priorityThreshold_ = 0;
 };
 
 /**

@@ -65,25 +65,30 @@ parseTrace(std::istream &in)
         std::string lin_s;
         std::string lout_s;
         std::string session_s;
+        std::string priority_s;
         std::string excess_s;
         if (!std::getline(fields, arrival_s, ',') ||
             !std::getline(fields, lin_s, ',') ||
             !std::getline(fields, lout_s, ',')) {
             fatal(lineContext(line_no, line) +
                   "expected arrival_sec,input_len,output_len"
-                  "[,session_id]");
+                  "[,session_id[,priority_class]]");
         }
-        // Optional 4th column: session_id (written only for traces
-        // recorded with sessions; three-column traces stay valid).
-        // A 5th column is a malformed file, not something to drop
+        // Optional 4th/5th columns: session_id and priority_class
+        // (written only for traces recorded with sessions or
+        // priorities; three- and four-column traces stay valid).
+        // A 6th column is a malformed file, not something to drop
         // silently.
         const bool has_session =
             static_cast<bool>(std::getline(fields, session_s, ','));
+        const bool has_priority = static_cast<bool>(
+            std::getline(fields, priority_s, ','));
         fatalIf(static_cast<bool>(
                     std::getline(fields, excess_s, ',')),
                 lineContext(line_no, line) +
                     "too many columns (expected at most "
-                    "arrival_sec,input_len,output_len,session_id)");
+                    "arrival_sec,input_len,output_len,session_id,"
+                    "priority_class)");
         Request r;
         r.id = static_cast<int>(requests.size());
         r.arrival = secToPs(
@@ -95,10 +100,16 @@ parseTrace(std::istream &in)
         if (has_session)
             r.sessionId = static_cast<std::int64_t>(traceNumber(
                 session_s, "session_id", line_no, line));
+        if (has_priority)
+            r.priorityClass = static_cast<int>(traceNumber(
+                priority_s, "priority_class", line_no, line));
         fatalIf(r.arrival < 0 || r.inputLen <= 0 || r.outputLen <= 0,
                 lineContext(line_no, line) +
                     "lengths must be positive, arrival "
                     "non-negative");
+        fatalIf(r.priorityClass < 0,
+                lineContext(line_no, line) +
+                    "priority_class must be >= 0");
         // Plain if, not fatalIf: the message touches back() and
         // must only be built once a previous request exists.
         if (!requests.empty() &&
@@ -125,14 +136,23 @@ loadTrace(const std::string &path)
 void
 writeTrace(std::ostream &out, const std::vector<Request> &requests)
 {
-    // The session_id column appears only when some request carries
-    // one, so traces recorded without sessions stay byte-identical
-    // to the pre-session format.
-    bool sessions = false;
+    // Optional columns appear only when some request carries them,
+    // so traces recorded without sessions or priorities stay
+    // byte-identical to the earlier formats. The format is
+    // positional: a priority column forces the session column (as
+    // -1 placeholders when the stream is session-less).
+    bool priorities = false;
+    for (const auto &r : requests)
+        priorities = priorities || r.priorityClass != 0;
+    bool sessions = priorities;
     for (const auto &r : requests)
         sessions = sessions || r.sessionId >= 0;
-    out << (sessions ? "# arrival_sec,input_len,output_len,session_id\n"
-                     : "# arrival_sec,input_len,output_len\n");
+    out << "# arrival_sec,input_len,output_len";
+    if (sessions)
+        out << ",session_id";
+    if (priorities)
+        out << ",priority_class";
+    out << "\n";
     char buf[64];
     for (const auto &r : requests) {
         // Nanosecond text precision keeps long traces lossless.
@@ -140,6 +160,8 @@ writeTrace(std::ostream &out, const std::vector<Request> &requests)
         out << buf << "," << r.inputLen << "," << r.outputLen;
         if (sessions)
             out << "," << r.sessionId;
+        if (priorities)
+            out << "," << r.priorityClass;
         out << "\n";
     }
 }

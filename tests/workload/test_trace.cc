@@ -153,7 +153,9 @@ TEST(TraceErrors, TrailingGarbageInNumberIsAnError)
 
 TEST(TraceErrors, TooManyColumnsIsAnError)
 {
-    std::istringstream in("0.0,512,256,7,99\n");
+    // Five columns is the full format (session + priority); a
+    // sixth is an error.
+    std::istringstream in("0.0,512,256,7,99,1\n");
     EXPECT_EXIT({ parseTrace(in); },
                 ::testing::ExitedWithCode(1),
                 "trace line 1.*too many columns");

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CLI-docs cross-check for the CI docs job.
+
+Runs `quickstart --help`, parses the flag inventory, and compares
+it against the flags documented in docs/CLI.md -- in both
+directions. A flag added to the binary without a docs row fails,
+and so does a docs row whose flag no longer exists.
+
+"Documented" means a table row whose first cell is the backticked
+flag (`| `--name` | ... |`); flags mentioned in prose or recipe
+blocks don't count, so cmake/ctest flags in examples never trip
+the check.
+
+Usage: python3 tools/check_cli_docs.py <quickstart-binary> <CLI.md>
+"""
+
+import re
+import subprocess
+import sys
+
+HELP_FLAG_RE = re.compile(r"^  --([A-Za-z0-9][A-Za-z0-9-]*)=")
+DOC_ROW_RE = re.compile(r"^\|\s*`--([A-Za-z0-9][A-Za-z0-9-]*)`\s*\|")
+
+# Handled by the argument parser itself; never listed in its own
+# inventory, but worth documenting.
+IMPLICIT_FLAGS = {"help"}
+
+
+def help_flags(binary):
+    proc = subprocess.run(
+        [binary, "--help"], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"check_cli_docs: {binary} --help exited "
+              f"{proc.returncode}")
+        sys.exit(2)
+    text = proc.stdout + proc.stderr
+    flags = {m.group(1)
+             for line in text.splitlines()
+             for m in [HELP_FLAG_RE.match(line)] if m}
+    if not flags:
+        print(f"check_cli_docs: no flags parsed from "
+              f"{binary} --help")
+        sys.exit(2)
+    return flags
+
+
+def documented_flags(doc_path):
+    with open(doc_path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    flags = {m.group(1)
+             for line in lines
+             for m in [DOC_ROW_RE.match(line)] if m}
+    if not flags:
+        print(f"check_cli_docs: no flag rows parsed from "
+              f"{doc_path}")
+        sys.exit(2)
+    return flags
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: check_cli_docs.py <quickstart-binary> "
+              "<CLI.md>")
+        return 2
+    binary, doc_path = argv[1], argv[2]
+    in_help = help_flags(binary)
+    in_docs = documented_flags(doc_path) - IMPLICIT_FLAGS
+
+    failures = 0
+    for flag in sorted(in_help - in_docs):
+        print(f"undocumented flag: --{flag} "
+              f"(in --help, no table row in {doc_path})")
+        failures += 1
+    for flag in sorted(in_docs - in_help):
+        print(f"stale docs: --{flag} "
+              f"(documented in {doc_path}, not in --help)")
+        failures += 1
+    if failures:
+        print(f"check_cli_docs: {failures} mismatch(es) between "
+              f"{binary} --help and {doc_path}")
+        return 1
+    print(f"check_cli_docs: OK ({len(in_help)} flag(s) "
+          f"cross-checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

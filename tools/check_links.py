@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the CI docs job.
+
+Walks every tracked *.md file (git ls-files when available, a
+filesystem walk otherwise), extracts inline markdown links, and
+fails if a relative link points at a path that does not exist.
+External links (http/https/mailto) and pure in-page anchors are
+not checked -- the job must pass offline.
+
+Usage: python3 tools/check_links.py [repo-root]
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others",
+             "--exclude-standard", "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [line for line in out.splitlines() if line]
+        if files:
+            return sorted(set(files))
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d != ".git" and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                rel = os.path.relpath(
+                    os.path.join(dirpath, name), root)
+                files.append(rel)
+    return sorted(files)
+
+
+def check_file(root, relpath):
+    """Returns a list of (line-number, target) dead links."""
+    dead = []
+    path = os.path.join(root, relpath)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(
+                    os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    if not os.path.isdir(root):
+        print(f"check_links: no such directory: {root}")
+        return 2
+    files = tracked_markdown(root)
+    if not files:
+        print(f"check_links: no markdown files under {root}")
+        return 2
+    failures = 0
+    for relpath in files:
+        for lineno, target in check_file(root, relpath):
+            print(f"{relpath}:{lineno}: dead link: {target}")
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} dead link(s) "
+              f"across {len(files)} file(s)")
+        return 1
+    print(f"check_links: OK ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
