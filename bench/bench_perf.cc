@@ -15,13 +15,17 @@
  *    stages/sec and requests/sec;
  *  - workload generation: requests/sec drawn from the registered
  *    workload sources (the streaming ArrivalQueue puts source
- *    draws on the driver loop's critical path).
+ *    draws on the driver loop's critical path);
+ *  - prefix cache: acquire+install ops/sec of a PrefixCachePool
+ *    under eviction churn (the kvcache probe sits on every
+ *    admission and retirement of a cache-enabled run).
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "kvcache/prefix_cache.hh"
 #include "workload/registry.hh"
 
 using namespace duplex;
@@ -149,6 +153,33 @@ probeWorkloadGen(const std::string &id)
     return sink > 0 && sec > 0.0 ? iters / sec : 0.0;
 }
 
+/**
+ * Acquire+install cycles/sec of a PrefixCachePool whose working
+ * set (512 sessions x 256 tokens) overflows the budget (64 Ki
+ * tokens), so the eviction scan stays on the timed path.
+ */
+double
+probePrefixCache()
+{
+    PrefixCacheSpec spec;
+    spec.budgetBytes = 64ll << 20;
+    spec.evictPolicy = "lru";
+    PrefixCachePool pool(spec, 1024);
+    Request r;
+    r.inputLen = 256;
+    const int sessions = 512;
+    const int iters = 100000;
+    std::int64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        r.sessionId = i % sessions;
+        sink += pool.acquire(r);
+        pool.install(r);
+    }
+    const double sec = secondsSince(t0);
+    return sink >= 0 && sec > 0.0 ? iters / sec : 0.0;
+}
+
 } // namespace
 
 int
@@ -194,10 +225,15 @@ main()
         {"bursty", probeWorkloadGen("bursty")},
         {"diurnal", probeWorkloadGen("diurnal")},
         {"mixed", probeWorkloadGen("mixed")},
+        {"session", probeWorkloadGen("session")},
     };
     for (const WorkloadGenProbe &p : workload_probes)
         std::printf("workload gen %-12s %12.0f requests/s\n",
                     p.name, p.requestsPerSec);
+
+    const double prefix_cache_ops = probePrefixCache();
+    std::printf("prefix cache %25.0f acquire+install/s\n",
+                prefix_cache_ops);
 
     const SweepProbe sweeps[] = {
         timeSweep("fig11-throughput", fig11SweepConfigs()),
@@ -236,6 +272,9 @@ main()
                      workload_probes[i].name,
                      workload_probes[i].requestsPerSec);
     std::fprintf(json, "},\n");
+    std::fprintf(json,
+                 "  \"prefix_cache\": {\"ops_per_sec\": %.3f},\n",
+                 prefix_cache_ops);
     std::fprintf(json, "  \"figure_sweeps\": [");
     for (std::size_t i = 0; i < std::size(sweeps); ++i) {
         const SweepProbe &s = sweeps[i];

@@ -24,10 +24,16 @@
  *                                         # class-aware admission + preemption
  *   ./quickstart --sched=ttft-protect --prefill-chunk=256 --qps=8
  *                                         # burst-protected, chunked prefill
+ *   ./quickstart --workload=session --qps=2 --prefix-cache=64
+ *                                         # multi-turn chat + KV prefix cache
+ *   ./quickstart --workload=session --prefix-cache=64 --evict=lfu \
+ *                --fleet=2 --policy=session-affinity --qps=4
+ *                                         # cache-local session routing
  *   ./quickstart --list-systems
  *   ./quickstart --list-workloads
  *   ./quickstart --list-policies
  *   ./quickstart --list-scheds
+ *   ./quickstart --list-evictions
  *
  * Every run reports its peak RSS on stderr; the default
  * --metrics=streaming drains retired requests each stage so no
@@ -49,6 +55,7 @@
 #include "common/rss.hh"
 #include "common/table.hh"
 #include "fleet/fleet.hh"
+#include "kvcache/prefix_cache.hh"
 #include "sched/policy.hh"
 #include "sim/engine.hh"
 #include "sim/observers.hh"
@@ -174,6 +181,28 @@ main(int argc, char **argv)
                  "fraction of requests stamped priority class 1 "
                  "(for --sched=priority; 0 = classless)",
                  "0");
+    args.addFlag("prefix-cache",
+                 "KV prefix-cache budget in MiB per instance (0 = "
+                 "off; pays off with --workload=session)",
+                 "0");
+    args.addFlag("evict",
+                 "prefix-cache eviction policy (see "
+                 "--list-evictions)",
+                 "lru");
+    args.addFlag("list-evictions",
+                 "list every registered eviction policy and exit",
+                 "false");
+    args.addFlag("turns",
+                 "turns per session for --workload=session",
+                 "4");
+    args.addFlag("think",
+                 "mean think time between session turns in "
+                 "simulated seconds (--workload=session)",
+                 "2");
+    args.addFlag("shared-prefix",
+                 "shared system-prompt tokens prepended to every "
+                 "session's first turn (--workload=session)",
+                 "256");
     args.parse(argc, argv);
 
     // Misconfiguration dies with one readable line instead of a
@@ -213,6 +242,19 @@ main(int argc, char **argv)
     const double priority_frac = args.getDouble("priority-frac");
     fatalIf(priority_frac < 0.0 || priority_frac > 1.0,
             "--priority-frac must be in [0, 1]");
+    const double cache_mb = args.getDouble("prefix-cache");
+    fatalIf(cache_mb < 0.0,
+            "--prefix-cache must be >= 0 (MiB; 0 = off)");
+    const std::string evict = args.getString("evict");
+    fatalIf(!EvictionPolicyRegistry::instance().contains(evict),
+            "--evict=" + evict +
+                " is not a registered eviction policy (see "
+                "--list-evictions)");
+    fatalIf(args.getInt("turns") < 1, "--turns must be >= 1");
+    fatalIf(args.getDouble("think") < 0.0,
+            "--think must be >= 0");
+    fatalIf(args.getInt("shared-prefix") < 0,
+            "--shared-prefix must be >= 0");
 
     const std::string metrics_mode = args.getString("metrics");
     MetricsMode mode = MetricsMode::Streaming;
@@ -273,6 +315,18 @@ main(int argc, char **argv)
         t.print();
         return 0;
     }
+    if (args.getBool("list-evictions")) {
+        const EvictionPolicyRegistry &registry =
+            EvictionPolicyRegistry::instance();
+        Table t({"id", "summary"});
+        for (const std::string &id : registry.ids()) {
+            t.startRow();
+            t.cell(id);
+            t.cell(registry.summary(id));
+        }
+        t.print();
+        return 0;
+    }
 
     const ModelConfig model = modelByName(args.getString("model"));
     std::printf("Model %s: %.1fB parameters, %d layers, "
@@ -293,11 +347,26 @@ main(int argc, char **argv)
     spec.qps = args.getDouble("qps");
     spec.numSessions = static_cast<int>(args.getInt("sessions"));
     spec.priorityFrac = priority_frac;
+    spec.sessionTurns = static_cast<int>(args.getInt("turns"));
+    spec.sharedPrefixTokens = args.getInt("shared-prefix");
+    spec.meanThinkSec = args.getDouble("think");
     spec.tracePath = args.getString("trace");
     if (!spec.tracePath.empty())
         workload = "trace";
     const std::string workload_id =
         workload.empty() ? "synthetic" : workload;
+
+    // The KV prefix cache every run below installs (disabled at
+    // the default --prefix-cache=0 — every cache branch in the
+    // simulator is then byte-identical to a cache-less build). The
+    // shared-prefix seed entry only makes sense when the workload
+    // actually shares a prefix across sessions.
+    PrefixCacheSpec cache;
+    cache.budgetBytes =
+        static_cast<std::int64_t>(cache_mb * 1024.0 * 1024.0);
+    cache.evictPolicy = evict;
+    if (workload_id == "session")
+        cache.sharedPrefixTokens = spec.sharedPrefixTokens;
     // One throwaway source serves both the banner and --save-trace;
     // each run below builds its own fresh source through the
     // registry, so their RNG streams stay untouched.
@@ -315,6 +384,12 @@ main(int argc, char **argv)
             std::printf(", priority frac %.2f", priority_frac);
         std::printf("\n");
     }
+    // Gated on the spec so cache-less runs print byte-identically
+    // to builds that predate the kvcache subsystem.
+    if (cache.enabled())
+        std::printf("Prefix cache: %.1f MiB per instance, evict "
+                    "%s\n",
+                    cache_mb, evict.c_str());
     std::printf("\n");
 
     const int batch = static_cast<int>(args.getInt("batch"));
@@ -369,6 +444,7 @@ main(int argc, char **argv)
         fc.sim.metricsMode = mode;
         fc.sim.schedPolicy = sched;
         fc.sim.prefillChunkTokens = prefill_chunk;
+        fc.sim.prefixCache = cache;
         fc.instances = fleet_size;
         fc.policy = args.getString("policy");
         fc.scaling.enabled = args.getBool("autoscale");
@@ -403,8 +479,10 @@ main(int argc, char **argv)
         FleetDriver driver(fc);
         FleetSloAttainment fleet_slo(slo);
         FleetUtilization util;
+        FleetPrefixCacheStats fleet_cache;
         driver.addObserver(&fleet_slo);
         driver.addObserver(&util);
+        driver.addObserver(&fleet_cache);
         const FleetResult r = driver.run();
 
         const SloAttainment &att = fleet_slo.attainment();
@@ -441,6 +519,33 @@ main(int argc, char **argv)
             bt.cell(psToMs(s.busyTime), 1);
         }
         bt.print();
+
+        // Gated on the spec, like the faults block below: a
+        // cache-less fleet prints byte-identically to a build
+        // without the kvcache subsystem.
+        if (cache.enabled()) {
+            const SloAttainment &a = fleet_slo.attainment();
+            const PrefixCacheStats &cs = fleet_cache.stats();
+            std::printf(
+                "\nPrefix cache: hit rate %.2f (%lld/%lld "
+                "lookups), %lld token(s) served warm, %lld "
+                "install(s), %lld eviction(s)\n",
+                r.prefixCache.hitRate(),
+                static_cast<long long>(r.prefixCache.hits),
+                static_cast<long long>(r.prefixCache.lookups),
+                static_cast<long long>(r.prefixCache.hitTokens),
+                static_cast<long long>(r.prefixCache.installs),
+                static_cast<long long>(r.prefixCache.evictions));
+            std::printf(
+                "Warm TTFT %.1f ms over %lld request(s) vs cold "
+                "%.1f ms over %lld; TTFT attainment %.2f warm / "
+                "%.2f cold\n",
+                cs.warmT2ftMs(),
+                static_cast<long long>(cs.warmRequests()),
+                cs.coldT2ftMs(),
+                static_cast<long long>(cs.coldRequests()),
+                a.warmT2ftAttainment(), a.coldT2ftAttainment());
+        }
 
         if (!r.scaleEvents.empty()) {
             std::printf("\nScale events:\n");
@@ -505,6 +610,9 @@ main(int argc, char **argv)
              "stage p99 ms", "SLO att", "goodput/s", "J/token"});
     double gpu_thr = 0.0;
     std::vector<GroupUtilization> utilizations(systems.size());
+    std::vector<PrefixCacheStats> cache_stats(systems.size());
+    std::vector<PrefixCacheMetrics> cache_metrics(systems.size());
+    std::vector<SloAttainment> attainments;
     for (std::size_t i = 0; i < systems.size(); ++i) {
         const std::string &system = systems[i];
         SimConfig c;
@@ -519,13 +627,17 @@ main(int argc, char **argv)
         c.metricsMode = mode;
         c.schedPolicy = sched;
         c.prefillChunkTokens = prefill_chunk;
+        c.prefixCache = cache;
         SimulationEngine engine(c);
         StageTimeHistogram stage_times;
         SloAttainment attainment(slo);
         engine.addObserver(&stage_times);
         engine.addObserver(&attainment);
+        engine.addObserver(&cache_stats[i]);
         engine.addObserver(&utilizations[i]);
         const SimResult r = engine.run();
+        cache_metrics[i] = r.prefixCache;
+        attainments.push_back(attainment);
         const double thr = r.metrics.throughputTokensPerSec();
         if (system == "gpu")
             gpu_thr = thr;
@@ -545,6 +657,35 @@ main(int argc, char **argv)
                 "Attainment covers every retired request (incl. "
                 "warm-up); tokens/s and TBT p50 are post-warm-up.\n",
                 slo.t2ftMs, slo.tbtMs);
+
+    // Gated on the spec: cache-less runs print byte-identically to
+    // builds without the kvcache subsystem. The split system's
+    // custom loop ignores the cache, so its row reports all-cold.
+    if (cache.enabled()) {
+        std::printf("\nPrefix cache (%.1f MiB, evict %s):\n",
+                    cache_mb, evict.c_str());
+        for (std::size_t i = 0; i < systems.size(); ++i) {
+            const PrefixCacheMetrics &m = cache_metrics[i];
+            const PrefixCacheStats &cs = cache_stats[i];
+            std::printf(
+                "  %-12s hit rate %.2f (%lld/%lld), %lld warm "
+                "token(s), %lld eviction(s); warm TTFT %.1f ms "
+                "x%lld vs cold %.1f ms x%lld (attain %.2f/%.2f)\n",
+                SystemRegistry::instance()
+                    .displayName(systems[i])
+                    .c_str(),
+                m.hitRate(), static_cast<long long>(m.hits),
+                static_cast<long long>(m.lookups),
+                static_cast<long long>(m.hitTokens),
+                static_cast<long long>(m.evictions),
+                cs.warmT2ftMs(),
+                static_cast<long long>(cs.warmRequests()),
+                cs.coldT2ftMs(),
+                static_cast<long long>(cs.coldRequests()),
+                attainments[i].warmT2ftAttainment(),
+                attainments[i].coldT2ftAttainment());
+        }
+    }
 
     // Disaggregated systems report a per-device-group breakdown.
     for (std::size_t i = 0; i < systems.size(); ++i) {

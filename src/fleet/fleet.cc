@@ -35,9 +35,10 @@ systemIdOf(const SimConfig &config)
 class InstanceObserver : public SimObserver
 {
   public:
-    InstanceObserver(const std::vector<FleetObserver *> &observers,
+    InstanceObserver(FleetDriver &fleet,
+                     const std::vector<FleetObserver *> &observers,
                      int instance)
-        : observers_(observers), instance_(instance)
+        : fleet_(fleet), observers_(observers), instance_(instance)
     {
     }
 
@@ -53,11 +54,18 @@ class InstanceObserver : public SimObserver
         ++retired_;
         for (FleetObserver *o : observers_)
             o->onRequestRetired(instance_, request, now);
+        // Retirement feedback into the shared stream, after the
+        // observers (mirroring the engine loop's ordering): a
+        // session workload releases its next turn here; a no-op
+        // for every other source.
+        if (fleet_.shared_ != nullptr)
+            fleet_.shared_->notifyRetired(request, now);
     }
 
     std::int64_t retired() const { return retired_; }
 
   private:
+    FleetDriver &fleet_;
     const std::vector<FleetObserver *> &observers_;
     int instance_;
     std::int64_t retired_ = 0;
@@ -168,8 +176,8 @@ FleetDriver::spawn(PicoSec now)
                 static_cast<std::uint64_t>(inst->id);
     inst->system =
         makeSystem(systemIdOf(config_.sim), config_.sim.model, opts);
-    inst->observer =
-        std::make_unique<InstanceObserver>(observers_, inst->id);
+    inst->observer = std::make_unique<InstanceObserver>(
+        *this, observers_, inst->id);
     // Push-fed arrivals: the router delivers requests as their
     // arrival times come due; the loop's clock starts at the
     // provisioning time (0 for the initial fleet).
@@ -420,6 +428,7 @@ FleetDriver::scheduleRetry(Request request, int instance,
     request.retries = attempt;
     request.generated = 0;
     request.prefilled = 0;
+    request.cachedTokens = 0; // re-admission probes the cache again
     request.firstToken = -1;
     request.finished = -1;
     request.tokenTimes.clear();
@@ -479,6 +488,10 @@ FleetDriver::run()
     // Instance queues mirror the shared stream's discipline (trace
     // and bursty sources are open loop whatever qps says).
     closedLoop_ = shared.closedLoop();
+    // Expose the shared queue (a run() local) to the per-instance
+    // observers for retirement feedback; cleared before the fold so
+    // the dangling window is exactly the stepping loop.
+    shared_ = &shared;
 
     // Fault injection: decided before the first spawn so every
     // instance (initial and autoscaled) gets its fault timeline.
@@ -684,6 +697,8 @@ FleetDriver::run()
                 inst->loop->advanceTo(t);
     }
 
+    shared_ = nullptr;
+
     // Fold per-instance results in id order (retired instances'
     // loops are finished here too — their state froze at
     // retirement).
@@ -716,6 +731,7 @@ FleetDriver::run()
         result.totals += sr.totals;
         result.generatedTokens += sr.generatedTokens;
         result.peakBatch = std::max(result.peakBatch, sr.peakBatch);
+        result.prefixCache.merge(sr.prefixCache);
         result.requestsRetired += inst->observer->retired();
         result.perInstance.push_back(std::move(sr));
     }

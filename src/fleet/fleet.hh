@@ -180,6 +180,16 @@ struct FleetResult
         return frac >= 1.0 ? 0.0 : 1.0 - frac;
     }
 
+    /**
+     * KV prefix-cache counters summed across instances (each
+     * instance owns an independent pool — src/kvcache/); all-zero
+     * when the cache was disabled. The fleet-wide hit rate is what
+     * separates session-affinity routing (one session's turns keep
+     * landing on the instance holding their prefix) from
+     * load-only policies that scatter them.
+     */
+    PrefixCacheMetrics prefixCache;
+
     /** Final per-instance results, in instance-id order (includes
      *  instances retired mid-run). */
     std::vector<SimResult> perInstance;
@@ -302,6 +312,10 @@ class FleetDriver
   private:
     struct Instance;
 
+    /** Per-instance SimObserver shim (fleet.cc); reaches back into
+     *  shared_ to deliver retirement feedback. */
+    friend class InstanceObserver;
+
     FleetConfig config_;
     std::vector<FleetObserver *> observers_;
     std::vector<std::unique_ptr<Instance>> instances_;
@@ -311,6 +325,15 @@ class FleetDriver
     /** The shared stream's admission discipline, mirrored by every
      *  instance's push-fed queue. Set before the first spawn. */
     bool closedLoop_ = true;
+
+    /**
+     * run()'s shared arrival queue, while run() is live: the
+     * retirement-feedback channel. Every instance retirement is
+     * forwarded here so a session workload (workload/source.hh) can
+     * release the session's next turn into the shared stream — a
+     * no-op for every source without retirement feedback.
+     */
+    ArrivalQueue *shared_ = nullptr;
 
     // --- autoscaling state -------------------------------------
     std::deque<PicoSec> arrivalWindow_;
@@ -382,6 +405,28 @@ class FleetSloAttainment : public FleetObserver
 
   private:
     SloAttainment slo_;
+};
+
+/**
+ * Fleet-wide warm/cold request split under a KV prefix cache: the
+ * PrefixCacheStats observer (sim/observers.hh) fed from every
+ * instance's retirements. The fleet-level TTFT gap it reports is
+ * the benefit session-affinity routing is judged by.
+ */
+class FleetPrefixCacheStats : public FleetObserver
+{
+  public:
+    void onRequestRetired(int instance, const Request &request,
+                          PicoSec now) override
+    {
+        (void)instance;
+        stats_.onRequestRetired(request, now);
+    }
+
+    const PrefixCacheStats &stats() const { return stats_; }
+
+  private:
+    PrefixCacheStats stats_;
 };
 
 /**

@@ -103,4 +103,17 @@ ArrivalQueue::nextArrival() const
     return front().arrival;
 }
 
+void
+ArrivalQueue::notifyRetired(const Request &r, PicoSec now)
+{
+    if (source_ == nullptr || !source_->wantsRetirements())
+        return;
+    while (!pending_.empty()) {
+        source_->restore(std::move(pending_.back()));
+        pending_.pop_back();
+        ++budget_;
+    }
+    source_->notifyRetired(r, now);
+}
+
 } // namespace duplex

@@ -116,6 +116,16 @@ class ArrivalQueue
      */
     PicoSec nextArrival() const;
 
+    /**
+     * A driver loop retired @p r at @p now. No-op unless this is a
+     * streaming queue over a wantsRetirements() source (so every
+     * pre-existing workload keeps its exact draw stream). Otherwise
+     * the buffered lookahead is handed back to the source (its
+     * budget restored) before forwarding, so a retirement-created
+     * turn that precedes the buffer is re-emitted in arrival order.
+     */
+    void notifyRetired(const Request &r, PicoSec now);
+
   private:
     /** Buffered requests: the whole stream in vector mode, at most
      *  one lookahead draw in streaming mode. */

@@ -21,13 +21,39 @@ ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
 
 ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config,
                                      ArrivalQueue arrivals,
-                                     SchedulingPolicy *policy)
+                                     SchedulingPolicy *policy,
+                                     PrefixCachePool *pool)
     : config_(config), arrivals_(std::move(arrivals)),
-      policy_(policy)
+      policy_(policy),
+      pool_(pool != nullptr && pool->enabled() ? pool : nullptr)
 {
     fatalIf(config_.maxBatch <= 0, "maxBatch must be positive");
     fatalIf(config_.prefillChunkTokens < 0,
             "prefillChunkTokens must be >= 0 (0 = off)");
+}
+
+std::int64_t
+ContinuousBatcher::kvCapacity() const
+{
+    // Cache residency competes with live batches for the same KV
+    // memory; pool_ is null whenever the cache is off, so the
+    // cache-less capacity is exactly the configured cap.
+    return pool_ == nullptr
+               ? config_.maxKvTokens
+               : config_.maxKvTokens - pool_->residentTokens();
+}
+
+void
+ContinuousBatcher::applyPrefixCache(Request &r)
+{
+    if (pool_ == nullptr || r.generated > 0 || r.prefilled > 0)
+        return;
+    const std::int64_t hit = pool_->acquire(r);
+    // The hit tokens are prefill already done: the cost model and
+    // TTFT see only the uncached suffix (prefillSpan shrinks), and
+    // cachedTokens carries the warm/cold tag to the observers.
+    r.prefilled = hit;
+    r.cachedTokens = hit;
 }
 
 bool
@@ -116,9 +142,16 @@ ContinuousBatcher::formStage(PicoSec now)
             const std::int64_t need =
                 kv + cand.inputLen + cand.outputLen +
                 static_cast<std::int64_t>(active_.size()) + 1;
-            if (need > config_.maxKvTokens)
-                break;
+            if (need > kvCapacity()) {
+                // Live work wins over cache residency: ask the
+                // pool to give headroom back before giving up.
+                if (pool_ != nullptr)
+                    pool_->reclaim(need - kvCapacity());
+                if (need > kvCapacity())
+                    break;
+            }
             Request admitted = arrivals_.pop(now);
+            applyPrefixCache(admitted);
             kv += admitted.inputLen;
             activeLifetimeKv_ +=
                 admitted.inputLen + admitted.outputLen;
@@ -203,14 +236,23 @@ ContinuousBatcher::admitWithPolicy(PicoSec now, StageShape &stage,
                 static_cast<std::int64_t>(active_.size()) + 1;
             return active_.size() <
                        static_cast<std::size_t>(config_.maxBatch) &&
-                   need <= config_.maxKvTokens;
+                   need <= kvCapacity();
         };
+        if (pool_ != nullptr && !fits()) {
+            // Live work wins: reclaim cache residency before the
+            // policy considers preempting real decodes.
+            const std::int64_t need =
+                kv + cand->inputLen + cand->outputLen +
+                static_cast<std::int64_t>(active_.size()) + 1;
+            if (need > kvCapacity())
+                pool_->reclaim(need - kvCapacity());
+        }
         if (!fits()) {
             const std::int64_t need =
                 kv + cand->inputLen + cand->outputLen +
                 static_cast<std::int64_t>(active_.size()) + 1;
             const std::int64_t need_kv = std::max<std::int64_t>(
-                0, need - config_.maxKvTokens);
+                0, need - kvCapacity());
             const int need_slots =
                 active_.size() >=
                         static_cast<std::size_t>(config_.maxBatch)
@@ -257,6 +299,7 @@ ContinuousBatcher::admitWithPolicy(PicoSec now, StageShape &stage,
         } else {
             admitted = arrivals_.pop(now);
         }
+        applyPrefixCache(admitted);
         kv += admitted.inputLen;
         activeLifetimeKv_ += admitted.inputLen + admitted.outputLen;
         ++admissions_;
@@ -289,6 +332,7 @@ ContinuousBatcher::preemptActive(std::size_t index)
     victim.retries += 1;
     victim.generated = 0;
     victim.prefilled = 0;
+    victim.cachedTokens = 0; // re-admission probes the cache again
     victim.firstToken = -1;
     victim.finished = -1;
     victim.tokenTimes.clear();
@@ -334,6 +378,11 @@ ContinuousBatcher::completeStage(PicoSec now)
         if (r.done()) {
             r.finished = now;
             activeLifetimeKv_ -= r.inputLen + r.outputLen;
+            // The session's full context (prompt + completion)
+            // moves from the live batch into the prefix cache so
+            // the next turn can start warm.
+            if (pool_ != nullptr)
+                pool_->install(r);
             finished_.push_back(std::move(r));
         } else {
             decodeAgg_.addDecode(r.contextLen());

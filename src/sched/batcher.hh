@@ -17,6 +17,7 @@
 #include <limits>
 #include <vector>
 
+#include "kvcache/prefix_cache.hh"
 #include "model/layers.hh"
 #include "sched/arrivals.hh"
 #include "sched/policy.hh"
@@ -99,10 +100,22 @@ class ContinuousBatcher
      *                  ArrivalQueue(workload, numRequests) so every
      *                  driver loop sees the identical contract.
      * @param policy    As above.
+     * @param pool      Optional KV prefix cache (src/kvcache/;
+     *                  borrowed, must outlive the batcher). nullptr
+     *                  — or a disabled pool — leaves every
+     *                  admission bit-identical to the cache-less
+     *                  batcher. With an enabled pool, admission
+     *                  probes it (a hit jumps `prefilled` to the
+     *                  cached length so only the suffix runs),
+     *                  retirement installs the session's context,
+     *                  and the pool's residentTokens() shrink the
+     *                  KV admission headroom — reclaimed
+     *                  live-work-first when admission would block.
      */
     ContinuousBatcher(const BatcherConfig &config,
                       ArrivalQueue arrivals,
-                      SchedulingPolicy *policy = nullptr);
+                      SchedulingPolicy *policy = nullptr,
+                      PrefixCachePool *pool = nullptr);
 
     /** True when every request has finished. */
     bool allDone() const;
@@ -204,6 +217,17 @@ class ContinuousBatcher
     /** Decode preemptions a scheduling policy performed. */
     std::int64_t preemptions() const { return preempted_; }
 
+    /**
+     * A driver loop retired @p r at @p now — forwarded to the
+     * arrival queue so retirement-gated workload sources
+     * (SessionSource) can release the next turn. Call after the
+     * observers have seen the retirement.
+     */
+    void notifyRetired(const Request &r, PicoSec now)
+    {
+        arrivals_.notifyRetired(r, now);
+    }
+
     /** Generated tokens discarded by those preemptions (victims
      *  restart from prefill; their decoded work is lost). */
     std::int64_t preemptedTokens() const
@@ -231,6 +255,9 @@ class ContinuousBatcher
      * (the exact pre-policy admission loop, no ready_ pool).
      */
     SchedulingPolicy *policy_ = nullptr;
+
+    /** Borrowed KV prefix cache; nullptr/disabled = no cache. */
+    PrefixCachePool *pool_ = nullptr;
 
     /**
      * Arrived-but-unadmitted requests the policy path reorders
@@ -269,6 +296,12 @@ class ContinuousBatcher
 
     /** Prompt tokens request @p r runs in its next stage. */
     std::int64_t prefillSpan(const Request &r) const;
+
+    /** KV tokens admissible right now: capacity minus cache residency. */
+    std::int64_t kvCapacity() const;
+
+    /** Probe the prefix cache for a just-popped admission. */
+    void applyPrefixCache(Request &r);
 
     /** Policy-driven admission (formStage's non-FCFS arm). */
     void admitWithPolicy(PicoSec now, StageShape &stage,

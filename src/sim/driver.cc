@@ -50,8 +50,14 @@ DriverLoop::DriverLoop(const SimConfig &config,
                        ArrivalQueue arrivals, PicoSec start)
     : config_(config), system_(system), observer_(observer),
       policy_(driverPolicy(config)),
+      pool_(config.prefixCache.enabled()
+                ? std::make_unique<PrefixCachePool>(
+                      config.prefixCache,
+                      static_cast<std::int64_t>(
+                          config.model.kvBytesPerToken()))
+                : nullptr),
       batcher_(batcherConfig(config, system), std::move(arrivals),
-               policy_.get()),
+               policy_.get(), pool_.get()),
       // Retirement streaming (the default): finished requests are
       // drained every stage, their latency samples extracted by the
       // accumulator, and the Request — tokenTimes vector included —
@@ -110,14 +116,21 @@ DriverLoop::step()
     ++stages_;
     if (retained_) {
         for (; retiredSeen_ < batcher_.finished().size();
-             ++retiredSeen_)
+             ++retiredSeen_) {
             observer_.onRequestRetired(
                 batcher_.finished()[retiredSeen_], now_);
+            // Retirement feedback after the observers: a
+            // session source releases the next turn only once
+            // the previous one has been fully accounted.
+            batcher_.notifyRetired(
+                batcher_.finished()[retiredSeen_], now_);
+        }
     } else {
         batcher_.drainFinished(drained_);
         for (const Request &r : drained_) {
             observer_.onRequestRetired(r, now_);
             accumulator_.ingest(r);
+            batcher_.notifyRetired(r, now_);
         }
     }
 }
@@ -152,6 +165,8 @@ DriverLoop::finish()
     result_.metrics.decodingOnlyStages =
         batcher_.decodingOnlyStages();
     result_.metrics.mixedStages = batcher_.mixedStages();
+    if (pool_ != nullptr)
+        result_.prefixCache = pool_->metrics();
     return std::move(result_);
 }
 

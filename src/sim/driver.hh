@@ -163,6 +163,16 @@ class DriverLoop
      */
     std::unique_ptr<SchedulingPolicy> policy_;
 
+    /**
+     * The KV prefix cache config_.prefixCache describes; null when
+     * the cache is disabled (the default — the batcher then runs
+     * its cache-less path bit-for-bit). Declared before batcher_ —
+     * the batcher borrows the raw pointer. Per-loop, so every fleet
+     * instance gets its own pool (cache locality is exactly what
+     * session-affinity routing buys).
+     */
+    std::unique_ptr<PrefixCachePool> pool_;
+
     ContinuousBatcher batcher_;
     bool retained_;
     MetricsAccumulator accumulator_;

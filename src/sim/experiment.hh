@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cluster/cluster.hh"
+#include "kvcache/prefix_cache.hh"
 #include "sched/metrics.hh"
 #include "sim/presets.hh"
 #include "workload/source.hh"
@@ -114,6 +115,14 @@ struct SimConfig
     /** Histogram shape for MetricsMode::Bounded runs. */
     BoundedSpec boundedLatency;
 
+    /**
+     * KV prefix cache (src/kvcache/): disabled by default, in which
+     * case no pool is built and every run is bit-identical to the
+     * cache-less simulator. Continuous-batching driver loops only;
+     * the split system's custom loop ignores it.
+     */
+    PrefixCacheSpec prefixCache;
+
     std::uint64_t seed = 7;
 };
 
@@ -152,6 +161,12 @@ struct SimResult
      */
     std::int64_t preemptions = 0;
     std::int64_t preemptedTokens = 0;
+
+    /**
+     * KV prefix-cache counters (src/kvcache/); all-zero when the
+     * cache was disabled for the run.
+     */
+    PrefixCacheMetrics prefixCache;
 };
 
 } // namespace duplex

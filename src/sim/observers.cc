@@ -125,6 +125,10 @@ SloAttainment::onRequestRetired(const Request &request,
     }
     t2ftOk_ += t2ft_ok ? 1 : 0;
     tbtOk_ += tbt_ok ? 1 : 0;
+    if (request.cachedTokens > 0) {
+        ++warmTotal_;
+        warmT2ftOk_ += t2ft_ok ? 1 : 0;
+    }
     if (t2ft_ok && tbt_ok) {
         ++attained_;
         goodTokens_ += request.generated;
@@ -159,12 +163,73 @@ SloAttainment::attainment() const
 }
 
 double
+SloAttainment::warmT2ftAttainment() const
+{
+    return warmTotal_ > 0 ? static_cast<double>(warmT2ftOk_) /
+                                static_cast<double>(warmTotal_)
+                          : 1.0;
+}
+
+double
+SloAttainment::coldT2ftAttainment() const
+{
+    const std::int64_t cold = coldRequests();
+    return cold > 0 ? static_cast<double>(t2ftOk_ - warmT2ftOk_) /
+                          static_cast<double>(cold)
+                    : 1.0;
+}
+
+double
 SloAttainment::goodputTokensPerSec() const
 {
     const PicoSec span = spanEnd_ - spanStart_;
     if (total_ == 0 || span <= 0)
         return 0.0;
     return static_cast<double>(goodTokens_) / psToSec(span);
+}
+
+void
+PrefixCacheStats::onRequestRetired(const Request &request,
+                                   PicoSec now)
+{
+    (void)now;
+    // Requests that never prefilled here (evicted mid-flight) carry
+    // no first token; skip them rather than skew the means.
+    if (request.firstToken < 0)
+        return;
+    const double t2ft =
+        psToMs(request.firstToken - request.arrival);
+    if (request.cachedTokens > 0) {
+        ++warm_;
+        cachedTokens_ += request.cachedTokens;
+        warmT2ftMsSum_ += t2ft;
+    } else {
+        ++cold_;
+        coldT2ftMsSum_ += t2ft;
+    }
+}
+
+double
+PrefixCacheStats::warmFraction() const
+{
+    const std::int64_t total = warm_ + cold_;
+    return total > 0 ? static_cast<double>(warm_) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
+double
+PrefixCacheStats::warmT2ftMs() const
+{
+    return warm_ > 0 ? warmT2ftMsSum_ / static_cast<double>(warm_)
+                     : 0.0;
+}
+
+double
+PrefixCacheStats::coldT2ftMs() const
+{
+    return cold_ > 0 ? coldT2ftMsSum_ / static_cast<double>(cold_)
+                     : 0.0;
 }
 
 void

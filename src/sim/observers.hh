@@ -161,6 +161,27 @@ class SloAttainment : public SimObserver
     /** Fraction of requests whose TTFT met the objective. */
     double t2ftAttainment() const;
 
+    // --- warm/cold split (KV prefix cache, src/kvcache/) -------
+    // A retirement is "warm" when admission served part of its
+    // prompt from the prefix cache (request.cachedTokens > 0).
+    // All-cold when the cache is disabled — the split then
+    // reproduces the aggregate numbers exactly.
+
+    /** Requests retired with a prefix-cache hit. */
+    std::int64_t warmRequests() const { return warmTotal_; }
+
+    /** Requests retired without one (every request, cache off). */
+    std::int64_t coldRequests() const
+    {
+        return total_ - warmTotal_;
+    }
+
+    /** TTFT attainment over warm requests (1.0 when none). */
+    double warmT2ftAttainment() const;
+
+    /** TTFT attainment over cold requests (1.0 when none). */
+    double coldT2ftAttainment() const;
+
     /** Fraction of requests whose every token gap met the SLO. */
     double tbtAttainment() const;
 
@@ -177,8 +198,48 @@ class SloAttainment : public SimObserver
     std::int64_t tbtOk_ = 0;
     std::int64_t attained_ = 0;
     std::int64_t goodTokens_ = 0;
+    std::int64_t warmTotal_ = 0;
+    std::int64_t warmT2ftOk_ = 0;
     PicoSec spanStart_ = -1;
     PicoSec spanEnd_ = -1;
+};
+
+/**
+ * Warm-vs-cold request split under a KV prefix cache
+ * (src/kvcache/): a retirement is "warm" when admission served part
+ * of its prompt from the cache (request.cachedTokens > 0), cold
+ * otherwise. The headline comparison is the mean TTFT gap — a warm
+ * turn prefills only the uncached suffix, so its first token should
+ * land strictly earlier than a cold turn's at equal load. With the
+ * cache disabled every request is cold and the observer reproduces
+ * the plain TTFT mean.
+ */
+class PrefixCacheStats : public SimObserver
+{
+  public:
+    void onRequestRetired(const Request &request,
+                          PicoSec now) override;
+
+    /** Requests retired with / without a prefix-cache hit. */
+    std::int64_t warmRequests() const { return warm_; }
+    std::int64_t coldRequests() const { return cold_; }
+
+    /** Fraction of retirements that were warm (0 when none). */
+    double warmFraction() const;
+
+    /** Prompt tokens served from the cache, over all retirements. */
+    std::int64_t cachedTokens() const { return cachedTokens_; }
+
+    /** Mean TTFT over warm / cold retirements (0 when none). */
+    double warmT2ftMs() const;
+    double coldT2ftMs() const;
+
+  private:
+    std::int64_t warm_ = 0;
+    std::int64_t cold_ = 0;
+    std::int64_t cachedTokens_ = 0;
+    double warmT2ftMsSum_ = 0.0;
+    double coldT2ftMsSum_ = 0.0;
 };
 
 /** Prints one progress line every @p every stages. */

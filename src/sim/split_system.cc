@@ -325,6 +325,10 @@ SplitSystem::runCustomLoop(const SimConfig &config,
                 r.finished = decode_now;
                 active_lifetime_kv -= r.inputLen + r.outputLen;
                 observer.onRequestRetired(r, decode_now);
+                // Retirement feedback: a session workload releases
+                // its next turn through the shared arrival stream
+                // (no-op for every other source).
+                waiting.notifyRetired(r, decode_now);
                 if (retained)
                     finished.push_back(std::move(r));
                 else

@@ -90,6 +90,14 @@ registerStockWorkloads(WorkloadRegistry &registry)
                         kCodegenOut, 0.35,
                         "short instruction, long completion"));
     registry.add(
+        "session", "Session",
+        "multi-turn chat: open-loop fresh sessions, closed-loop "
+        "turns gated on retirement + think time, growing prompts "
+        "over a shared prefix",
+        [](const WorkloadSpec &spec) {
+            return std::make_unique<SessionSource>(spec);
+        });
+    registry.add(
         "mixed", "Mixed",
         "weighted mix: 50% chat, 25% summarize, 25% codegen",
         [](const WorkloadSpec &spec) {

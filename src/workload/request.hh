@@ -60,6 +60,17 @@ struct Request
      */
     std::int64_t prefilled = 0;
 
+    /**
+     * Prompt tokens served from a KV prefix cache at admission
+     * (src/kvcache/); 0 means a cold prefill. Set by the batcher
+     * when a PrefixCachePool is active, reset on preemption/retry
+     * re-queues (the re-admission looks the prefix up again), and
+     * read by SloAttainment/PrefixCacheStats for the warm-vs-cold
+     * TTFT split. No cost path reads it directly — the cached
+     * tokens shrink `prefilled` instead, which the cost model sees.
+     */
+    std::int64_t cachedTokens = 0;
+
     std::vector<PicoSec> tokenTimes; //!< completion time per token
 
     /** Context length the KV cache holds for this request. */

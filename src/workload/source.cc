@@ -92,6 +92,44 @@ WorkloadSource::remaining() const
     return left + (lookahead_.has_value() ? 1 : 0);
 }
 
+void
+WorkloadSource::notifyRetired(const Request &r, PicoSec now)
+{
+    if (!wantsRetirements())
+        return;
+    // A retirement may create a turn that precedes the buffered
+    // lookahead; give the buffer back so generate() re-orders.
+    if (lookahead_.has_value()) {
+        reabsorb(std::move(*lookahead_));
+        lookahead_.reset();
+    }
+    onRetired(r, now);
+}
+
+void
+WorkloadSource::restore(Request r)
+{
+    panicIf(!wantsRetirements(),
+            "WorkloadSource::restore on a source without "
+            "retirement feedback");
+    if (lookahead_.has_value()) {
+        reabsorb(std::move(*lookahead_));
+        lookahead_.reset();
+    }
+    reabsorb(std::move(r));
+}
+
+void
+WorkloadSource::onRetired(const Request &, PicoSec)
+{
+}
+
+void
+WorkloadSource::reabsorb(Request)
+{
+    panic("WorkloadSource::reabsorb not supported by this source");
+}
+
 // -------------------------------------------------- SyntheticSource
 
 SyntheticSource::SyntheticSource(std::string name,
@@ -394,6 +432,150 @@ MixtureSource::generate()
         r.arrival = clock_;
     }
     return r;
+}
+
+// ---------------------------------------------------- SessionSource
+
+namespace
+{
+
+/** Min-heap comparator: later (arrival, sessionId, id) sinks. */
+bool
+laterTurn(const Request &a, const Request &b)
+{
+    if (a.arrival != b.arrival)
+        return a.arrival > b.arrival;
+    if (a.sessionId != b.sessionId)
+        return a.sessionId > b.sessionId;
+    return a.id > b.id;
+}
+
+} // namespace
+
+SessionSource::SessionSource(const WorkloadSpec &spec)
+    : name_("session"), spec_(spec), rng_(spec.seed)
+{
+    fatalIf(spec_.sessionTurns < 1,
+            "SessionSource: need at least one turn per session");
+    fatalIf(spec_.sharedPrefixTokens < 0,
+            "SessionSource: shared prefix tokens must be "
+            "non-negative");
+    fatalIf(spec_.meanThinkSec < 0.0,
+            "SessionSource: mean think time must be non-negative");
+    fatalIf(spec_.meanInputLen <= 0 || spec_.meanOutputLen <= 0,
+            "SessionSource: mean lengths must be positive");
+    sessionQps_ = spec_.qps > 0.0 ? spec_.qps : spec_.sessionQps;
+    fatalIf(sessionQps_ <= 0.0,
+            "SessionSource: fresh-session rate must be positive");
+}
+
+std::string
+SessionSource::describe() const
+{
+    std::ostringstream out;
+    out << name_ << ": multi-turn chat, " << spec_.sessionTurns
+        << " turn(s)/session, fresh sessions at " << sessionQps_
+        << " /s, shared prefix " << spec_.sharedPrefixTokens
+        << " tokens, user turns ~ " << spec_.meanInputLen
+        << ", replies ~ " << spec_.meanOutputLen << ", think ~ "
+        << spec_.meanThinkSec << " s after each reply";
+    return out.str();
+}
+
+SessionSource::TurnDraw
+SessionSource::drawTurn(std::int64_t session, int turn) const
+{
+    // A turn's content is a pure function of (seed, session, turn):
+    // driver loops may interleave retirements differently without
+    // perturbing any draw, and double runs stay byte-identical.
+    std::uint64_t s = mixPriorityHash(spec_.seed);
+    s = mixPriorityHash(s ^ static_cast<std::uint64_t>(session));
+    s = mixPriorityHash(s ^ static_cast<std::uint64_t>(turn));
+    Rng tr(s);
+    Request tmp;
+    drawLengths(tr, tmp, spec_.meanInputLen, spec_.meanOutputLen,
+                spec_.lengthCv, spec_.minLen);
+    TurnDraw d;
+    d.userTokens = tmp.inputLen;
+    d.outputTokens = tmp.outputLen;
+    d.think = spec_.meanThinkSec > 0.0
+                  ? secToPs(tr.exponential(1.0 / spec_.meanThinkSec))
+                  : 0;
+    return d;
+}
+
+void
+SessionSource::ensureFresh()
+{
+    if (fresh_.has_value())
+        return;
+    // Only the fresh-session Poisson gaps touch the main RNG, so
+    // the open-session schedule is independent of retirements.
+    clock_ += secToPs(rng_.exponential(sessionQps_));
+    const std::int64_t sid = nextSession_++;
+    const TurnDraw d = drawTurn(sid, 0);
+    Request r;
+    r.id = nextId_++;
+    r.sessionId = sid;
+    r.inputLen = spec_.sharedPrefixTokens + d.userTokens;
+    r.outputLen = d.outputTokens;
+    r.arrival = clock_;
+    sessions_[sid] =
+        SessionState{1, r.inputLen + r.outputLen};
+    fresh_ = r;
+}
+
+Request
+SessionSource::generate()
+{
+    ensureFresh();
+    // Earliest of the materialized pending turns and the next fresh
+    // session; the heap wins ties so a follow-up turn created at
+    // the same instant precedes a new conversation.
+    if (!heap_.empty() &&
+        heap_.front().arrival <= fresh_->arrival) {
+        std::pop_heap(heap_.begin(), heap_.end(), laterTurn);
+        Request r = std::move(heap_.back());
+        heap_.pop_back();
+        return r;
+    }
+    Request r = *fresh_;
+    fresh_.reset();
+    return r;
+}
+
+void
+SessionSource::onRetired(const Request &r, PicoSec now)
+{
+    if (r.sessionId < 0)
+        return;
+    auto it = sessions_.find(r.sessionId);
+    if (it == sessions_.end())
+        return;
+    SessionState &st = it->second;
+    if (st.nextTurn >= spec_.sessionTurns)
+        return;
+    const int turn = st.nextTurn;
+    const TurnDraw d = drawTurn(r.sessionId, turn);
+    Request nr;
+    nr.id = nextId_++;
+    nr.sessionId = r.sessionId;
+    // Prompt = shared prefix + full history + the new user turn;
+    // contextLen already folds the prefix in from turn 0.
+    nr.inputLen = st.contextLen + d.userTokens;
+    nr.outputLen = d.outputTokens;
+    nr.arrival = now + d.think;
+    st.nextTurn = turn + 1;
+    st.contextLen = nr.inputLen + nr.outputLen;
+    heap_.push_back(std::move(nr));
+    std::push_heap(heap_.begin(), heap_.end(), laterTurn);
+}
+
+void
+SessionSource::reabsorb(Request r)
+{
+    heap_.push_back(std::move(r));
+    std::push_heap(heap_.begin(), heap_.end(), laterTurn);
 }
 
 } // namespace duplex

@@ -22,6 +22,7 @@
 #define DUPLEX_WORKLOAD_SOURCE_HH
 
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -86,6 +87,30 @@ struct WorkloadSpec : WorkloadConfig
      * WorkloadSource::setPriorityFraction for the no-RNG guarantee.
      */
     double priorityFrac = 0.0;
+
+    // --- "session": multi-turn chat over retirement feedback ------
+    /**
+     * Fresh-session arrival rate (sessions/s) when the base spec's
+     * qps is <= 0; a positive spec.qps wins so `--qps` steers the
+     * session workload like every other open-loop source.
+     */
+    double sessionQps = 2.0;
+
+    /** Turns per session (>= 1); the loop closes between them. */
+    int sessionTurns = 4;
+
+    /**
+     * Shared system-prompt tokens prepended to every session's
+     * first turn — the cross-session prefix a KV prefix cache
+     * (src/kvcache/) can serve warm.
+     */
+    std::int64_t sharedPrefixTokens = 256;
+
+    /**
+     * Mean think time (s) between a turn's retirement and the next
+     * turn's arrival (exponentially distributed).
+     */
+    double meanThinkSec = 2.0;
 };
 
 /**
@@ -153,12 +178,49 @@ class WorkloadSource
      */
     void setPriorityFraction(double frac);
 
+    // --- Retirement feedback (PR 9) -------------------------------
+    // Closed-over-sessions sources (SessionSource) create a
+    // request's follow-up turn only when the driver retires the
+    // previous one. The channel is strictly opt-in: a source that
+    // does not override wantsRetirements() never sees a callback,
+    // so every pre-existing source's draw stream — and therefore
+    // every golden — is untouched by the plumbing below.
+
+    /** True when the source consumes retirement notifications. */
+    virtual bool wantsRetirements() const { return false; }
+
+    /**
+     * A driver loop retired @p r at time @p now. No-op unless
+     * wantsRetirements(). Reabsorbs the peekArrival() lookahead
+     * first (via reabsorb()) so a retirement-created request that
+     * precedes the buffered one is re-emitted in arrival order.
+     */
+    void notifyRetired(const Request &r, PicoSec now);
+
+    /**
+     * Hand an already-drawn, unconsumed request back to the source
+     * (buffer unwind before a retirement re-orders the stream).
+     * Only valid on wantsRetirements() sources.
+     */
+    void restore(Request r);
+
   protected:
     /** Draw the next request; called only while remaining() > 0. */
     virtual Request generate() = 0;
 
     /** Requests left to generate, excluding the lookahead buffer. */
     virtual std::int64_t generatorRemaining() const = 0;
+
+    /** Retirement hook for wantsRetirements() sources; default no-op. */
+    virtual void onRetired(const Request &r, PicoSec now);
+
+    /**
+     * Take back a request previously returned by generate().
+     * Sources that opt into retirements must implement this (the
+     * default panics): restored requests re-enter the stream and
+     * are re-emitted in arrival order against newly created turns.
+     */
+    virtual void reabsorb(Request r);
 
   private:
     std::optional<Request> lookahead_;
@@ -346,6 +408,82 @@ class MixtureSource : public WorkloadSource
     Rng rng_;
     int nextId_ = 0;
     PicoSec clock_ = 0;
+};
+
+/**
+ * Multi-turn conversational traffic: fresh sessions open as an
+ * open-loop Poisson stream, but each session's turns form a closed
+ * loop — turn t+1 arrives one exponential think time after the
+ * driver RETIRES turn t (wantsRetirements() feedback, see the base
+ * class). Turn t+1's prompt is the shared system prefix plus the
+ * accumulated history (all previous prompts and completions) plus
+ * freshly drawn user tokens, so prompts grow and re-send a prefix a
+ * KV cache (src/kvcache/) can serve warm.
+ *
+ * Determinism: turn lengths and think times come from a private
+ * per-(session, turn) RNG (a splitmix mix of seed, session, turn),
+ * so a turn's content is a pure function of the spec — independent
+ * of how driver loops interleave retirements — and only the arrival
+ * time depends on when the previous turn finished. Double runs of
+ * any driver are byte-identical.
+ */
+class SessionSource : public WorkloadSource
+{
+  public:
+    explicit SessionSource(const WorkloadSpec &spec);
+
+    bool openLoop() const override { return true; }
+    const std::string &name() const override { return name_; }
+    std::string describe() const override;
+    bool wantsRetirements() const override { return true; }
+
+    /** Fresh-session arrival rate actually in use (sessions/s). */
+    double sessionQps() const { return sessionQps_; }
+
+  protected:
+    Request generate() override;
+    std::int64_t generatorRemaining() const override
+    {
+        return kUnbounded;
+    }
+    void onRetired(const Request &r, PicoSec now) override;
+    void reabsorb(Request r) override;
+
+  private:
+    /** Draws of one (session, turn): user/output tokens + think. */
+    struct TurnDraw
+    {
+        std::int64_t userTokens = 0;
+        std::int64_t outputTokens = 0;
+        PicoSec think = 0;
+    };
+
+    /** Per-session progress between retirements. */
+    struct SessionState
+    {
+        int nextTurn = 1;            //!< next turn index to emit
+        std::int64_t contextLen = 0; //!< history after the last turn
+    };
+
+    TurnDraw drawTurn(std::int64_t session, int turn) const;
+    void ensureFresh();
+
+    std::string name_;
+    WorkloadSpec spec_;
+    double sessionQps_ = 0.0;
+    Rng rng_; //!< fresh-session arrival gaps only
+    int nextId_ = 0;
+    std::int64_t nextSession_ = 0;
+    PicoSec clock_ = 0;
+
+    /** Next fresh session's first turn, drawn lazily. */
+    std::optional<Request> fresh_;
+
+    /** Materialized pending turns (retirement-created + restored),
+     *  a min-heap on (arrival, sessionId, id). */
+    std::vector<Request> heap_;
+
+    std::map<std::int64_t, SessionState> sessions_;
 };
 
 } // namespace duplex

@@ -242,6 +242,67 @@ TEST(Fleet, SessionAffinityPinsSessionsFleetWide)
     EXPECT_GT(used.size(), 1u) << "all sessions on one instance";
 }
 
+/** Session fleet config with a per-instance prefix cache. */
+FleetConfig
+sessionFleet(const std::string &policy)
+{
+    FleetConfig fc;
+    fc.sim = baseSim();
+    fc.sim.workloadName = "session";
+    fc.sim.workload.qps = 4.0; // fresh sessions/s
+    fc.sim.workload.meanInputLen = 192;
+    fc.sim.workload.meanOutputLen = 48;
+    fc.sim.workload.sessionTurns = 4;
+    fc.sim.workload.sharedPrefixTokens = 96;
+    fc.sim.workload.meanThinkSec = 0.1;
+    fc.sim.numRequests = 64;
+    fc.sim.maxStages = 200000;
+    fc.sim.prefixCache.budgetBytes = 512ll << 20;
+    fc.sim.prefixCache.evictPolicy = "lru";
+    fc.sim.prefixCache.sharedPrefixTokens =
+        fc.sim.workload.sharedPrefixTokens;
+    fc.instances = 2;
+    fc.policy = policy;
+    return fc;
+}
+
+TEST(Fleet, SessionCacheRunsAreDeterministic)
+{
+    // The retirement-feedback channel (instance retirements fold
+    // back into the shared session stream) plus the per-instance
+    // pools must keep double runs bit-identical.
+    const FleetConfig fc = sessionFleet("session-affinity");
+    const FleetResult a = FleetDriver(fc).run();
+    const FleetResult b = FleetDriver(fc).run();
+    EXPECT_EQ(a.requestsRouted, b.requestsRouted);
+    EXPECT_EQ(a.requestsRetired, b.requestsRetired);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.metrics.elapsed, b.metrics.elapsed);
+    expectSameSamples(a.metrics.e2eMs, b.metrics.e2eMs, "e2e");
+    expectSameSamples(a.metrics.t2ftMs, b.metrics.t2ftMs, "t2ft");
+    EXPECT_EQ(a.prefixCache.lookups, b.prefixCache.lookups);
+    EXPECT_EQ(a.prefixCache.hits, b.prefixCache.hits);
+    EXPECT_EQ(a.prefixCache.hitTokens, b.prefixCache.hitTokens);
+    EXPECT_EQ(a.prefixCache.evictions, b.prefixCache.evictions);
+    EXPECT_GT(a.prefixCache.hits, 0);
+}
+
+TEST(Fleet, SessionAffinityBeatsLeastLoadedOnHitRate)
+{
+    // Each instance owns its pool: affinity keeps a session's turns
+    // on the instance holding their prefix KV; least-loaded
+    // scatters them across cold pools.
+    const FleetResult affinity =
+        FleetDriver(sessionFleet("session-affinity")).run();
+    const FleetResult scattered =
+        FleetDriver(sessionFleet("least-loaded")).run();
+    EXPECT_GT(affinity.prefixCache.hits, 0);
+    EXPECT_GE(affinity.prefixCache.hitRate(),
+              scattered.prefixCache.hitRate());
+    // The fleet aggregates every instance's warm-token count.
+    EXPECT_GT(affinity.prefixCache.hitTokens, 0);
+}
+
 TEST(Fleet, AutoscalingDrainsBeforeRetiring)
 {
     FleetConfig fc;

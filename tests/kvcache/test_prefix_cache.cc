@@ -1,0 +1,294 @@
+/**
+ * @file
+ * PrefixCachePool tests — the kvcache subsystem's contracts:
+ *
+ *  - Byte ledger: installedBytes == evictedBytes + acquiredBytes +
+ *    residentBytes at every step (every installed byte is resident,
+ *    evicted, or checked out into a live batch).
+ *  - Checkout-on-hit: a session hit removes the entry (its bytes
+ *    ride with the live batch until retirement re-installs); a
+ *    shared-prefix hit only touches recency.
+ *  - Eviction order pins for the stock lru/lfu policies, on a
+ *    candidate set where the two disagree.
+ *  - The hit cap (inputLen - 1), over-budget install skip, reclaim
+ *    pressure valve, disabled-pool no-ops, and the registry's
+ *    sorted-ids contract shared with the other four registries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kvcache/prefix_cache.hh"
+
+namespace duplex
+{
+namespace
+{
+
+/** Tiny pool with 1 byte/token so budgets read as token counts. */
+PrefixCachePool
+tokenPool(std::int64_t budget_tokens,
+          const std::string &evict = "lru",
+          std::int64_t shared_prefix = 0)
+{
+    PrefixCacheSpec spec;
+    spec.budgetBytes = budget_tokens;
+    spec.evictPolicy = evict;
+    spec.sharedPrefixTokens = shared_prefix;
+    return PrefixCachePool(spec, /*bytesPerToken=*/1);
+}
+
+Request
+sessionRequest(std::int64_t session, std::int64_t input_len,
+               std::int64_t generated = 0)
+{
+    Request r;
+    r.sessionId = session;
+    r.inputLen = input_len;
+    r.generated = generated;
+    return r;
+}
+
+void
+expectLedgerClosed(const PrefixCachePool &pool)
+{
+    const PrefixCacheMetrics &m = pool.metrics();
+    EXPECT_EQ(m.installedBytes,
+              m.evictedBytes + m.acquiredBytes + m.residentBytes);
+    EXPECT_GE(m.residentBytes, 0);
+    EXPECT_LE(m.residentBytes, m.peakResidentBytes);
+}
+
+TEST(EvictionRegistry, StockPoliciesAreRegisteredAndSorted)
+{
+    const EvictionPolicyRegistry &registry =
+        EvictionPolicyRegistry::instance();
+    for (const std::string id : {"lru", "lfu"}) {
+        EXPECT_TRUE(registry.contains(id)) << id;
+        EXPECT_FALSE(registry.summary(id).empty()) << id;
+        const auto policy = makeEvictionPolicy(id);
+        EXPECT_EQ(policy->name(), id);
+        EXPECT_FALSE(policy->describe().empty()) << id;
+    }
+    EXPECT_FALSE(registry.contains("no-such-policy"));
+    // Same enumeration contract as the system/workload/routing/
+    // scheduling registries: lexicographic, not registration order.
+    const std::vector<std::string> ids =
+        registeredEvictionPolicies();
+    EXPECT_GE(ids.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(PrefixCache, DisabledPoolIsInert)
+{
+    PrefixCachePool pool{PrefixCacheSpec{}, /*bytesPerToken=*/1};
+    EXPECT_FALSE(pool.enabled());
+    EXPECT_EQ(pool.acquire(sessionRequest(0, 100)), 0);
+    pool.install(sessionRequest(0, 100, 50));
+    pool.reclaim(1000);
+    EXPECT_EQ(pool.entryCount(), 0u);
+    EXPECT_EQ(pool.residentTokens(), 0);
+    EXPECT_EQ(pool.metrics().lookups, 0);
+    EXPECT_EQ(pool.metrics().installs, 0);
+}
+
+TEST(PrefixCache, SessionlessRequestsNeverProbe)
+{
+    PrefixCachePool pool = tokenPool(1000);
+    Request r;
+    r.inputLen = 100; // sessionId stays -1
+    EXPECT_EQ(pool.acquire(r), 0);
+    pool.install(r);
+    EXPECT_EQ(pool.metrics().lookups, 0);
+    EXPECT_EQ(pool.entryCount(), 0u);
+}
+
+TEST(PrefixCache, SessionHitChecksTheEntryOut)
+{
+    PrefixCachePool pool = tokenPool(1000);
+    pool.install(sessionRequest(7, 60, 40)); // 100-token context
+    EXPECT_EQ(pool.entryCount(), 1u);
+    EXPECT_EQ(pool.residentTokens(), 100);
+
+    // The follow-up turn re-sends the history plus new tokens: the
+    // whole cached context is served warm...
+    const std::int64_t hit = pool.acquire(sessionRequest(7, 130));
+    EXPECT_EQ(hit, 100);
+    // ...and the entry leaves the pool — the live batch carries its
+    // bytes until retirement installs the grown context.
+    EXPECT_EQ(pool.entryCount(), 0u);
+    EXPECT_EQ(pool.residentTokens(), 0);
+    EXPECT_EQ(pool.metrics().hits, 1);
+    EXPECT_EQ(pool.metrics().acquiredBytes, 100);
+    expectLedgerClosed(pool);
+
+    // A second probe for the same session is now cold.
+    EXPECT_EQ(pool.acquire(sessionRequest(7, 130)), 0);
+    EXPECT_EQ(pool.metrics().misses, 1);
+}
+
+TEST(PrefixCache, HitIsCappedSoOneSuffixTokenPrefills)
+{
+    PrefixCachePool pool = tokenPool(1000);
+    pool.install(sessionRequest(3, 60, 40)); // 100 cached tokens
+    // A prompt shorter than the cached context still pays for one
+    // prefill token (TTFT needs a stage to produce the first token).
+    EXPECT_EQ(pool.acquire(sessionRequest(3, 50)), 49);
+    EXPECT_EQ(pool.metrics().hitTokens, 49);
+}
+
+TEST(PrefixCache, SharedPrefixSeedsWarmAndIsNotCheckedOut)
+{
+    PrefixCachePool pool = tokenPool(1000, "lru", 32);
+    EXPECT_EQ(pool.entryCount(), 1u);
+    EXPECT_EQ(pool.residentTokens(), 32);
+
+    // Any unseen session's first turn hits the shared prompt; the
+    // entry stays resident (it is cross-session, never checked out).
+    for (std::int64_t session : {0, 1, 2}) {
+        EXPECT_EQ(pool.acquire(sessionRequest(session, 200)), 32);
+        EXPECT_EQ(pool.entryCount(), 1u);
+        EXPECT_EQ(pool.residentTokens(), 32);
+    }
+    EXPECT_EQ(pool.metrics().hits, 3);
+    EXPECT_EQ(pool.metrics().acquiredBytes, 0);
+    expectLedgerClosed(pool);
+}
+
+TEST(PrefixCache, OverBudgetContextIsSkipped)
+{
+    PrefixCachePool pool = tokenPool(100);
+    pool.install(sessionRequest(1, 80, 40)); // 120 > 100: skipped
+    EXPECT_EQ(pool.entryCount(), 0u);
+    EXPECT_EQ(pool.metrics().installs, 0);
+
+    pool.install(sessionRequest(2, 60, 40)); // exactly 100: fits
+    EXPECT_EQ(pool.entryCount(), 1u);
+    EXPECT_EQ(pool.residentTokens(), 100);
+    expectLedgerClosed(pool);
+}
+
+TEST(PrefixCache, LruEvictsTheOldestEntry)
+{
+    PrefixCachePool pool = tokenPool(20, "lru");
+    pool.install(sessionRequest(1, 6, 4));  // tick 1
+    pool.install(sessionRequest(2, 6, 4));  // tick 2: pool full
+    pool.install(sessionRequest(3, 6, 4));  // must evict session 1
+    EXPECT_EQ(pool.entryCount(), 2u);
+    EXPECT_EQ(pool.metrics().evictions, 1);
+    EXPECT_EQ(pool.acquire(sessionRequest(1, 50)), 0);  // gone
+    EXPECT_EQ(pool.acquire(sessionRequest(2, 50)), 10); // survived
+    expectLedgerClosed(pool);
+}
+
+TEST(PrefixCache, LfuSparesTheUsedSharedPrefixWhereLruWouldNot)
+{
+    // Candidate set where the two stock policies disagree: the
+    // shared prefix is the OLDEST tick but the only entry with a
+    // hit; the session entries are newer and unused.
+    //   lru  -> evicts the shared prefix (oldest tick)
+    //   lfu  -> evicts session 1 (useCount 0, oldest of the ties)
+    for (const std::string evict : {"lru", "lfu"}) {
+        SCOPED_TRACE(evict);
+        PrefixCachePool pool = tokenPool(30, evict, 10);
+        EXPECT_EQ(pool.acquire(sessionRequest(9, 200)), 10);
+        pool.install(sessionRequest(1, 6, 4));
+        pool.install(sessionRequest(2, 6, 4)); // full: 30 tokens
+        pool.install(sessionRequest(3, 6, 4)); // forces one eviction
+        EXPECT_EQ(pool.metrics().evictions, 1);
+        // Probe an unseen session: warm iff the shared prefix
+        // survived the eviction.
+        const std::int64_t shared_hit =
+            pool.acquire(sessionRequest(10, 200));
+        if (evict == "lru")
+            EXPECT_EQ(shared_hit, 0);
+        else
+            EXPECT_EQ(shared_hit, 10);
+        expectLedgerClosed(pool);
+    }
+}
+
+TEST(PrefixCache, ReinstallReplacesTheStaleEntry)
+{
+    PrefixCachePool pool = tokenPool(1000);
+    pool.install(sessionRequest(5, 60, 40));  // 100 tokens
+    pool.install(sessionRequest(5, 130, 60)); // grown to 190
+    EXPECT_EQ(pool.entryCount(), 1u);
+    EXPECT_EQ(pool.residentTokens(), 190);
+    // The stale prefix counts as an eviction: ledger stays closed.
+    EXPECT_EQ(pool.metrics().evictions, 1);
+    EXPECT_EQ(pool.metrics().evictedBytes, 100);
+    expectLedgerClosed(pool);
+}
+
+TEST(PrefixCache, ReclaimFreesRequestedHeadroom)
+{
+    PrefixCachePool pool = tokenPool(1000);
+    for (std::int64_t session = 0; session < 5; ++session)
+        pool.install(sessionRequest(session, 60, 40));
+    EXPECT_EQ(pool.residentTokens(), 500);
+
+    pool.reclaim(150); // live batch needs 150 tokens of KV
+    EXPECT_LE(pool.residentTokens(), 350);
+    EXPECT_GT(pool.residentTokens(), 0);
+    expectLedgerClosed(pool);
+
+    pool.reclaim(10000); // more than resident: drains, no panic
+    EXPECT_EQ(pool.residentTokens(), 0);
+    EXPECT_EQ(pool.entryCount(), 0u);
+    expectLedgerClosed(pool);
+}
+
+TEST(PrefixCache, LedgerStaysClosedUnderChurn)
+{
+    // Deterministic install/acquire/reclaim churn with a budget far
+    // below the working set, across both stock policies.
+    for (const std::string &evict : registeredEvictionPolicies()) {
+        SCOPED_TRACE(evict);
+        PrefixCachePool pool = tokenPool(300, evict, 16);
+        for (int i = 0; i < 400; ++i) {
+            const std::int64_t session = i % 17;
+            const std::int64_t hit =
+                pool.acquire(sessionRequest(session, 40 + i % 7));
+            EXPECT_LE(hit, 40 + i % 7 - 1);
+            pool.install(
+                sessionRequest(session, 40 + i % 7, 30 + i % 5));
+            if (i % 11 == 0)
+                pool.reclaim(64);
+            expectLedgerClosed(pool);
+            EXPECT_LE(pool.residentTokens(), 300);
+        }
+        const PrefixCacheMetrics &m = pool.metrics();
+        EXPECT_EQ(m.lookups, 400);
+        EXPECT_EQ(m.lookups, m.hits + m.misses);
+        EXPECT_GT(m.hits, 0);
+        EXPECT_GT(m.evictions, 0);
+        EXPECT_GT(m.hitRate(), 0.0);
+        EXPECT_LE(m.hitRate(), 1.0);
+    }
+}
+
+TEST(PrefixCache, MetricsMergeSumsEveryCounter)
+{
+    PrefixCachePool a = tokenPool(1000, "lru", 8);
+    PrefixCachePool b = tokenPool(1000, "lfu", 8);
+    a.install(sessionRequest(1, 60, 40));
+    a.acquire(sessionRequest(1, 130));
+    b.install(sessionRequest(2, 30, 20));
+    b.acquire(sessionRequest(9, 40)); // shared-prefix hit
+
+    PrefixCacheMetrics merged = a.metrics();
+    merged.merge(b.metrics());
+    EXPECT_EQ(merged.lookups,
+              a.metrics().lookups + b.metrics().lookups);
+    EXPECT_EQ(merged.hits, a.metrics().hits + b.metrics().hits);
+    EXPECT_EQ(merged.installs,
+              a.metrics().installs + b.metrics().installs);
+    EXPECT_EQ(merged.installedBytes,
+              merged.evictedBytes + merged.acquiredBytes +
+                  merged.residentBytes);
+}
+
+} // namespace
+} // namespace duplex

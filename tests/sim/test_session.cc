@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Engine-level session + prefix-cache tests:
+ *
+ *  - Double runs of the session workload through the full engine
+ *    (retirement feedback, think-time closed loop, prefix cache)
+ *    agree bit-for-bit — the determinism CI jobs in unit form.
+ *  - A prefix cache enabled on a session-less workload changes
+ *    NOTHING: requests without a session id never probe, and an
+ *    empty pool charges no headroom, so the SimResult is identical
+ *    to the cache-off run (the golden-safety contract).
+ *  - A cache-enabled session run actually hits: warm retirements
+ *    exist, the cache ledger closes, and the SloAttainment
+ *    warm/cold split covers every retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/observers.hh"
+#include "sim/registry.hh"
+
+namespace duplex
+{
+namespace
+{
+
+SimConfig
+sessionConfig()
+{
+    SimConfig c;
+    c.systemName = "gpu";
+    c.model = mixtralConfig();
+    c.maxBatch = 16;
+    c.workloadName = "session";
+    c.workload.qps = 4.0; // fresh sessions/s
+    c.workload.meanInputLen = 192;
+    c.workload.meanOutputLen = 48;
+    c.workload.sessionTurns = 4;
+    c.workload.sharedPrefixTokens = 96;
+    c.workload.meanThinkSec = 0.1;
+    c.numRequests = 64;
+    c.warmupRequests = 8;
+    c.maxStages = 200000;
+    return c;
+}
+
+void
+expectSameSamples(const SampleStats &a, const SampleStats &b,
+                  const char *what)
+{
+    EXPECT_EQ(a.count(), b.count()) << what;
+    EXPECT_EQ(a.sum(), b.sum()) << what;
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+void
+expectSameSimResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.metrics.elapsed, b.metrics.elapsed);
+    EXPECT_EQ(a.metrics.totalTokens, b.metrics.totalTokens);
+    EXPECT_EQ(a.metrics.decodingOnlyStages,
+              b.metrics.decodingOnlyStages);
+    EXPECT_EQ(a.metrics.mixedStages, b.metrics.mixedStages);
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.peakBatch, b.peakBatch);
+    EXPECT_EQ(a.totals.time, b.totals.time);
+    expectSameSamples(a.metrics.tbtMs, b.metrics.tbtMs, "tbt");
+    expectSameSamples(a.metrics.t2ftMs, b.metrics.t2ftMs, "t2ft");
+    expectSameSamples(a.metrics.e2eMs, b.metrics.e2eMs, "e2e");
+}
+
+TEST(SessionEngine, DoubleRunsAreBitIdenticalWithoutCache)
+{
+    const SimConfig c = sessionConfig();
+    const SimResult a = SimulationEngine(c).run();
+    const SimResult b = SimulationEngine(c).run();
+    expectSameSimResult(a, b);
+    EXPECT_EQ(a.prefixCache.lookups, 0); // cache off: never probed
+}
+
+TEST(SessionEngine, DoubleRunsAreBitIdenticalWithCache)
+{
+    SimConfig c = sessionConfig();
+    c.prefixCache.budgetBytes = 512ll << 20;
+    c.prefixCache.evictPolicy = "lru";
+    c.prefixCache.sharedPrefixTokens =
+        c.workload.sharedPrefixTokens;
+    const SimResult a = SimulationEngine(c).run();
+    const SimResult b = SimulationEngine(c).run();
+    expectSameSimResult(a, b);
+    EXPECT_EQ(a.prefixCache.lookups, b.prefixCache.lookups);
+    EXPECT_EQ(a.prefixCache.hits, b.prefixCache.hits);
+    EXPECT_EQ(a.prefixCache.hitTokens, b.prefixCache.hitTokens);
+    EXPECT_EQ(a.prefixCache.evictions, b.prefixCache.evictions);
+}
+
+TEST(SessionEngine, CacheOnSessionlessWorkloadChangesNothing)
+{
+    // Requests without a session id never probe the pool, and an
+    // empty pool charges no KV headroom: enabling the cache on a
+    // plain workload must leave the run bit-identical.
+    SimConfig off;
+    off.systemName = "gpu";
+    off.model = mixtralConfig();
+    off.maxBatch = 16;
+    off.workload.meanInputLen = 256;
+    off.workload.meanOutputLen = 64;
+    off.workload.qps = 8.0;
+    off.numRequests = 48;
+    off.warmupRequests = 8;
+    off.maxStages = 20000;
+
+    SimConfig on = off;
+    on.prefixCache.budgetBytes = 1ll << 30;
+    on.prefixCache.evictPolicy = "lfu";
+
+    const SimResult a = SimulationEngine(off).run();
+    const SimResult b = SimulationEngine(on).run();
+    expectSameSimResult(a, b);
+    EXPECT_EQ(b.prefixCache.lookups, 0);
+    EXPECT_EQ(b.prefixCache.installs, 0);
+}
+
+TEST(SessionEngine, CachedSessionRunHitsAndLedgerCloses)
+{
+    SimConfig c = sessionConfig();
+    c.prefixCache.budgetBytes = 512ll << 20;
+    c.prefixCache.evictPolicy = "lru";
+    c.prefixCache.sharedPrefixTokens =
+        c.workload.sharedPrefixTokens;
+
+    SimulationEngine engine(c);
+    PrefixCacheStats cache;
+    SloAttainment slo(SloSpec{1500.0, 40.0});
+    engine.addObserver(&cache);
+    engine.addObserver(&slo);
+    const SimResult r = engine.run();
+
+    const PrefixCacheMetrics &m = r.prefixCache;
+    EXPECT_GT(m.lookups, 0);
+    EXPECT_GT(m.hits, 0);
+    EXPECT_GT(m.hitTokens, 0);
+    EXPECT_EQ(m.lookups, m.hits + m.misses);
+    EXPECT_GT(m.hitRate(), 0.0);
+    EXPECT_LE(m.hitRate(), 1.0);
+    // The byte ledger closes over the whole run.
+    EXPECT_EQ(m.installedBytes,
+              m.evictedBytes + m.acquiredBytes + m.residentBytes);
+
+    // Warm/cold observers: warm retirements exist (hits above) and
+    // the split covers every retired request.
+    EXPECT_GT(cache.warmRequests(), 0);
+    EXPECT_GT(cache.cachedTokens(), 0);
+    EXPECT_GT(cache.warmFraction(), 0.0);
+    EXPECT_LE(cache.warmFraction(), 1.0);
+    EXPECT_EQ(slo.warmRequests() + slo.coldRequests(),
+              slo.totalRequests());
+    EXPECT_GE(slo.warmT2ftAttainment(), 0.0);
+    EXPECT_LE(slo.warmT2ftAttainment(), 1.0);
+    EXPECT_GE(slo.coldT2ftAttainment(), 0.0);
+    EXPECT_LE(slo.coldT2ftAttainment(), 1.0);
+}
+
+} // namespace
+} // namespace duplex

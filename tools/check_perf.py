@@ -65,11 +65,14 @@ def tracked_metrics(perf):
     for name in ("requests_per_sec", "peak_rss_mb"):
         if name in driver:
             metrics[f"driver_loop.{name}"] = driver[name]
-    for section in ("fleet", "faults"):
+    for section in ("fleet", "faults", "policies", "sessions"):
         values = perf.get(section, {})
         if "requests_per_sec" in values:
             metrics[f"{section}.requests_per_sec"] = (
                 values["requests_per_sec"])
+    cache = perf.get("prefix_cache", {})
+    if "ops_per_sec" in cache:
+        metrics["prefix_cache.ops_per_sec"] = cache["ops_per_sec"]
     return metrics
 
 
