@@ -141,8 +141,9 @@ main(int argc, char **argv)
                  "1");
     args.addFlag("faults",
                  "scripted fleet faults: crash@sec:inst[:down-sec] "
-                 "| degrade@sec:inst:window-sec[:factor], separated "
-                 "by ';' or ','",
+                 "| degrade@sec:inst:window-sec[:factor] | "
+                 "crash@sec:domain=D[:down-sec], separated by ';' "
+                 "or ','",
                  "");
     args.addFlag("mtbf",
                  "mean time between random instance faults in "
@@ -167,6 +168,32 @@ main(int argc, char **argv)
                  "backoff before the first retry in simulated "
                  "seconds (doubles per attempt)",
                  "0.05");
+    args.addFlag("domains",
+                 "stripe the fleet across N failure domains "
+                 "(racks); instance i lands in domain i%N (0 = no "
+                 "domain topology)",
+                 "0");
+    args.addFlag("domain-mtbf",
+                 "mean time between correlated whole-domain crashes "
+                 "in simulated seconds (0 = off; dedicated "
+                 "per-domain fault RNG stream)",
+                 "0");
+    args.addFlag("domain-mttr",
+                 "mean repair time for correlated domain crashes in "
+                 "seconds (0 = fall back to --mttr)",
+                 "0");
+    args.addFlag("drain-threshold",
+                 "proactively drain an instance whose degrade "
+                 "factor reaches this value: it stops admitting and "
+                 "its queued requests migrate back through the "
+                 "router (0 = never drain)",
+                 "0");
+    args.addFlag("scale-avail",
+                 "availability-aware autoscaling: QPS thresholds "
+                 "act on accepting capacity discounted by observed "
+                 "unavailability (needs --autoscale; inert without "
+                 "faults)",
+                 "false");
     args.addFlag("sched",
                  "batcher scheduling policy (see --list-scheds)",
                  "fcfs");
@@ -226,10 +253,34 @@ main(int argc, char **argv)
     fatalIf(args.getDouble("mtbf") > 0.0 &&
                 args.getDouble("mttr") <= 0.0,
             "--mttr must be > 0 when --mtbf is set");
-    const bool wants_faults = !args.getString("faults").empty() ||
-                              args.getDouble("mtbf") > 0.0;
+    fatalIf(args.getInt("domains") < 0,
+            "--domains must be >= 0 (0 = no domain topology)");
+    fatalIf(args.getDouble("domain-mtbf") < 0.0,
+            "--domain-mtbf must be >= 0");
+    fatalIf(args.getDouble("domain-mttr") < 0.0,
+            "--domain-mttr must be >= 0");
+    fatalIf(args.getDouble("domain-mtbf") > 0.0 &&
+                args.getInt("domains") == 0,
+            "--domain-mtbf needs a domain topology (--domains=N)");
+    fatalIf(args.getDouble("domain-mtbf") > 0.0 &&
+                args.getDouble("domain-mttr") <= 0.0 &&
+                args.getDouble("mttr") <= 0.0,
+            "--domain-mtbf needs a repair time (--domain-mttr or "
+            "--mttr)");
+    fatalIf(args.getDouble("drain-threshold") < 0.0,
+            "--drain-threshold must be >= 0 (0 = never drain)");
+    const bool wants_faults =
+        !args.getString("faults").empty() ||
+        args.getDouble("mtbf") > 0.0 ||
+        args.getDouble("domain-mtbf") > 0.0;
     fatalIf(wants_faults && fleet_size == 0,
-            "--faults/--mtbf need a fleet (--fleet=N)");
+            "--faults/--mtbf/--domain-mtbf need a fleet "
+            "(--fleet=N)");
+    fatalIf(args.getInt("domains") > 0 && fleet_size == 0,
+            "--domains needs a fleet (--fleet=N)");
+    fatalIf(args.getDouble("drain-threshold") > 0.0 &&
+                fleet_size == 0,
+            "--drain-threshold needs a fleet (--fleet=N)");
     const std::string sched = args.getString("sched");
     fatalIf(!SchedulingPolicyRegistry::instance().contains(sched),
             "--sched=" + sched +
@@ -465,6 +516,13 @@ main(int argc, char **argv)
             args.getDouble("straggler-frac");
         fc.faults.stragglerFactor =
             args.getDouble("straggler-factor");
+        fc.faults.numDomains =
+            static_cast<int>(args.getInt("domains"));
+        fc.faults.domainMtbfSec = args.getDouble("domain-mtbf");
+        fc.faults.domainMttrSec = args.getDouble("domain-mttr");
+        fc.faults.drainFactorThreshold =
+            args.getDouble("drain-threshold");
+        fc.scaling.availabilityAware = args.getBool("scale-avail");
         fc.retry.maxAttempts =
             static_cast<int>(args.getInt("retry-max"));
         fc.retry.backoffSec = args.getDouble("retry-backoff");
@@ -507,8 +565,16 @@ main(int argc, char **argv)
                     r.peakInstances, psToMs(r.metrics.elapsed));
 
         std::printf("\nInstance breakdown:\n");
-        Table bt({"instance", "routed", "retired", "stages",
-                  "busy ms"});
+        // The downtime/availability columns are gated on the fault
+        // SPEC (not the outcome) so a fault-free fleet prints
+        // byte-identically to a build without fault injection.
+        std::vector<std::string> bt_cols = {
+            "instance", "routed", "retired", "stages", "busy ms"};
+        if (fc.faults.enabled()) {
+            bt_cols.push_back("down ms");
+            bt_cols.push_back("avail");
+        }
+        Table bt(bt_cols);
         for (const FleetUtilization::InstanceStats &s :
              util.instances()) {
             bt.startRow();
@@ -517,6 +583,21 @@ main(int argc, char **argv)
             bt.cell(static_cast<double>(s.retired), 0);
             bt.cell(static_cast<double>(s.stages), 0);
             bt.cell(psToMs(s.busyTime), 1);
+            if (fc.faults.enabled()) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(s.id);
+                const PicoSec down =
+                    idx < r.perInstanceDowntime.size()
+                        ? r.perInstanceDowntime[idx]
+                        : 0;
+                bt.cell(psToMs(down), 1);
+                bt.cell(r.metrics.elapsed > 0
+                            ? 1.0 - static_cast<double>(down) /
+                                        static_cast<double>(
+                                            r.metrics.elapsed)
+                            : 1.0,
+                        4);
+            }
         }
         bt.print();
 
@@ -581,17 +662,44 @@ main(int argc, char **argv)
                         static_cast<long long>(r.lostWorkTokens),
                         static_cast<long long>(r.retriesScheduled),
                         static_cast<long long>(r.requestsDropped));
+            // Each block below is gated on its own spec knob so
+            // every pre-existing faulted configuration keeps
+            // byte-identical stdout.
+            if (fc.faults.drainFactorThreshold > 0.0)
+                std::printf("Drains: %d proactive drain(s), %lld "
+                            "queued request(s) migrated\n",
+                            r.drains,
+                            static_cast<long long>(
+                                r.requestsMigrated));
+            if (!r.perDomain.empty()) {
+                std::printf("Per-domain availability "
+                            "(worst-domain served %.4f):\n",
+                            r.worstDomainAvailability());
+                for (const DomainAvailability &d : r.perDomain)
+                    std::printf(
+                        "  domain %d: %d instance(s), %d "
+                        "crash(es), %lld routed, %lld lost, down "
+                        "%.1f ms, avail %.4f, served %.4f\n",
+                        d.domain, d.instances, d.crashes,
+                        static_cast<long long>(d.routed),
+                        static_cast<long long>(d.lost),
+                        psToMs(d.downtime), d.availability,
+                        d.served());
+            }
             if (!r.faultEvents.empty()) {
                 std::printf("Fault timeline:\n");
                 for (const FaultEvent &e : r.faultEvents) {
                     std::printf("  t=%8.1f ms %-7s instance %d",
                                 psToMs(e.at),
                                 faultKindName(e.kind), e.instance);
-                    if (e.kind == FaultKind::Crash)
+                    if (e.kind == FaultKind::Crash) {
+                        if (e.domain >= 0)
+                            std::printf(" [domain %d]", e.domain);
                         std::printf(e.duration < 0
                                         ? " (never rejoins)\n"
                                         : " (down %.1f ms)\n",
                                     psToMs(e.duration));
+                    }
                     else if (e.kind == FaultKind::Degrade)
                         std::printf(" (x%.1f for %.1f ms)\n",
                                     e.factor, psToMs(e.duration));

@@ -19,6 +19,8 @@ faultKindName(FaultKind kind)
         return "degrade";
       case FaultKind::Rejoin:
         return "rejoin";
+      case FaultKind::Drain:
+        return "drain";
     }
     return "?";
 }
@@ -53,11 +55,44 @@ FaultPlan::FaultPlan(const FaultSpec &spec, int instance,
             "FaultSpec: stragglerFactor must be positive");
     fatalIf(spec.stragglerDurationSec < 0.0,
             "FaultSpec: negative stragglerDurationSec");
+    fatalIf(spec.numDomains < 0, "FaultSpec: negative numDomains");
+    for (int d : spec.domainOf)
+        fatalIf(d < 0, "FaultSpec: negative domain in domainOf");
+    fatalIf(spec.domainMtbfSec < 0.0,
+            "FaultSpec: negative domainMtbfSec");
+    fatalIf(spec.domainMttrSec < 0.0,
+            "FaultSpec: negative domainMttrSec");
+    fatalIf(spec.domainMtbfSec > 0.0 && !spec.hasDomains(),
+            "FaultSpec: domainMtbfSec needs a domain map "
+            "(numDomains or domainOf)");
+    fatalIf(spec.domainMtbfSec > 0.0 && spec.domainMttrSec <= 0.0 &&
+                spec.mttrSec <= 0.0,
+            "FaultSpec: domain MTBF draws need a positive repair "
+            "time (domainMttrSec or mttrSec)");
+    fatalIf(spec.drainFactorThreshold < 0.0,
+            "FaultSpec: negative drainFactorThreshold");
     for (const FaultEvent &e : spec.events) {
         fatalIf(e.kind == FaultKind::Rejoin,
                 "FaultSpec: rejoin events are reported, not "
                 "scheduled — schedule a crash with a downtime");
+        fatalIf(e.kind == FaultKind::Drain,
+                "FaultSpec: drain events are reported, not "
+                "scheduled — they fire when a degrade crosses "
+                "drainFactorThreshold");
         fatalIf(e.at < 0, "FaultSpec: negative event time");
+        if (e.domain >= 0) {
+            // Domain-targeted events belong to the DomainFaultPlan;
+            // validate the shared bits once, on every instance.
+            fatalIf(e.kind != FaultKind::Crash,
+                    "FaultSpec: only crashes can target a domain");
+            fatalIf(!spec.hasDomains(),
+                    "FaultSpec: a domain-targeted crash needs a "
+                    "domain map (numDomains or domainOf)");
+            fatalIf(e.domain >= spec.domainCount(),
+                    "FaultSpec: crash targets a domain beyond the "
+                    "domain map");
+            continue;
+        }
         if (e.instance != instance)
             continue;
         if (e.kind == FaultKind::Degrade) {
@@ -139,6 +174,77 @@ FaultPlan::pop()
     return e;
 }
 
+DomainFaultPlan::DomainFaultPlan(const FaultSpec &spec, int domain,
+                                 std::uint64_t fleet_seed)
+    : random_(spec.domainMtbfSec > 0.0), domain_(domain),
+      mtbfSec_(spec.domainMtbfSec),
+      mttrSec_(spec.domainMttrSec > 0.0 ? spec.domainMttrSec
+                                        : spec.mttrSec),
+      rng_(domainStreamSeed(fleet_seed, domain))
+{
+    for (const FaultEvent &e : spec.events) {
+        if (e.domain != domain)
+            continue;
+        explicit_.push_back(e);
+    }
+    std::stable_sort(explicit_.begin(), explicit_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    if (random_)
+        armRandom(0);
+}
+
+void
+DomainFaultPlan::armRandom(PicoSec after)
+{
+    nextRandomAt_ =
+        after + secToPs(rng_.exponential(1.0 / mtbfSec_));
+}
+
+bool
+DomainFaultPlan::pending() const
+{
+    return !explicit_.empty() || nextRandomAt_ >= 0;
+}
+
+PicoSec
+DomainFaultPlan::nextAt() const
+{
+    if (!pending())
+        return -1;
+    if (explicit_.empty())
+        return nextRandomAt_;
+    if (nextRandomAt_ < 0)
+        return explicit_.front().at;
+    return std::min(explicit_.front().at, nextRandomAt_);
+}
+
+FaultEvent
+DomainFaultPlan::pop()
+{
+    panicIf(!pending(),
+            "DomainFaultPlan::pop with nothing scheduled");
+    if (!explicit_.empty() &&
+        (nextRandomAt_ < 0 ||
+         explicit_.front().at <= nextRandomAt_)) {
+        FaultEvent e = explicit_.front();
+        explicit_.pop_front();
+        return e;
+    }
+    // Random domain crash: one fixed draw (downtime) so the stream
+    // is a pure function of the spec and the domain seed.
+    FaultEvent e;
+    e.kind = FaultKind::Crash;
+    e.domain = domain_;
+    e.at = nextRandomAt_;
+    e.duration = std::max<PicoSec>(
+        1, secToPs(rng_.exponential(1.0 / mttrSec_)));
+    // The domain cannot fail again until this repair window ends.
+    armRandom(e.at + e.duration);
+    return e;
+}
+
 std::uint64_t
 faultStreamSeed(std::uint64_t fleet_seed, int instance)
 {
@@ -148,6 +254,20 @@ faultStreamSeed(std::uint64_t fleet_seed, int instance)
     std::uint64_t x = fleet_seed * 0x9e3779b97f4a7c15ULL +
                       static_cast<std::uint64_t>(instance);
     x ^= 0xFA17'FA17'FA17'FA17ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+domainStreamSeed(std::uint64_t fleet_seed, int domain)
+{
+    // Same finalizer, a domain-only salt: disjoint from every
+    // per-instance fault stream (different salt) and from every
+    // workload/expert stream (different construction).
+    std::uint64_t x = fleet_seed * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(domain);
+    x ^= 0xD0'0D'D0'0D'D0'0D'D0'0DULL;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
@@ -220,13 +340,29 @@ parseFaultList(const std::string &text)
         fatalIf(sec < 0.0,
                 "--faults: negative time in '" + item + "'");
         e.at = secToPs(sec);
-        const double inst = parseNumber(fields[1], item);
-        e.instance = static_cast<int>(inst);
-        fatalIf(e.instance < 0 ||
-                    static_cast<double>(e.instance) != inst,
-                "--faults: instance must be a non-negative "
-                "integer in '" +
-                    item + "'");
+        if (fields[1].rfind("domain=", 0) == 0) {
+            // Correlated event: crash@sec:domain=D[:downtime-sec]
+            // strikes every instance of the domain at once.
+            fatalIf(kind != "crash",
+                    "--faults: only crash can target a domain in '" +
+                        item + "'");
+            const double dom =
+                parseNumber(fields[1].substr(7), item);
+            e.domain = static_cast<int>(dom);
+            fatalIf(e.domain < 0 ||
+                        static_cast<double>(e.domain) != dom,
+                    "--faults: domain must be a non-negative "
+                    "integer in '" +
+                        item + "'");
+        } else {
+            const double inst = parseNumber(fields[1], item);
+            e.instance = static_cast<int>(inst);
+            fatalIf(e.instance < 0 ||
+                        static_cast<double>(e.instance) != inst,
+                    "--faults: instance must be a non-negative "
+                    "integer in '" +
+                        item + "'");
+        }
         if (kind == "crash") {
             fatalIf(fields.size() > 3,
                     "--faults: too many fields in '" + item +

@@ -15,7 +15,16 @@
  *    neighbor, a flaky link) while still serving;
  *  - timed recovery: a crashed instance rejoins with an empty batch
  *    at its repair time, a degraded one sheds its multiplier when
- *    the window closes.
+ *    the window closes;
+ *  - correlated domain crashes: a failure-domain map (rack/zone)
+ *    stripes instances over --domains=N domains, and a dedicated
+ *    domain-level fault stream (domainStreamSeed) strikes whole
+ *    domains at once — the correlated loss production actually
+ *    sees;
+ *  - proactive draining: a degrade window whose factor crosses
+ *    FaultSpec::drainFactorThreshold stops the instance admitting
+ *    and migrates its queued (not active) requests back through
+ *    the router instead of waiting to crash-and-retry.
  *
  * Events come either from an explicit list (tests, reproducible
  * scenarios, the quickstart --faults flag) or from seeded MTBF/MTTR
@@ -50,18 +59,27 @@ enum class FaultKind
 {
     Crash,   //!< fail-stop: queued + active requests and KV lost
     Degrade, //!< straggler window: stage times scaled by a factor
-    Rejoin   //!< recovery (reported only; never scheduled directly)
+    Rejoin,  //!< recovery (reported only; never scheduled directly)
+    Drain    //!< proactive drain of a heavy straggler (reported
+             //!< only; fires when a degrade crosses the threshold)
 };
 
-/** Short display name ("crash", "degrade", "rejoin"). */
+/** Short display name ("crash", "degrade", "rejoin", "drain"). */
 const char *faultKindName(FaultKind kind);
 
-/** One scheduled fault against one instance. */
+/** One scheduled fault against one instance (or a whole domain). */
 struct FaultEvent
 {
     FaultKind kind = FaultKind::Crash;
 
-    int instance = -1; //!< target instance id
+    int instance = -1; //!< target instance id (-1: domain event)
+
+    /**
+     * Target failure domain (-1: a plain per-instance event). A
+     * domain crash strikes every live instance the domain map
+     * places in the domain — the correlated rack/zone loss.
+     */
+    int domain = -1;
 
     PicoSec at = 0; //!< when the fault strikes (simulated time)
 
@@ -107,10 +125,69 @@ struct FaultSpec
     /** Straggler window length; 0 draws exponential(mttrSec). */
     double stragglerDurationSec = 0.0;
 
+    // --- failure-domain topology (correlated loss) -------------
+
+    /**
+     * Failure domains the fleet is striped over (rack/zone model):
+     * instance i lands in domain i % numDomains unless domainOf
+     * overrides it. 0 (the default) = no domain topology; every
+     * domain knob below is then inert.
+     */
+    int numDomains = 0;
+
+    /** Explicit instance -> domain map; instances beyond the end
+     *  fall back to the numDomains stripe. Entries must be >= 0. */
+    std::vector<int> domainOf;
+
+    /**
+     * Mean time between correlated domain crashes, per domain, in
+     * simulated seconds; 0 disables the random domain process.
+     * Draws live on a dedicated per-domain fault stream
+     * (domainStreamSeed) — a pure function of (spec, domain, seed),
+     * never of fleet interleaving.
+     */
+    double domainMtbfSec = 0.0;
+
+    /** Mean repair time of random domain crashes; 0 falls back to
+     *  mttrSec. */
+    double domainMttrSec = 0.0;
+
+    /**
+     * Proactive-drain threshold: a degrade window whose stage-time
+     * factor is >= this stops the instance admitting and migrates
+     * its queued (not active) requests back through the router
+     * (FaultKind::Drain). 0 (the default) never drains.
+     */
+    double drainFactorThreshold = 0.0;
+
+    /** Domains in the topology (stripe count or explicit map). */
+    int domainCount() const
+    {
+        int n = numDomains;
+        for (int d : domainOf)
+            if (d + 1 > n)
+                n = d + 1;
+        return n;
+    }
+
+    /** True when a domain topology is configured. */
+    bool hasDomains() const { return domainCount() > 0; }
+
+    /** Domain of @p instance; -1 without a domain topology. */
+    int domainFor(int instance) const
+    {
+        if (instance >= 0 &&
+            instance < static_cast<int>(domainOf.size()))
+            return domainOf[static_cast<std::size_t>(instance)];
+        const int n = domainCount();
+        return n > 0 ? instance % n : -1;
+    }
+
     /** True when any fault can ever fire. */
     bool enabled() const
     {
-        return !events.empty() || mtbfSec > 0.0;
+        return !events.empty() || mtbfSec > 0.0 ||
+               domainMtbfSec > 0.0;
     }
 };
 
@@ -189,6 +266,52 @@ class FaultPlan
 };
 
 /**
+ * The materialized fault timeline of ONE failure domain: explicit
+ * domain-targeted crashes sorted, plus the lazily drawn correlated
+ * crash process (domainMtbfSec). Exactly the FaultPlan discipline —
+ * the stream re-arms only after the previous crash's repair window
+ * ends, so draws are a deterministic function of (spec, domain,
+ * seed) alone. The FleetDriver fans each popped event out to every
+ * live instance the domain map places in the domain.
+ */
+class DomainFaultPlan
+{
+  public:
+    /** An inert plan: pending() is false forever. */
+    DomainFaultPlan() = default;
+
+    /**
+     * Build domain @p domain's timeline under @p spec. The fault
+     * RNG is seeded from domainStreamSeed(@p fleet_seed,
+     * @p domain) — disjoint from every instance fault stream.
+     */
+    DomainFaultPlan(const FaultSpec &spec, int domain,
+                    std::uint64_t fleet_seed);
+
+    /** True when another domain crash is scheduled. */
+    bool pending() const;
+
+    /** Strike time of the next crash; -1 when none pending. */
+    PicoSec nextAt() const;
+
+    /** Consume the next crash (draws downtime, then re-arms the
+     *  process after the repair window closes). */
+    FaultEvent pop();
+
+  private:
+    std::deque<FaultEvent> explicit_;
+
+    bool random_ = false;
+    int domain_ = -1;
+    double mtbfSec_ = 0.0;
+    double mttrSec_ = 0.0;
+    Rng rng_{0};
+    PicoSec nextRandomAt_ = -1;
+
+    void armRandom(PicoSec after);
+};
+
+/**
  * Seed of instance @p instance's dedicated fault stream. Mixed away
  * from the `seed + instance` workload streams (splitmix finalizer
  * plus a fault-only salt), so enabling faults cannot perturb any
@@ -198,15 +321,28 @@ std::uint64_t faultStreamSeed(std::uint64_t fleet_seed,
                               int instance);
 
 /**
+ * Seed of domain @p domain's dedicated correlated-fault stream.
+ * Salted differently from faultStreamSeed, so domain draws are
+ * disjoint from every per-instance fault stream as well as every
+ * workload/expert stream.
+ */
+std::uint64_t domainStreamSeed(std::uint64_t fleet_seed,
+                               int domain);
+
+/**
  * Parse the quickstart/bench --faults grammar: a semicolon- or
  * comma-separated list of events,
  *
  *   crash@<sec>:<instance>[:<downtime-sec>]
+ *   crash@<sec>:domain=<D>[:<downtime-sec>]
  *   degrade@<sec>:<instance>:<window-sec>[:<factor>]
  *
- * e.g. "crash@2:0;degrade@4:1:2:3.5". A crash without a downtime
- * never rejoins; the degrade factor defaults to 3. Malformed items
- * are fatal with a message naming the offending item.
+ * e.g. "crash@2:0;degrade@4:1:2:3.5;crash@6:domain=1:0.5". A crash
+ * without a downtime never rejoins; the degrade factor defaults to
+ * 3; a domain= crash strikes every instance of the domain at once
+ * (needs a domain map — --domains or FaultSpec::domainOf).
+ * Malformed items are fatal with a message naming the offending
+ * item.
  */
 std::vector<FaultEvent> parseFaultList(const std::string &text);
 

@@ -85,7 +85,25 @@ struct FleetDriver::Instance
     PicoSec downSince = -1;  //!< when the open downtime began
     PicoSec rejoinAt = -1;   //!< repair time; -1 = never rejoins
     PicoSec degradeEnd = -1; //!< straggler window close; -1 = none
+    PicoSec downtime = 0;    //!< closed downtime accrued so far
     FaultPlan plan;          //!< this instance's fault timeline
+
+    /** Failure domain the fault topology places the instance in;
+     *  -1 without a domain map. */
+    int domain = -1;
+
+    /**
+     * Proactively draining: a degrade window crossed the drain
+     * threshold, so the instance stopped admitting (its queued
+     * requests were migrated) until the window closes or a crash
+     * supersedes it. Distinct from !accepting, which is the
+     * autoscaler's permanent drain-before-retire.
+     */
+    bool faultDrain = false;
+
+    /** Correlated domain crashes fanned out to this instance but
+     *  not yet due at its clock (time-ordered). */
+    std::deque<FaultEvent> domainPending;
 
     std::unique_ptr<ServingSystem> system;
     std::unique_ptr<InstanceObserver> observer;
@@ -144,13 +162,15 @@ FleetDriver::snapshot() const
     std::vector<InstanceStatus> out;
     out.reserve(instances_.size());
     for (const auto &inst : instances_) {
-        // Crashed (down) instances are ejected outright — the
-        // policy never sees one, the failure-semantics mirror of
-        // the draining rule.
-        if (inst->retired || !inst->accepting || inst->down)
+        // Crashed (down) and proactively draining instances are
+        // ejected outright — the policy never sees one, the
+        // failure-semantics mirror of the draining rule.
+        if (inst->retired || !inst->accepting || inst->down ||
+            inst->faultDrain)
             continue;
         InstanceStatus s;
         s.id = inst->id;
+        s.domain = inst->domain;
         s.health = inst->health;
         s.queueDepth = inst->loop->queueDepth();
         s.activeCount = inst->loop->activeCount();
@@ -190,6 +210,11 @@ FleetDriver::spawn(PicoSec now)
     if (faultsEnabled_)
         inst->plan =
             FaultPlan(config_.faults, inst->id, config_.sim.seed);
+    // The domain map is topology, not a fault process: filled
+    // whenever domains are configured so domain-aware routing works
+    // even before any fault fires.
+    if (config_.faults.hasDomains())
+        inst->domain = config_.faults.domainFor(inst->id);
     Instance &ref = *inst;
     instances_.push_back(std::move(inst));
     for (FleetObserver *o : observers_)
@@ -208,6 +233,28 @@ FleetDriver::observedQps(PicoSec now)
            config_.scaling.windowSec;
 }
 
+double
+FleetDriver::observedUnavailability(PicoSec now) const
+{
+    if (now <= 0 || instances_.empty())
+        return 0.0;
+    PicoSec down = 0;
+    for (const auto &inst : instances_) {
+        down += inst->downtime;
+        // Open downtime interval: count what has accrued so far.
+        if (inst->down && inst->downSince >= 0 &&
+            inst->downSince < now)
+            down += now - inst->downSince;
+    }
+    const double frac =
+        static_cast<double>(down) /
+        (static_cast<double>(now) *
+         static_cast<double>(instances_.size()));
+    // Cap so one long outage cannot demand unbounded spare
+    // capacity (effective capacity never drops below 10%).
+    return std::min(frac, 0.9);
+}
+
 void
 FleetDriver::maybeScale(PicoSec now)
 {
@@ -216,17 +263,26 @@ FleetDriver::maybeScale(PicoSec now)
     if (now - lastScaleTime_ < secToPs(spec.cooldownSec))
         return;
     const int accepting = acceptingCount();
+    // Availability-aware mode: thresholds act on effective capacity
+    // accepting x (1 - observed unavailability) — the MTTR/MTBF
+    // share the fleet is losing gets provisioned as spare headroom.
+    // Exactly `accepting` when faults are off (unavailability 0),
+    // so the mode is inert on a fault-free fleet.
+    double capacity = static_cast<double>(accepting);
+    if (spec.availabilityAware && faultsEnabled_)
+        capacity = static_cast<double>(accepting) *
+                   (1.0 - observedUnavailability(now));
     ScaleEvent event;
     event.time = now;
     event.observedQps = qps;
-    if (qps > spec.upQpsPerInstance * accepting &&
+    if (qps > spec.upQpsPerInstance * capacity &&
         accepting < spec.maxInstances) {
         Instance &inst = spawn(now);
         event.kind = ScaleEvent::Kind::Up;
         event.instance = inst.id;
         event.acceptingAfter = accepting + 1;
         ++scaleUps_;
-    } else if (qps < spec.downQpsPerInstance * accepting &&
+    } else if (qps < spec.downQpsPerInstance * capacity &&
                accepting > spec.minInstances) {
         // Drain the highest-id accepting instance: stop routing to
         // it; it finishes its queued and active requests, then
@@ -258,8 +314,10 @@ FleetDriver::retireInstance(Instance &inst, FleetResult &result)
     // A draining instance can crash out (its work already evicted
     // and re-routed); retirement closes the downtime interval.
     if (inst.down) {
-        totalDowntime_ += std::max<PicoSec>(
+        const PicoSec d = std::max<PicoSec>(
             0, inst.loop->now() - inst.downSince);
+        totalDowntime_ += d;
+        inst.downtime += d;
         inst.down = false;
         inst.downSince = -1;
         inst.rejoinAt = -1;
@@ -279,7 +337,8 @@ bool
 FleetDriver::anyRoutable() const
 {
     for (const auto &inst : instances_)
-        if (!inst->retired && inst->accepting && !inst->down)
+        if (!inst->retired && inst->accepting && !inst->down &&
+            !inst->faultDrain)
             return true;
     return false;
 }
@@ -313,8 +372,13 @@ FleetDriver::serviceFaults(Instance &inst, PicoSec horizon)
             inst.plan.pending() && inst.plan.nextAt() <= horizon
                 ? inst.plan.nextAt()
                 : -1;
+        const PicoSec domain =
+            !inst.domainPending.empty() &&
+                    inst.domainPending.front().at <= horizon
+                ? inst.domainPending.front().at
+                : -1;
         PicoSec next = -1;
-        for (PicoSec t : {rejoin, degradeEnd, fault})
+        for (PicoSec t : {rejoin, degradeEnd, fault, domain})
             if (t >= 0 && (next < 0 || t < next))
                 next = t;
         if (next < 0)
@@ -326,7 +390,10 @@ FleetDriver::serviceFaults(Instance &inst, PicoSec horizon)
             inst.loop->setTimeScale(1.0);
             inst.health = InstanceHealth::Healthy;
             inst.degradeEnd = -1;
-        } else {
+            // The window that drove a proactive drain closed: the
+            // instance admits again.
+            inst.faultDrain = false;
+        } else if (next == fault) {
             const FaultEvent e = inst.plan.pop();
             if (inst.down || inst.retired)
                 continue;
@@ -334,6 +401,34 @@ FleetDriver::serviceFaults(Instance &inst, PicoSec horizon)
                 applyCrash(inst, e);
             else
                 applyDegrade(inst, e);
+        } else {
+            // A correlated domain crash fanned out to this member.
+            const FaultEvent e = inst.domainPending.front();
+            inst.domainPending.pop_front();
+            if (inst.down || inst.retired)
+                continue;
+            applyCrash(inst, e);
+        }
+    }
+}
+
+/**
+ * Pop every domain crash due by @p horizon from the per-domain
+ * plans and fan it out to the domain's live members; each member
+ * applies it at its own stage boundary through serviceFaults. Draws
+ * happen here — once, on the domain's dedicated stream — so they
+ * stay a pure function of (spec, domain, seed) no matter how the
+ * member clocks interleave.
+ */
+void
+FleetDriver::serviceDomainFaults(PicoSec horizon)
+{
+    for (DomainFaultPlan &plan : domainPlans_) {
+        while (plan.pending() && plan.nextAt() <= horizon) {
+            const FaultEvent e = plan.pop();
+            for (auto &inst : instances_)
+                if (!inst->retired && inst->domain == e.domain)
+                    inst->domainPending.push_back(e);
         }
     }
 }
@@ -347,13 +442,19 @@ FleetDriver::applyCrash(Instance &inst, const FaultEvent &event)
     const PicoSec now = std::max(event.at, inst.loop->now());
     std::vector<Request> lost;
     inst.loop->evictAll(lost);
+    // The KV prefix cache died with the instance's HBM: flush it
+    // (ledger-closed — the bytes count as evictions) so post-rejoin
+    // lookups all miss instead of reporting phantom warm hits.
+    inst.loop->flushPrefixCache();
     inst.queuedKv.clear();
     inst.queuedKvSum = 0;
-    // A crash supersedes any straggler window in progress.
+    // A crash supersedes any straggler window in progress — and the
+    // proactive drain that window may have triggered.
     if (inst.degradeEnd >= 0) {
         inst.loop->setTimeScale(1.0);
         inst.degradeEnd = -1;
     }
+    inst.faultDrain = false;
     inst.health = InstanceHealth::Healthy;
     inst.down = true;
     inst.downSince = now;
@@ -361,6 +462,8 @@ FleetDriver::applyCrash(Instance &inst, const FaultEvent &event)
                         ? -1
                         : std::max(now, event.at + event.duration);
     ++crashes_;
+    if (inst.domain >= 0)
+        ++domainCrashes_[static_cast<std::size_t>(inst.domain)];
     FaultEvent rec = event;
     rec.instance = inst.id;
     rec.at = now;
@@ -388,13 +491,60 @@ FleetDriver::applyDegrade(Instance &inst, const FaultEvent &event)
     faultRecords_.push_back(rec);
     for (FleetObserver *o : observers_)
         o->onFault(inst.id, rec, now);
+    // Proactive drain: a straggler this heavy is served around, not
+    // through — stop admitting and hand the queued requests back to
+    // the router instead of waiting for a crash to retry them.
+    if (config_.faults.drainFactorThreshold > 0.0 &&
+        event.factor >= config_.faults.drainFactorThreshold)
+        applyDrain(inst, event, now);
+}
+
+void
+FleetDriver::applyDrain(Instance &inst, const FaultEvent &event,
+                        PicoSec now)
+{
+    inst.faultDrain = true;
+    std::vector<Request> queued;
+    inst.loop->evictQueued(queued);
+    inst.queuedKv.clear();
+    inst.queuedKvSum = 0;
+    ++drains_;
+    FaultEvent rec = event;
+    rec.kind = FaultKind::Drain;
+    rec.instance = inst.id;
+    rec.at = now;
+    faultRecords_.push_back(rec);
+    for (FleetObserver *o : observers_)
+        o->onFault(inst.id, rec, now);
+    // Migration, not retry: the queued requests were never
+    // admitted, so no work is lost and no retry budget is spent.
+    // They re-enter the router through the pending heap at the
+    // drain time (original queue order preserved via seq), stamped
+    // with that time as their arrival — every per-instance queue
+    // requires nondecreasing arrivals, and the router hands them to
+    // a *different* instance whose queue may already sit past the
+    // original stamp.
+    for (Request &r : queued) {
+        ++requestsMigrated_;
+        const PicoSec at = std::max(now, r.arrival);
+        r.arrival = at;
+        retries_.push_back({at, retrySeq_++, std::move(r)});
+        std::push_heap(
+            retries_.begin(), retries_.end(),
+            [](const PendingRetry &a, const PendingRetry &b) {
+                return a.at > b.at ||
+                       (a.at == b.at && a.seq > b.seq);
+            });
+    }
 }
 
 void
 FleetDriver::rejoinInstance(Instance &inst, PicoSec at)
 {
     panicIf(!inst.down, "rejoining an instance that is not down");
-    totalDowntime_ += std::max<PicoSec>(0, at - inst.downSince);
+    const PicoSec d = std::max<PicoSec>(0, at - inst.downSince);
+    totalDowntime_ += d;
+    inst.downtime += d;
     inst.down = false;
     inst.downSince = -1;
     inst.rejoinAt = -1;
@@ -416,6 +566,10 @@ FleetDriver::scheduleRetry(Request request, int instance,
 {
     ++requestsLost_;
     lostWorkTokens_ += request.generated;
+    const int dom =
+        instances_[static_cast<std::size_t>(instance)]->domain;
+    if (dom >= 0)
+        ++domainLost_[static_cast<std::size_t>(dom)];
     const int attempt = request.retries + 1;
     if (request.retries >= config_.retry.maxAttempts) {
         ++requestsDropped_;
@@ -466,6 +620,34 @@ FleetDriver::forceRejoinEarliest()
     return true;
 }
 
+/**
+ * When nothing is routable and nothing is down-with-a-repair, the
+ * blockers are proactive drains: close the earliest draining
+ * instance's degrade window (firing everything chronologically due
+ * by then) so routing can resume — the drain-window mirror of
+ * forceRejoinEarliest. Returns false when no instance is draining.
+ */
+bool
+FleetDriver::forceDrainEndEarliest()
+{
+    Instance *best = nullptr;
+    for (const auto &inst : instances_)
+        if (!inst->retired && inst->accepting &&
+            inst->faultDrain && inst->degradeEnd >= 0 &&
+            (best == nullptr ||
+             inst->degradeEnd < best->degradeEnd))
+            best = inst.get();
+    if (best == nullptr)
+        return false;
+    const PicoSec end = best->degradeEnd;
+    serviceFaults(*best, end);
+    // An idle drained instance's clock may sit before the window
+    // close; it becomes routable AT the close, like a rejoin.
+    if (!best->down && best->loop->idle())
+        best->loop->advanceTo(end);
+    return true;
+}
+
 FleetResult
 FleetDriver::run()
 {
@@ -504,6 +686,21 @@ FleetDriver::run()
         fatalIf(config_.retry.multiplier <= 0.0,
                 "RetrySpec: multiplier must be positive");
     }
+    // Failure-domain topology: per-domain counters whenever a
+    // domain map exists (domain-aware routing works without any
+    // fault process), correlated-crash plans only under faults.
+    const int numDomains = config_.faults.domainCount();
+    if (numDomains > 0) {
+        domainRouted_.assign(static_cast<std::size_t>(numDomains),
+                             0);
+        domainLost_.assign(static_cast<std::size_t>(numDomains), 0);
+        domainCrashes_.assign(static_cast<std::size_t>(numDomains),
+                              0);
+        if (faultsEnabled_)
+            for (int d = 0; d < numDomains; ++d)
+                domainPlans_.emplace_back(config_.faults, d,
+                                          config_.sim.seed);
+    }
 
     for (int i = 0; i < initial; ++i)
         spawn(0);
@@ -529,10 +726,22 @@ FleetDriver::run()
         // routing or stepping decision reads fleet state — faults
         // strike at stage boundaries, and the last step may have
         // carried an instance's clock past a scheduled strike.
-        if (faultsEnabled_)
+        // Domain plans pump first (draws are interleaving-free, so
+        // the furthest clock is a safe horizon); each member then
+        // applies its share at its own stage boundary.
+        if (faultsEnabled_) {
+            if (!domainPlans_.empty()) {
+                PicoSec horizon = 0;
+                for (const auto &inst : instances_)
+                    if (!inst->retired)
+                        horizon = std::max(horizon,
+                                           inst->loop->now());
+                serviceDomainFaults(horizon);
+            }
             for (auto &inst : instances_)
                 if (!inst->retired)
                     serviceFaults(*inst, inst->loop->now());
+        }
 
         // Route every arrival no BUSY instance is still behind: a
         // busy instance's state at the arrival time is not yet
@@ -552,11 +761,14 @@ FleetDriver::run()
                 break;
             if (faultsEnabled_ && !anyRoutable()) {
                 // The whole fleet is down (or draining): wait out
-                // the earliest repair, then route there.
-                fatalIf(!forceRejoinEarliest(),
-                        "fleet: every instance is down or draining "
-                        "with no rejoin scheduled and requests "
-                        "still pending");
+                // the earliest repair — or, when nothing is down
+                // with a repair scheduled, close the earliest
+                // proactive-drain window — then route there.
+                if (!forceRejoinEarliest())
+                    fatalIf(!forceDrainEndEarliest(),
+                            "fleet: every instance is down or "
+                            "draining with no rejoin scheduled and "
+                            "requests still pending");
                 continue;
             }
             PicoSec busyMin = std::numeric_limits<PicoSec>::max();
@@ -591,6 +803,14 @@ FleetDriver::run()
                 // Fire anything due by the routing time (rejoins
                 // included), then re-evaluate: a crash changes who
                 // is busy and may have queued earlier retries.
+                if (!domainPlans_.empty()) {
+                    PicoSec horizon = at;
+                    for (const auto &inst : instances_)
+                        if (!inst->retired)
+                            horizon = std::max(horizon,
+                                               inst->loop->now());
+                    serviceDomainFaults(horizon);
+                }
                 bool changed = false;
                 for (auto &inst : instances_)
                     if (!inst->retired)
@@ -649,6 +869,9 @@ FleetDriver::run()
             inst.queuedKv.push_back(kv);
             inst.queuedKvSum += kv;
             ++inst.routed;
+            if (inst.domain >= 0)
+                ++domainRouted_[
+                    static_cast<std::size_t>(inst.domain)];
             ++result.requestsRouted;
         }
         result.peakInstances = std::max(
@@ -716,10 +939,13 @@ FleetDriver::run()
                 inst->rejoinAt >= 0 && inst->rejoinAt < makespan
                     ? inst->rejoinAt
                     : makespan;
-            totalDowntime_ +=
+            const PicoSec d =
                 std::max<PicoSec>(0, end - inst->downSince);
+            totalDowntime_ += d;
+            inst->downtime += d;
         }
     for (auto &inst : instances_) {
+        result.perInstanceDowntime.push_back(inst->downtime);
         SimResult sr = inst->loop->finish();
         result.metrics.tbtMs.merge(sr.metrics.tbtMs);
         result.metrics.t2ftMs.merge(sr.metrics.t2ftMs);
@@ -741,12 +967,46 @@ FleetDriver::run()
     result.scaleDowns = scaleDowns_;
     result.crashes = crashes_;
     result.degradeWindows = degradeWindows_;
+    result.drains = drains_;
     result.requestsLost = requestsLost_;
     result.lostWorkTokens = lostWorkTokens_;
     result.retriesScheduled = retriesScheduled_;
     result.requestsDropped = requestsDropped_;
+    result.requestsMigrated = requestsMigrated_;
     result.totalDowntime = totalDowntime_;
     result.faultEvents = faultRecords_;
+
+    // Per-domain availability: counters folded with per-instance
+    // downtime, both measures (time-based and request-weighted)
+    // over the run window.
+    if (numDomains > 0) {
+        result.perDomain.resize(
+            static_cast<std::size_t>(numDomains));
+        for (int d = 0; d < numDomains; ++d) {
+            DomainAvailability &da =
+                result.perDomain[static_cast<std::size_t>(d)];
+            da.domain = d;
+            da.crashes =
+                domainCrashes_[static_cast<std::size_t>(d)];
+            da.routed = domainRouted_[static_cast<std::size_t>(d)];
+            da.lost = domainLost_[static_cast<std::size_t>(d)];
+        }
+        for (const auto &inst : instances_)
+            if (inst->domain >= 0) {
+                DomainAvailability &da = result.perDomain[
+                    static_cast<std::size_t>(inst->domain)];
+                ++da.instances;
+                da.downtime += inst->downtime;
+            }
+        for (DomainAvailability &da : result.perDomain)
+            if (makespan > 0 && da.instances > 0) {
+                const double frac =
+                    static_cast<double>(da.downtime) /
+                    (static_cast<double>(makespan) *
+                     static_cast<double>(da.instances));
+                da.availability = frac >= 1.0 ? 0.0 : 1.0 - frac;
+            }
+    }
 
     for (FleetObserver *o : observers_)
         o->onFleetEnd(result);

@@ -34,11 +34,19 @@
  * backoff, re-routed like fresh arrivals), down instances are
  * ejected from every routing snapshot until their repair time, and
  * degraded-straggler windows scale an instance's stage times while
- * failure-aware policies steer around it. All of it stays inside
- * the determinism contract: fault draws live on a dedicated RNG
- * stream, so a fleet with faults disabled is byte-identical to one
- * that never heard of them, and every faulted run double-runs
- * byte-identical.
+ * failure-aware policies steer around it. A failure-domain map
+ * (FaultSpec::numDomains / domainOf) adds correlated loss: a domain
+ * crash — explicit or drawn from the per-domain fault stream —
+ * strikes every instance of the rack/zone at once, and the
+ * domain-spread routing policy plus the per-domain availability in
+ * FleetResult measure how routing bounds the blast radius. A
+ * degrade window past FaultSpec::drainFactorThreshold proactively
+ * DRAINS the instance: it stops admitting and its queued (never
+ * admitted) requests migrate back through the router with no retry
+ * cost. All of it stays inside the determinism contract: fault
+ * draws live on dedicated RNG streams, so a fleet with faults
+ * disabled is byte-identical to one that never heard of them, and
+ * every faulted run double-runs byte-identical.
  */
 
 #ifndef DUPLEX_FLEET_FLEET_HH
@@ -75,6 +83,19 @@ struct ScaleSpec
 
     /** Minimum simulated time between scale decisions. */
     double cooldownSec = 10.0;
+
+    /**
+     * Availability-aware mode: both scale thresholds act on the
+     * fleet's EFFECTIVE capacity — accepting x (1 - observed
+     * unavailability) — instead of the raw accepting count, so a
+     * fleet losing an MTTR/MTBF share of its instance-time to
+     * crashes provisions that share as spare headroom instead of
+     * queueing retries. Observed unavailability is the downtime
+     * fraction accrued so far (open intervals included), a
+     * deterministic function of the run; the mode is inert without
+     * fault injection (unavailability is exactly 0).
+     */
+    bool availabilityAware = false;
 };
 
 /** One fleet-scale run. */
@@ -118,6 +139,40 @@ struct ScaleEvent
     int acceptingAfter = 0; //!< accepting instances after the event
 };
 
+/**
+ * Availability accounting of one failure domain (rack/zone, as
+ * FaultSpec's domain map stripes the fleet). Two measures:
+ * `availability` is time-based (downtime share of the run window),
+ * `served()` is request-weighted (the fraction of requests routed
+ * into the domain that were not crashed out of it) — the measure a
+ * domain-spread router actually improves, since balancing in-flight
+ * work across domains bounds what one correlated crash can take.
+ */
+struct DomainAvailability
+{
+    int domain = -1;
+    int instances = 0; //!< instances the map places in the domain
+    int crashes = 0;   //!< crashes applied to the domain's instances
+
+    std::int64_t routed = 0; //!< requests routed into the domain
+    std::int64_t lost = 0;   //!< requests crashed out of the domain
+
+    /** Downtime summed over the domain's instances. */
+    PicoSec downtime = 0;
+
+    /** Time-based: 1 - downtime / (makespan x instances). */
+    double availability = 1.0;
+
+    /** Request-weighted service availability. */
+    double served() const
+    {
+        return routed > 0
+                   ? 1.0 - static_cast<double>(lost) /
+                               static_cast<double>(routed)
+                   : 1.0;
+    }
+};
+
 /** The fleet-wide outcome: per-instance results folded together. */
 struct FleetResult
 {
@@ -141,6 +196,11 @@ struct FleetResult
 
     int crashes = 0;        //!< fail-stop faults applied
     int degradeWindows = 0; //!< straggler windows applied
+    int drains = 0;         //!< proactive drains applied
+
+    /** Queued requests a proactive drain re-routed (no work lost,
+     *  no retry budget consumed — they had never been admitted). */
+    std::int64_t requestsMigrated = 0;
 
     /** Evictions: one request crashed out twice counts twice. */
     std::int64_t requestsLost = 0;
@@ -193,6 +253,29 @@ struct FleetResult
     /** Final per-instance results, in instance-id order (includes
      *  instances retired mid-run). */
     std::vector<SimResult> perInstance;
+
+    /** Downtime per instance, parallel to perInstance (all zero in
+     *  fault-free runs). */
+    std::vector<PicoSec> perInstanceDowntime;
+
+    /** Per-domain availability, in domain-id order; empty unless
+     *  the fault spec maps instances into failure domains. */
+    std::vector<DomainAvailability> perDomain;
+
+    /**
+     * Worst request-weighted service availability over the domains
+     * (min of DomainAvailability::served()); 1.0 without a domain
+     * map. The headline metric of the bench_faults domains x policy
+     * sweep — domain-spread routing exists to raise it.
+     */
+    double worstDomainAvailability() const
+    {
+        double worst = 1.0;
+        for (const DomainAvailability &d : perDomain)
+            if (d.served() < worst)
+                worst = d.served();
+        return worst;
+    }
 
     std::vector<ScaleEvent> scaleEvents;
 };
@@ -360,12 +443,24 @@ class FleetDriver
 
     int crashes_ = 0;
     int degradeWindows_ = 0;
+    int drains_ = 0;
     std::int64_t requestsLost_ = 0;
     std::int64_t lostWorkTokens_ = 0;
     std::int64_t retriesScheduled_ = 0;
     std::int64_t requestsDropped_ = 0;
+    std::int64_t requestsMigrated_ = 0;
     PicoSec totalDowntime_ = 0;
     std::vector<FaultEvent> faultRecords_;
+
+    /** One correlated-crash timeline per failure domain (empty
+     *  without a domain map or with faults disabled). */
+    std::vector<DomainFaultPlan> domainPlans_;
+
+    // Per-domain availability counters, indexed by domain id (all
+    // empty without a domain map).
+    std::vector<std::int64_t> domainRouted_;
+    std::vector<std::int64_t> domainLost_;
+    std::vector<int> domainCrashes_;
 
     int acceptingCount() const;
     std::vector<InstanceStatus> snapshot() const;
@@ -373,14 +468,19 @@ class FleetDriver
     void maybeScale(PicoSec now);
     void retireInstance(Instance &inst, FleetResult &result);
     double observedQps(PicoSec now);
+    double observedUnavailability(PicoSec now) const;
 
     bool anyRoutable() const;
     bool serviceFaults(Instance &inst, PicoSec horizon);
+    void serviceDomainFaults(PicoSec horizon);
     void applyCrash(Instance &inst, const FaultEvent &event);
     void applyDegrade(Instance &inst, const FaultEvent &event);
+    void applyDrain(Instance &inst, const FaultEvent &event,
+                    PicoSec now);
     void rejoinInstance(Instance &inst, PicoSec at);
     void scheduleRetry(Request request, int instance, PicoSec now);
     bool forceRejoinEarliest();
+    bool forceDrainEndEarliest();
 };
 
 /**

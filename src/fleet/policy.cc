@@ -183,6 +183,78 @@ class HealthyFirstPolicy : public RoutingPolicy
     }
 };
 
+/**
+ * Failure-domain-aware routing: pick the domain (rack/zone, as the
+ * fault topology maps it into InstanceStatus::domain) holding the
+ * fewest in-flight requests, then least-loaded (argmax kvHeadroom,
+ * lowest id on ties) within it — so one correlated domain crash
+ * takes out the smallest possible slice of in-flight work. Healthy
+ * instances are preferred exactly like healthy-first: degraded ones
+ * join only when no healthy instance is offered. Domain-less
+ * instances (no domain map) count as singleton domains, which
+ * degenerates into spreading by in-flight count.
+ */
+class DomainSpreadPolicy : public RoutingPolicy
+{
+  public:
+    int route(const Request &,
+              const std::vector<InstanceStatus> &instances) override
+    {
+        const InstanceStatus *best = pick(instances, true);
+        if (best == nullptr)
+            best = pick(instances, false);
+        return best->id;
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "domain-spread";
+        return kName;
+    }
+
+    std::string describe() const override
+    {
+        return "least-loaded inside the failure domain with the "
+               "fewest in-flight requests";
+    }
+
+  private:
+    /** In-flight load of @p s's domain over the offered set; a
+     *  domain-less instance is its own singleton domain. */
+    static std::int64_t
+    domainLoad(const InstanceStatus &s,
+               const std::vector<InstanceStatus> &instances)
+    {
+        std::int64_t load = 0;
+        for (const InstanceStatus &o : instances)
+            if (o.id == s.id ||
+                (s.domain >= 0 && o.domain == s.domain))
+                load += static_cast<std::int64_t>(o.queueDepth) +
+                        static_cast<std::int64_t>(o.activeCount);
+        return load;
+    }
+
+    const InstanceStatus *
+    pick(const std::vector<InstanceStatus> &instances,
+         bool healthyOnly)
+    {
+        const InstanceStatus *best = nullptr;
+        std::int64_t bestLoad = 0;
+        for (const InstanceStatus &s : instances) {
+            if (healthyOnly && s.health != InstanceHealth::Healthy)
+                continue;
+            const std::int64_t load = domainLoad(s, instances);
+            if (best == nullptr || load < bestLoad ||
+                (load == bestLoad &&
+                 s.kvHeadroom > best->kvHeadroom)) {
+                best = &s;
+                bestLoad = load;
+            }
+        }
+        return best;
+    }
+};
+
 template <typename Policy>
 RoutingPolicyFactory
 factoryOf()
@@ -209,6 +281,10 @@ registerStockPolicies(RoutingPolicyRegistry &registry)
                  "least-loaded among healthy instances; degraded "
                  "only as a last resort",
                  factoryOf<HealthyFirstPolicy>());
+    registry.add("domain-spread",
+                 "least-loaded inside the failure domain with the "
+                 "fewest in-flight requests",
+                 factoryOf<DomainSpreadPolicy>());
 }
 
 } // namespace

@@ -18,8 +18,9 @@
  * sim/registry.hh and workload/registry.hh, completing the
  * experiment grid: system x workload x policy x fleet size. Stock
  * policies: "round-robin", "least-loaded", "join-shortest-queue",
- * "session-affinity", "healthy-first". A new policy is one
- * registerRoutingPolicy call — see the ROADMAP recipe.
+ * "session-affinity", "healthy-first", "domain-spread". A new
+ * policy is one registerRoutingPolicy call — see the ROADMAP
+ * recipe.
  */
 
 #ifndef DUPLEX_FLEET_POLICY_HH
@@ -54,6 +55,15 @@ enum class InstanceHealth
 struct InstanceStatus
 {
     int id = -1; //!< stable instance id (survives scale events)
+
+    /**
+     * Failure domain (rack/zone) the fault topology places the
+     * instance in; -1 when no domain map is configured
+     * (FaultSpec::domainFor). Domain-aware policies spread load so
+     * one correlated domain crash takes out as little in-flight
+     * work as possible.
+     */
+    int domain = -1;
 
     /** Healthy, or inside a degraded-straggler window. */
     InstanceHealth health = InstanceHealth::Healthy;

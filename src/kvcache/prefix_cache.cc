@@ -288,6 +288,13 @@ PrefixCachePool::reclaim(std::int64_t tokens)
 }
 
 void
+PrefixCachePool::flush()
+{
+    while (!entries_.empty())
+        evict(entries_.begin());
+}
+
+void
 PrefixCachePool::evictOne()
 {
     panicIf(entries_.empty(),

@@ -246,6 +246,17 @@ class PrefixCachePool
      */
     void reclaim(std::int64_t tokens);
 
+    /**
+     * Evict EVERY resident entry — the fleet crash path: the HBM
+     * behind the cache is gone with the instance, so post-rejoin
+     * lookups must all miss. Ledger-closed: flushed bytes count as
+     * evictions (installedBytes == evictedBytes + acquiredBytes +
+     * residentBytes still holds). Bytes checked out by session hits
+     * stay checked out — the live requests carrying them were
+     * evicted by the crash and never re-install.
+     */
+    void flush();
+
     /** Cached entries right now (tests / summaries). */
     std::size_t entryCount() const { return entries_.size(); }
 

@@ -419,4 +419,16 @@ ContinuousBatcher::evictAll(std::vector<Request> &out)
     activeLifetimeKv_ = 0;
 }
 
+void
+ContinuousBatcher::evictQueued(std::vector<Request> &out)
+{
+    panicIf(stageOpen_, "evictQueued with a stage in flight");
+    // Same drain order as evictAll's queued half; the active batch
+    // keeps running, so its accounting stays live.
+    for (auto &r : ready_)
+        out.push_back(std::move(r));
+    ready_.clear();
+    arrivals_.drainPending(out);
+}
+
 } // namespace duplex

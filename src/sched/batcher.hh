@@ -198,6 +198,17 @@ class ContinuousBatcher
      */
     void evictAll(std::vector<Request> &out);
 
+    /**
+     * Proactive-drain eviction (the fleet drain path): append every
+     * QUEUED request to @p out in arrival order and leave the
+     * active batch — and its KV/aggregate accounting — untouched.
+     * Unlike evictAll, no work is lost: the migrated requests never
+     * started, so re-routing them elsewhere costs nothing. Push-fed
+     * and vector arrival queues only; never call with a stage in
+     * flight.
+     */
+    void evictQueued(std::vector<Request> &out);
+
     /** Tokens generated so far across all requests. */
     std::int64_t totalGenerated() const { return totalGenerated_; }
 

@@ -118,6 +118,31 @@ class DriverLoop
     }
 
     /**
+     * Proactive-drain eviction (the fleet drain path): move only
+     * the QUEUED requests into @p out (arrival order) and leave the
+     * active batch running. The migrated requests lost no work —
+     * they were never admitted — so the router can re-route them
+     * without retry accounting.
+     */
+    void evictQueued(std::vector<Request> &out)
+    {
+        batcher_.evictQueued(out);
+    }
+
+    /**
+     * Crash-path cache invalidation: evict every entry of the
+     * instance's KV prefix cache (ledger-closed — flushed bytes
+     * count as evictions). The HBM behind the cache died with the
+     * instance, so post-rejoin lookups must all miss. No-op when
+     * the cache is disabled.
+     */
+    void flushPrefixCache()
+    {
+        if (pool_ != nullptr)
+            pool_->flush();
+    }
+
+    /**
      * Stage-time multiplier (degraded-straggler windows): stages
      * executed while the scale is not exactly 1.0 take
      * llround(time * scale) instead. The 1.0 path is bit-identical

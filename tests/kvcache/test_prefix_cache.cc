@@ -240,6 +240,42 @@ TEST(PrefixCache, ReclaimFreesRequestedHeadroom)
     expectLedgerClosed(pool);
 }
 
+TEST(PrefixCache, FlushEvictsEverythingLedgerClosed)
+{
+    // The fleet crash path: flush() must empty the pool through the
+    // eviction ledger (flushed bytes count as evictions) and leave
+    // every later lookup a miss until something re-installs.
+    PrefixCachePool pool = tokenPool(1000, "lru",
+                                     /*shared_prefix=*/50);
+    for (std::int64_t session = 0; session < 4; ++session)
+        pool.install(sessionRequest(session, 60, 40));
+    const std::int64_t resident = pool.residentTokens();
+    EXPECT_GT(resident, 0);
+    const std::int64_t entries =
+        static_cast<std::int64_t>(pool.entryCount());
+    EXPECT_GE(entries, 4); // 4 sessions (+ shared-prefix seed)
+    const std::int64_t before = pool.metrics().evictions;
+
+    pool.flush();
+    EXPECT_EQ(pool.entryCount(), 0u);
+    EXPECT_EQ(pool.residentTokens(), 0);
+    EXPECT_EQ(pool.metrics().residentBytes, 0);
+    // Every resident entry went through evict(): the byte ledger
+    // stays closed.
+    EXPECT_EQ(pool.metrics().evictions, before + entries);
+    expectLedgerClosed(pool);
+
+    // Post-flush probes run cold.
+    EXPECT_EQ(pool.acquire(sessionRequest(2, 80, 0)), 0);
+
+    // Idempotent, and harmless on a disabled pool.
+    pool.flush();
+    EXPECT_EQ(pool.entryCount(), 0u);
+    PrefixCachePool off = tokenPool(0);
+    off.flush();
+    expectLedgerClosed(off);
+}
+
 TEST(PrefixCache, LedgerStaysClosedUnderChurn)
 {
     // Deterministic install/acquire/reclaim churn with a budget far
